@@ -1,0 +1,461 @@
+(* Benchmark harness: regenerates every table and in-text result of the
+   paper's evaluation (§5), plus constraint-growth validation, ablations and
+   bechamel micro-benchmarks.
+
+     dune exec bench/main.exe               # everything, scaled-down sizes
+     dune exec bench/main.exe -- table1     # one artifact
+     dune exec bench/main.exe -- --full all # paper-sized sweeps (slow)
+
+   Absolute times differ from the paper (different machine, different SAT
+   solver); the comparisons EMM-vs-explicit and the growth trends are the
+   reproduced claims.  See EXPERIMENTS.md for the side-by-side record. *)
+
+let full = ref false
+let timeout = ref 120.0
+
+(* {2 Small helpers} *)
+
+let hr title =
+  Format.printf "@.=== %s ===@." title
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mb () =
+  let gc = Gc.quick_stat () in
+  float_of_int (gc.Gc.heap_words * 8) /. 1e6
+
+let options ?(max_depth = 150) () =
+  { Emmver.default_options with max_depth; timeout_s = Some !timeout }
+
+(* Cell text for a conclusion: proof depth or the timeout marker. *)
+let depth_cell = function
+  | Emmver.Proved { depth; _ } -> string_of_int depth
+  | Emmver.Falsified { depth; _ } -> Printf.sprintf "CE@%d" depth
+  | Emmver.Inconclusive _ -> "-"
+
+let time_cell outcome =
+  match outcome.Emmver.conclusion with
+  | Emmver.Inconclusive _ -> Printf.sprintf ">%.0fs" !timeout
+  | Emmver.Proved _ | Emmver.Falsified _ -> Printf.sprintf "%.1f" outcome.Emmver.time_s
+
+let mem_cell outcome =
+  match outcome.Emmver.conclusion with
+  | Emmver.Inconclusive _ -> "NA"
+  | Emmver.Proved _ | Emmver.Falsified _ -> Printf.sprintf "%.0f" outcome.Emmver.memory_mb
+
+(* Quicksort sized like the paper: the arrays are much larger than the N
+   sorted elements, which is precisely what explicit modeling pays for. *)
+let quicksort_config n =
+  let aw = if !full then 8 else 6 in
+  { (Designs.Quicksort.default_config ~n) with
+    Designs.Quicksort.addr_width = aw;
+    stack_addr_width = aw + 1;
+  }
+
+let table1_sizes () = if !full then [ 3; 4; 5 ] else [ 3; 4 ]
+
+(* {2 Table 1 — quicksort, EMM vs explicit induction proofs} *)
+
+let table1 () =
+  hr "Table 1: performance summary on Quick Sort (forward induction proofs)";
+  Format.printf "%-4s %-5s %-4s | %-8s %-6s | %-8s %-6s@." "N" "Prop" "D" "EMM s"
+    "MB" "Expl s" "MB";
+  List.iter
+    (fun n ->
+      let cfg = quicksort_config n in
+      let net = Designs.Quicksort.build cfg in
+      List.iter
+        (fun prop ->
+          let emm = Emmver.verify ~options:(options ()) ~method_:Emmver.Emm_bmc net ~property:prop in
+          let exp =
+            Emmver.verify ~options:(options ()) ~method_:Emmver.Explicit_bmc net ~property:prop
+          in
+          Format.printf "%-4d %-5s %-4s | %-8s %-6s | %-8s %-6s@." n prop
+            (depth_cell emm.Emmver.conclusion) (time_cell emm) (mem_cell emm)
+            (time_cell exp) (mem_cell exp))
+        [ "P1"; "P2" ])
+    (table1_sizes ())
+
+(* {2 Table 2 — quicksort P2 with proof-based abstraction} *)
+
+let table2_side name ~use_emm net =
+  let orig = List.length (Netlist.latches net) in
+  match
+    time (fun () ->
+        Pba.discover ~max_depth:150 ~stability:10
+          ~deadline:(Unix.gettimeofday () +. !timeout) ~use_emm net ~property:"P2")
+  with
+  | Either.Right _, t ->
+    Format.printf "  %-14s discovery did not stabilise (%.1fs)@." name t
+  | Either.Left a, t_pba ->
+    let config =
+      {
+        Bmc.Engine.default_config with
+        max_depth = 150;
+        deadline = Some (Unix.gettimeofday () +. !timeout);
+      }
+    in
+    let (result, _), t_proof =
+      time (fun () -> Pba.check_with_abstraction ~config net a ~property:"P2")
+    in
+    let proof_cell =
+      match result.Bmc.Engine.verdict with
+      | Bmc.Engine.Proof _ -> Printf.sprintf "%.1f" t_proof
+      | _ -> Printf.sprintf ">%.0f" !timeout
+    in
+    Format.printf "  %-14s FF %d (%d)  PBA %.1fs  proof %ss  %.0fMB  memories kept: %s@."
+      name
+      (List.length a.Pba.kept_latches)
+      orig t_pba proof_cell (mb ())
+      (match a.Pba.modeled_memories with
+      | [] -> "(none)"
+      | ms -> String.concat "," (List.map Netlist.memory_name ms))
+
+let table2 () =
+  hr "Table 2: Quick Sort P2 with proof-based abstraction";
+  List.iter
+    (fun n ->
+      Format.printf "N = %d:@." n;
+      let cfg = quicksort_config n in
+      let net = Designs.Quicksort.build cfg in
+      table2_side "EMM+PBA" ~use_emm:true net;
+      let expanded = Explicitmem.expand (Designs.Quicksort.build cfg) in
+      table2_side "Explicit+PBA" ~use_emm:false expanded)
+    (table1_sizes ())
+
+(* {2 Case study I — image filter reachability sweep} *)
+
+let case1 () =
+  hr "Case study: Industry Design I (low-pass image filter)";
+  let cfg =
+    if !full then Designs.Image_filter.default_config
+    else { Designs.Image_filter.default_config with addr_width = 3 }
+  in
+  let net = Designs.Image_filter.build cfg in
+  Format.printf "design: %a; %d reachability properties@." Netlist.pp_stats
+    (Netlist.stats net) cfg.Designs.Image_filter.num_properties;
+  let names = Designs.Image_filter.property_names cfg in
+  let picked =
+    if !full then names
+    else List.filteri (fun i _ -> i mod 8 = 0 || i >= List.length names - 5) names
+  in
+  (* One incremental run for all properties, as the paper's platform did. *)
+  let config =
+    {
+      Bmc.Engine.default_config with
+      max_depth = 45;
+      deadline = Some (Unix.gettimeofday () +. (10.0 *. !timeout));
+    }
+  in
+  let sweep method_label results =
+    let witnesses = ref 0 and proofs = ref 0 and other = ref 0 in
+    let max_d = ref 0 in
+    List.iter
+      (fun (_, r) ->
+        match r.Bmc.Engine.verdict with
+        | Bmc.Engine.Counterexample t ->
+          incr witnesses;
+          max_d := max !max_d t.Bmc.Trace.depth
+        | Bmc.Engine.Proof _ -> incr proofs
+        | Bmc.Engine.Bounded_safe _ | Bmc.Engine.Reasons_stable _
+        | Bmc.Engine.Timed_out _ -> incr other)
+      results;
+    Format.printf
+      "  %-10s %d properties: %d witnesses (max depth %d), %d induction proofs, %d unresolved"
+      method_label (List.length results) !witnesses !max_d !proofs !other
+  in
+  let (emm_results, _, _), t_emm =
+    time (fun () -> Emm.check_many ~config net ~properties:picked)
+  in
+  sweep "EMM" emm_results;
+  Format.printf " — %.1fs, %.0fMB@." t_emm (mb ());
+  let expanded = Explicitmem.expand net in
+  let (exp_results, _), t_exp =
+    time (fun () -> Bmc.Engine.check_all ~config expanded ~properties:picked)
+  in
+  sweep "Explicit" exp_results;
+  Format.printf " — %.1fs, %.0fMB@." t_exp (mb ())
+
+(* {2 Case study II — multi-port lookup engine} *)
+
+let case2 () =
+  hr "Case study: Industry Design II (multi-port lookup engine)";
+  let cfg = Designs.Multiport.default_config in
+  let net = Designs.Multiport.build cfg in
+  Format.printf "design: %a@." Netlist.pp_stats (Netlist.stats net);
+  (* (a) full memory abstraction: spurious witnesses. *)
+  let o =
+    Emmver.verify ~options:(options ~max_depth:30 ()) ~method_:Emmver.Abstract_bmc net
+      ~property:"hit0"
+  in
+  Format.printf "  memory abstracted:      hit0 %a@." Emmver.pp_conclusion
+    o.Emmver.conclusion;
+  (* (b) EMM deep bounded search: no witness. *)
+  let depth = if !full then 200 else 60 in
+  let (o, t) =
+    time (fun () ->
+        Emmver.verify
+          ~options:{ (options ~max_depth:depth ()) with Emmver.max_depth = depth }
+          ~method_:Emmver.Emm_falsify net ~property:"hit0")
+  in
+  Format.printf "  EMM to depth %d:        hit0 %a (%.1fs)@." depth Emmver.pp_conclusion
+    o.Emmver.conclusion t;
+  (* (c) PBA model reduction. *)
+  (match Pba.discover ~max_depth:60 ~stability:10 net ~property:"hit0" with
+  | Either.Left a ->
+    Format.printf "  PBA reduction:          %d of %d latches kept@."
+      (List.length a.Pba.kept_latches)
+      (List.length (Netlist.latches net))
+  | Either.Right v ->
+    Format.printf "  PBA reduction:          %a@." Bmc.Engine.pp_verdict v);
+  (* (d) the invariant G(WE=0 \/ WD=0), EMM vs explicit. *)
+  let inv_emm, t_emm =
+    time (fun () -> Emmver.verify ~options:(options ()) ~method_:Emmver.Emm_bmc net ~property:"mem_quiet")
+  in
+  let _, t_exp =
+    time (fun () ->
+        Emmver.verify ~options:(options ()) ~method_:Emmver.Explicit_bmc net
+          ~property:"mem_quiet")
+  in
+  Format.printf "  invariant G(WE=0|WD=0): %a — EMM %.2fs, explicit %.2fs@."
+    Emmver.pp_conclusion inv_emm.Emmver.conclusion t_emm t_exp;
+  (* (e) invariant applied: all 8 properties proved on the memory-free model. *)
+  let reduced = Designs.Multiport.build ~rd_tied_zero:true cfg in
+  let proved = ref 0 in
+  let _, t =
+    time (fun () ->
+        List.iter
+          (fun prop ->
+            match
+              (Emmver.verify ~options:(options ()) ~method_:Emmver.Emm_bmc reduced
+                 ~property:prop)
+                .Emmver.conclusion
+            with
+            | Emmver.Proved _ -> incr proved
+            | Emmver.Falsified _ | Emmver.Inconclusive _ -> ())
+          Designs.Multiport.property_names)
+  in
+  Format.printf "  rd tied to 0:           %d/8 properties proved by induction (%.2fs)@."
+    !proved t
+
+(* {2 Constraint growth — the size formulas of §3 and §4.1} *)
+
+let growth () =
+  hr "Constraint growth: measured vs predicted ((4m+2n+1)kW+2n+1)R clauses, 3kWR gates";
+  let configs = [ (4, 8, 1, 1); (4, 8, 2, 3); (6, 16, 2, 2); (8, 32, 3, 2) ] in
+  List.iter
+    (fun (m, n, w, r) ->
+      Format.printf "AW=%d DW=%d W=%d R=%d:@." m n w r;
+      Format.printf "  %-5s %-22s %-22s %-10s@." "k" "clauses (meas/pred)"
+        "gates (meas/pred)" "cumulative";
+      let ctx = Hdl.create () in
+      let mem =
+        Hdl.memory ctx ~name:"m" ~addr_width:m ~data_width:n ~init:Netlist.Zeros
+      in
+      for p = 0 to w - 1 do
+        let addr = Hdl.input ctx (Printf.sprintf "wa%d" p) ~width:m in
+        let data = Hdl.input ctx (Printf.sprintf "wd%d" p) ~width:n in
+        let enable = Hdl.input_bit ctx (Printf.sprintf "we%d" p) in
+        Hdl.write_port ctx mem ~addr ~data ~enable
+      done;
+      for p = 0 to r - 1 do
+        let addr = Hdl.input ctx (Printf.sprintf "ra%d" p) ~width:m in
+        ignore (Hdl.read_port ctx mem ~addr ~enable:Netlist.true_)
+      done;
+      Hdl.assert_always ctx "true" Netlist.true_;
+      let net = Hdl.netlist ctx in
+      let solver = Satsolver.Solver.create () in
+      let unr = Cnf.create solver net in
+      let emm = Emm.create ~init_consistency:false unr in
+      let cumulative = ref 0 in
+      let next = ref 0 in
+      List.iter
+        (fun k ->
+          while !next <= k do
+            Emm.add_constraints emm !next;
+            incr next
+          done;
+          let c = Emm.counts_at emm k in
+          let meas_cl = c.Emm.addr_clauses + c.Emm.data_clauses in
+          let pred_cl = Emm.predicted_clauses ~aw:m ~dw:n ~k ~writes:w ~reads:r in
+          let pred_g = Emm.predicted_gates ~k ~writes:w ~reads:r in
+          cumulative := !cumulative + meas_cl;
+          Format.printf "  %-5d %10d/%-10d %10d/%-10d %-10d%s@." k meas_cl pred_cl
+            c.Emm.excl_gates pred_g !cumulative
+            (if meas_cl = pred_cl && c.Emm.excl_gates = pred_g then "" else "  MISMATCH"))
+        [ 0; 1; 2; 4; 8; 12 ])
+    configs
+
+(* {2 Ablation — the equation-(6) initial-state constraints} *)
+
+let ablation () =
+  hr "Ablation: arbitrary-initial-state consistency (equation 6)";
+  let cfg = Designs.Quicksort.default_config ~n:3 in
+  let net = Designs.Quicksort.build cfg in
+  let o_full =
+    Emmver.verify ~options:(options ()) ~method_:Emmver.Emm_bmc net ~property:"P1"
+  in
+  Format.printf "  quicksort P1 with eq-(6):    %a (%.1fs)@." Emmver.pp_conclusion
+    o_full.Emmver.conclusion o_full.Emmver.time_s;
+  let config =
+    {
+      Bmc.Engine.default_config with
+      max_depth = 60;
+      deadline = Some (Unix.gettimeofday () +. !timeout);
+    }
+  in
+  let (result, _), t =
+    time (fun () -> Emm.check ~config ~init_consistency:false net ~property:"P1")
+  in
+  (match result.Bmc.Engine.verdict with
+  | Bmc.Engine.Counterexample tr ->
+    Format.printf
+      "  quicksort P1 without eq-(6): counterexample at depth %d — replay on simulator: %b (SPURIOUS) (%.1fs)@."
+      tr.Bmc.Trace.depth (Bmc.Trace.replay net tr) t
+  | v -> Format.printf "  quicksort P1 without eq-(6): %a (%.1fs)@." Bmc.Engine.pp_verdict v t);
+  (* The read-validity clause ablation: measured via the multiport engine. *)
+  let mnet = Designs.Multiport.build Designs.Multiport.default_config in
+  let (r_with, _), t_with =
+    time (fun () ->
+        Emm.check
+          ~config:{ Bmc.Engine.default_config with max_depth = 40; proof_checks = false }
+          mnet ~property:"hit0")
+  in
+  ignore r_with;
+  Format.printf "  multiport hit0, EMM depth 40: %.2fs@." t_with
+
+(* {2 Bechamel micro-benchmarks — one per table/figure artifact} *)
+
+let micro () =
+  hr "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let qs_net = lazy (Designs.Quicksort.build (Designs.Quicksort.default_config ~n:3)) in
+  let filter_net =
+    lazy (Designs.Image_filter.build { Designs.Image_filter.default_config with addr_width = 3 })
+  in
+  let mp_net = lazy (Designs.Multiport.build Designs.Multiport.default_config) in
+  (* Table 1 unit: one EMM falsification depth on the quicksort machine. *)
+  let t_table1 =
+    Test.make ~name:"table1/emm-unroll-qs3"
+      (Staged.stage (fun () ->
+           let net = Lazy.force qs_net in
+           let config =
+             { Bmc.Engine.default_config with max_depth = 6; proof_checks = false }
+           in
+           ignore (Emm.check ~config net ~property:"P1")))
+  in
+  (* Table 2 unit: PBA discovery on the quicksort machine. *)
+  let t_table2 =
+    Test.make ~name:"table2/pba-discovery-qs3"
+      (Staged.stage (fun () ->
+           let net = Lazy.force qs_net in
+           ignore (Pba.discover ~max_depth:12 ~stability:4 net ~property:"P2")))
+  in
+  (* Case study I unit: one witness search on the image filter. *)
+  let t_case1 =
+    Test.make ~name:"case1/filter-witness"
+      (Staged.stage (fun () ->
+           let net = Lazy.force filter_net in
+           let config =
+             { Bmc.Engine.default_config with max_depth = 10; proof_checks = false }
+           in
+           ignore (Emm.check ~config net ~property:"P40")))
+  in
+  (* Case study II unit: the induction proof of the invariant. *)
+  let t_case2 =
+    Test.make ~name:"case2/invariant-induction"
+      (Staged.stage (fun () ->
+           let net = Lazy.force mp_net in
+           let config = { Bmc.Engine.default_config with max_depth = 6 } in
+           ignore (Emm.check ~config net ~property:"mem_quiet")))
+  in
+  (* Growth artifact unit: raw EMM constraint generation at depth 16. *)
+  let t_growth =
+    Test.make ~name:"growth/emm-constraints-k16"
+      (Staged.stage (fun () ->
+           let ctx = Hdl.create () in
+           let mem =
+             Hdl.memory ctx ~name:"m" ~addr_width:8 ~data_width:16 ~init:Netlist.Zeros
+           in
+           let wa = Hdl.input ctx "wa" ~width:8 in
+           let wd = Hdl.input ctx "wd" ~width:16 in
+           let we = Hdl.input_bit ctx "we" in
+           Hdl.write_port ctx mem ~addr:wa ~data:wd ~enable:we;
+           let ra = Hdl.input ctx "ra" ~width:8 in
+           ignore (Hdl.read_port ctx mem ~addr:ra ~enable:Netlist.true_);
+           Hdl.assert_always ctx "true" Netlist.true_;
+           let solver = Satsolver.Solver.create () in
+           let unr = Cnf.create solver (Hdl.netlist ctx) in
+           let emm = Emm.create unr in
+           for k = 0 to 16 do
+             Emm.add_constraints emm k
+           done))
+  in
+  let tests = [ t_table1; t_table2; t_case1; t_case2; t_growth ] in
+  let benchmark test =
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:20 ~quota:(Time.second 1.5) ~kde:(Some 10) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false
+        ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark (Test.make_grouped ~name:"g" [ test ])) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Format.printf "  %-32s %10.0f ns/run@." name est
+          | _ -> Format.printf "  %-32s (no estimate)@." name)
+        results)
+    tests
+
+(* {2 Driver} *)
+
+let () =
+  let cmds = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--full" -> full := true
+        | "--timeout" -> () (* value consumed below *)
+        | _ ->
+          if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
+          else cmds := arg :: !cmds)
+    Sys.argv;
+  let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in
+  let run = function
+    | "table1" -> table1 ()
+    | "table2" -> table2 ()
+    | "case1" -> case1 ()
+    | "case2" -> case2 ()
+    | "growth" -> growth ()
+    | "ablation" -> ablation ()
+    | "micro" -> micro ()
+    | "all" ->
+      growth ();
+      ablation ();
+      case2 ();
+      case1 ();
+      table1 ();
+      table2 ();
+      micro ()
+    | other ->
+      Format.eprintf
+        "unknown bench %S (expected table1|table2|case1|case2|growth|ablation|micro|all)@."
+        other;
+      exit 2
+  in
+  List.iter run cmds

@@ -1,0 +1,213 @@
+(* emmver — command-line front end of the verification platform. *)
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e ->
+        Format.printf "%-20s %s@." e.Designs.Registry.name e.Designs.Registry.description)
+      (Designs.Registry.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in designs") Term.(const run $ const ())
+
+let design_arg =
+  let doc =
+    "Design name (see $(b,emmver list)), or a path to an .emn netlist file."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
+
+let load_design name =
+  if Filename.check_suffix name ".emn" || Filename.check_suffix name ".aag" then begin
+    try
+      if Filename.check_suffix name ".emn" then Netio.load name else Aiger.load name
+    with e ->
+      Format.eprintf "cannot load %s: %s@." name (Printexc.to_string e);
+      exit 2
+  end
+  else
+    match Designs.Registry.find name with
+    | e -> e.Designs.Registry.build ()
+    | exception Not_found ->
+      Format.eprintf "unknown design %S; try `emmver list`@." name;
+      exit 2
+
+let props_cmd =
+  let run design =
+    let net = load_design design in
+    List.iter (fun (name, _) -> print_endline name) (Netlist.properties net)
+  in
+  Cmd.v
+    (Cmd.info "props" ~doc:"List the safety properties of a design")
+    Term.(const run $ design_arg)
+
+let stats_cmd =
+  let run design =
+    let net = load_design design in
+    Format.printf "netlist: %a@." Netlist.pp_stats (Netlist.stats net);
+    let expanded = Explicitmem.expand net in
+    Format.printf "explicit model: %a@." Netlist.pp_stats (Netlist.stats expanded);
+    List.iter
+      (fun m ->
+        Format.printf "memory %s: AW=%d DW=%d, %d write / %d read ports@."
+          (Netlist.memory_name m) (Netlist.memory_addr_width m)
+          (Netlist.memory_data_width m) (Netlist.num_write_ports m)
+          (Netlist.num_read_ports m))
+      (Netlist.memories net)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show model sizes for a design (EMM vs explicit)")
+    Term.(const run $ design_arg)
+
+let method_arg =
+  let doc =
+    "Verification method: emm (BMC-3), emm-falsify (BMC-2), emm-pba, explicit \
+     (BMC-1 on the expanded model), explicit-pba, abstract (memories removed), bdd."
+  in
+  Arg.(value & opt string "emm" & info [ "m"; "method" ] ~docv:"METHOD" ~doc)
+
+let property_arg =
+  let doc = "Property to check; defaults to every property of the design." in
+  Arg.(value & opt (some string) None & info [ "p"; "property" ] ~docv:"PROP" ~doc)
+
+let depth_arg =
+  let doc = "Maximum BMC depth." in
+  Arg.(value & opt int 100 & info [ "k"; "max-depth" ] ~docv:"DEPTH" ~doc)
+
+let timeout_arg =
+  let doc = "Wall-clock timeout in seconds per property." in
+  Arg.(value & opt (some float) None & info [ "t"; "timeout" ] ~docv:"SECONDS" ~doc)
+
+let show_trace_arg =
+  let doc = "Print the counterexample trace when a property is falsified." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let vcd_arg =
+  let doc = "Write the counterexample as a VCD waveform to this file." in
+  Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
+
+let verify_cmd =
+  let run design method_name property max_depth timeout_s show_trace vcd =
+    let net = load_design design in
+    let method_ =
+      match Emmver.method_of_string method_name with
+      | Ok m -> m
+      | Error msg ->
+        Format.eprintf "%s@." msg;
+        exit 2
+    in
+    let options = { Emmver.default_options with max_depth; timeout_s } in
+    let props =
+      match property with
+      | Some p -> [ p ]
+      | None -> List.map fst (Netlist.properties net)
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun prop ->
+        let outcome = Emmver.verify ~options ~method_ net ~property:prop in
+        Format.printf "@[<v 2>%s [%s]:@,%a@]@." prop
+          (Emmver.method_to_string method_)
+          Emmver.pp_outcome outcome;
+        (match outcome.Emmver.emm_counts with
+        | Some c -> Format.printf "  EMM constraints: %a@." Emm.pp_counts c
+        | None -> ());
+        (match outcome.Emmver.abstraction with
+        | Some a -> Format.printf "  %a@." (Pba.pp_abstraction net) a
+        | None -> ());
+        match outcome.Emmver.conclusion with
+        | Emmver.Falsified { trace = Some t; genuine; _ } ->
+          if genuine = Some true then incr failures;
+          if show_trace then Format.printf "%a@." Bmc.Trace.pp t;
+          (match vcd with
+          | Some path ->
+            Bmc.Vcd.write_file net t path;
+            Format.printf "  waveform written to %s@." path
+          | None -> ())
+        | Emmver.Falsified _ -> incr failures
+        | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
+      props;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Verify safety properties of a design")
+    Term.(
+      const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
+      $ show_trace_arg $ vcd_arg)
+
+let save_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output path: .emn (native) or .aag (AIGER, memory-free)")
+  in
+  let run design file =
+    let net = load_design design in
+    if Filename.check_suffix file ".aag" then
+      (* AIGER has no memory modules: expand first if needed. *)
+      let net = if Netlist.memories net = [] then net else Explicitmem.expand net in
+      Aiger.save net file
+    else Netio.save net file;
+    Format.printf "wrote %s@." file
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Serialize a design to an .emn netlist or .aag AIGER file")
+    Term.(const run $ design_arg $ file_arg)
+
+let races_cmd =
+  let run design max_depth =
+    let net = load_design design in
+    match Emm.find_data_race ~max_depth net with
+    | Some race ->
+      Format.printf "data race on memory %s at depth %d between write ports %d and %d@."
+        race.Emm.race_memory race.Emm.race_depth (fst race.Emm.race_ports)
+        (snd race.Emm.race_ports);
+      Format.printf "%a@." Bmc.Trace.pp race.Emm.race_trace;
+      exit 1
+    | None ->
+      Format.printf "no data race reachable within depth %d@." max_depth
+  in
+  Cmd.v
+    (Cmd.info "races" ~doc:"Search for write-write data races on multi-port memories")
+    Term.(const run $ design_arg $ depth_arg)
+
+let solve_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.cnf" ~doc:"DIMACS CNF file")
+  in
+  let run file =
+    let problem = Satsolver.Dimacs.parse_file file in
+    let solver = Satsolver.Solver.create () in
+    Satsolver.Dimacs.load_into solver problem;
+    (match Satsolver.Solver.solve solver with
+    | Satsolver.Solver.Sat ->
+      print_endline "s SATISFIABLE";
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "v ";
+      for v = 0 to problem.Satsolver.Dimacs.num_vars - 1 do
+        if not (Satsolver.Solver.value_var solver v) then Buffer.add_char buf '-';
+        Buffer.add_string buf (string_of_int (v + 1));
+        Buffer.add_char buf ' '
+      done;
+      Buffer.add_string buf "0";
+      print_endline (Buffer.contents buf)
+    | Satsolver.Solver.Unsat ->
+      print_endline "s UNSATISFIABLE";
+      Format.printf "c core: %d of %d clauses@."
+        (List.length (Satsolver.Solver.unsat_core solver))
+        (List.length problem.Satsolver.Dimacs.clauses));
+    Format.printf "c %a@." Satsolver.Solver.pp_stats solver
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run the built-in CDCL solver on a DIMACS file")
+    Term.(const run $ file_arg)
+
+let () =
+  let doc = "verification of embedded memory systems using efficient memory modeling" in
+  let info = Cmd.info "emmver" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; props_cmd; stats_cmd; verify_cmd; solve_cmd; save_cmd; races_cmd ]))

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Designs Emmver Format List Netlist Sys

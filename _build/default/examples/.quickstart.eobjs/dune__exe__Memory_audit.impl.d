@@ -1,0 +1,1 @@
+examples/memory_audit.ml: Bmc Designs Either Emmver Format List Netlist Pba

@@ -1,0 +1,1 @@
+examples/quicksort_verify.ml: Array Bmc Designs Emm Emmver Format List Netlist Sys Unix

@@ -1,0 +1,1 @@
+examples/quicksort_verify.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bmc Designs Emmver Format Netlist

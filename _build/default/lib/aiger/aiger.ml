@@ -1,0 +1,219 @@
+(* Writer: canonical variable numbering — inputs 1..I, latches I+1..I+L, AND
+   gates following in topological (node id) order. *)
+
+let to_string net =
+  if Netlist.memories net <> [] then
+    invalid_arg "Aiger.to_string: netlist has memory modules; expand them first";
+  let inputs = Netlist.inputs net in
+  let latches = Netlist.latches net in
+  let var_of_node = Hashtbl.create 1024 in
+  let next_var = ref 1 in
+  let assign s =
+    Hashtbl.replace var_of_node (Netlist.node_of s) !next_var;
+    incr next_var
+  in
+  List.iter assign inputs;
+  List.iter assign latches;
+  let ands = ref [] in
+  for id = 1 to Netlist.num_nodes net - 1 do
+    match Netlist.node net id with
+    | Netlist.And (a, b) ->
+      Hashtbl.replace var_of_node id !next_var;
+      incr next_var;
+      ands := (id, a, b) :: !ands
+    | Netlist.Const_false | Netlist.Input _ | Netlist.Latch _ -> ()
+    | Netlist.Mem_out _ -> invalid_arg "Aiger.to_string: memory output present"
+  done;
+  let ands = List.rev !ands in
+  let lit s =
+    let v = Hashtbl.find var_of_node (Netlist.node_of s) in
+    (2 * v) + if Netlist.is_complement s then 1 else 0
+  in
+  let lit s =
+    if s = Netlist.false_ then 0 else if s = Netlist.true_ then 1 else lit s
+  in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let m = !next_var - 1 in
+  let outputs = Netlist.outputs net in
+  let properties = Netlist.properties net in
+  line "aag %d %d %d %d %d %d" m (List.length inputs) (List.length latches)
+    (List.length outputs) (List.length ands) (List.length properties);
+  List.iter (fun s -> line "%d" (lit s)) inputs;
+  List.iter
+    (fun l ->
+      let self = lit l in
+      let next = lit (Netlist.latch_next net l) in
+      match Netlist.latch_init net l with
+      | Some false -> line "%d %d" self next
+      | Some true -> line "%d %d 1" self next
+      | None -> line "%d %d %d" self next self (* uninitialised: its own literal *))
+    latches;
+  List.iter (fun (_, s) -> line "%d" (lit s)) outputs;
+  (* Bad-state literals: the negation of each safety property. *)
+  List.iter (fun (_, s) -> line "%d" (lit (Netlist.not_ s))) properties;
+  List.iter
+    (fun (id, a, b) ->
+      let l0 = lit a and l1 = lit b in
+      let hi = max l0 l1 and lo = min l0 l1 in
+      line "%d %d %d" (2 * Hashtbl.find var_of_node id) hi lo)
+    ands;
+  List.iteri (fun i s ->
+      match Netlist.node net (Netlist.node_of s) with
+      | Netlist.Input name -> line "i%d %s" i name
+      | _ -> ())
+    inputs;
+  List.iteri (fun i l -> line "l%d %s" i (Netlist.latch_name net l)) latches;
+  List.iteri (fun i (name, _) -> line "o%d %s" i name) outputs;
+  List.iteri (fun i (name, _) -> line "b%d %s" i name) properties;
+  line "c";
+  line "written by emmver";
+  Buffer.contents buf
+
+let save net path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () ->
+      output_string out (to_string net))
+
+(* {2 Reader} *)
+
+let of_string ?(outputs_are_bad = false) text =
+  let lines = Array.of_list (String.split_on_char '\n' text) in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun s -> failwith (Printf.sprintf "aag line %d: %s" (!pos + 1) s)) fmt
+  in
+  let next_line () =
+    if !pos >= Array.length lines then fail "unexpected end of file"
+    else begin
+      let l = String.trim lines.(!pos) in
+      incr pos;
+      l
+    end
+  in
+  let ints_of line = List.filter_map int_of_string_opt (String.split_on_char ' ' line) in
+  let header = next_line () in
+  let m, ni, nl, no, na, nb =
+    match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+    | "aag" :: rest -> (
+      match List.map int_of_string rest with
+      | [ m; i; l; o; a ] -> (m, i, l, o, a, 0)
+      | [ m; i; l; o; a; b ] -> (m, i, l, o, a, b)
+      | m :: i :: l :: o :: a :: b :: _ -> (m, i, l, o, a, b)
+      | _ -> fail "bad header")
+    | _ -> fail "expected aag header"
+  in
+  let input_lits = Array.init ni (fun _ -> match ints_of (next_line ()) with
+      | [ l ] -> l
+      | _ -> fail "bad input line")
+  in
+  let latch_defs =
+    Array.init nl (fun _ ->
+        match ints_of (next_line ()) with
+        | [ self; next ] -> (self, next, Some false)
+        | [ self; next; 0 ] -> (self, next, Some false)
+        | [ self; next; 1 ] -> (self, next, Some true)
+        | [ self; next; r ] when r = self -> (self, next, None)
+        | _ -> fail "bad latch line")
+  in
+  let output_lits = Array.init no (fun _ -> match ints_of (next_line ()) with
+      | [ l ] -> l
+      | _ -> fail "bad output line")
+  in
+  let bad_lits = Array.init nb (fun _ -> match ints_of (next_line ()) with
+      | [ l ] -> l
+      | _ -> fail "bad bad-state line")
+  in
+  let and_defs =
+    Array.init na (fun _ ->
+        match ints_of (next_line ()) with
+        | [ lhs; r0; r1 ] -> (lhs, r0, r1)
+        | _ -> fail "bad and line")
+  in
+  (* Symbol table. *)
+  let symbols = Hashtbl.create 64 in
+  (try
+     while !pos < Array.length lines do
+       let l = String.trim lines.(!pos) in
+       incr pos;
+       if l = "c" then raise Exit
+       else if l <> "" then
+         match String.index_opt l ' ' with
+         | Some sp -> Hashtbl.replace symbols (String.sub l 0 sp)
+                        (String.sub l (sp + 1) (String.length l - sp - 1))
+         | None -> ()
+     done
+   with Exit -> ());
+  let symbol kind i default =
+    match Hashtbl.find_opt symbols (Printf.sprintf "%s%d" kind i) with
+    | Some s -> s
+    | None -> default
+  in
+  ignore m;
+  let net = Netlist.create () in
+  (* var -> (kind, index) resolution tables. *)
+  let input_of_var = Hashtbl.create 64 in
+  Array.iteri (fun i l -> Hashtbl.replace input_of_var (l / 2) i) input_lits;
+  let latch_of_var = Hashtbl.create 64 in
+  Array.iteri (fun i (self, _, _) -> Hashtbl.replace latch_of_var (self / 2) i) latch_defs;
+  let and_of_var = Hashtbl.create 64 in
+  Array.iter (fun (lhs, r0, r1) -> Hashtbl.replace and_of_var (lhs / 2) (r0, r1))
+    and_defs;
+  let input_signals =
+    Array.init ni (fun i -> Netlist.input net (symbol "i" i (Printf.sprintf "i%d" i)))
+  in
+  let latch_signals =
+    Array.init nl (fun i ->
+        let _, _, init = latch_defs.(i) in
+        Netlist.latch net ~init (symbol "l" i (Printf.sprintf "l%d" i)))
+  in
+  let memo = Hashtbl.create 256 in
+  let rec signal_of_lit l =
+    if l = 0 then Netlist.false_
+    else if l = 1 then Netlist.true_
+    else
+      let v = l / 2 in
+      let s =
+        match Hashtbl.find_opt memo v with
+        | Some s -> s
+        | None ->
+          let s =
+            match Hashtbl.find_opt input_of_var v with
+            | Some i -> input_signals.(i)
+            | None -> (
+              match Hashtbl.find_opt latch_of_var v with
+              | Some i -> latch_signals.(i)
+              | None -> (
+                match Hashtbl.find_opt and_of_var v with
+                | Some (r0, r1) ->
+                  Netlist.and_ net (signal_of_lit r0) (signal_of_lit r1)
+                | None -> failwith (Printf.sprintf "aag: undefined variable %d" v)))
+          in
+          Hashtbl.replace memo v s;
+          s
+      in
+      if l land 1 = 1 then Netlist.not_ s else s
+  in
+  Array.iteri
+    (fun i (_, next, _) -> Netlist.set_next net latch_signals.(i) (signal_of_lit next))
+    latch_defs;
+  Array.iteri
+    (fun i l ->
+      let name = symbol "o" i (Printf.sprintf "o%d" i) in
+      let s = signal_of_lit l in
+      if outputs_are_bad then Netlist.add_property net name (Netlist.not_ s)
+      else Netlist.add_output net name s)
+    output_lits;
+  Array.iteri
+    (fun i l ->
+      let name = symbol "b" i (Printf.sprintf "b%d" i) in
+      Netlist.add_property net name (Netlist.not_ (signal_of_lit l)))
+    bad_lits;
+  net
+
+let load ?outputs_are_bad path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string ?outputs_are_bad text

@@ -1,0 +1,24 @@
+(** ASCII AIGER (aag) reading and writing for memory-free netlists.
+
+    The industry interchange format of the hardware model-checking
+    competitions: after {!Explicitmem.expand}, any design in this repository
+    can be exported to other checkers (ABC, nuXmv, ...), and HWMCC-style
+    benchmarks can be imported and verified with this platform's engines.
+
+    Version 1.9 headers ([aag M I L O A B]) are produced when the netlist
+    has safety properties: each property [p] is emitted as a bad-state
+    literal [!p].  Plain [aag M I L O A] files are accepted on input, in
+    which case outputs named [bad...] (or all outputs, if
+    [outputs_are_bad]) become properties.  Latch reset values 0/1/arbitrary
+    are supported via the optional third field of a latch line.
+
+    Memories are not representable: {!to_string} raises
+    [Invalid_argument] if any are present — expand them first. *)
+
+val to_string : Netlist.t -> string
+val save : Netlist.t -> string -> unit
+
+val of_string : ?outputs_are_bad:bool -> string -> Netlist.t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val load : ?outputs_are_bad:bool -> string -> Netlist.t

@@ -1,0 +1,162 @@
+exception Blowup
+
+(* Nodes are hash-consed: [id] is unique per (v, low, high) and doubles as
+   the memo-table key.  Terminals are the two distinguished nodes below. *)
+type t = { id : int; v : int; low : t; high : t }
+
+let rec fls_node = { id = 0; v = max_int; low = fls_node; high = fls_node }
+let rec tru_node = { id = 1; v = max_int; low = tru_node; high = tru_node }
+
+type man = {
+  unique : (int * int * int, t) Hashtbl.t; (* (v, low.id, high.id) -> node *)
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  mutable next_id : int;
+  max_nodes : int;
+}
+
+let man ?(max_nodes = max_int) () =
+  {
+    unique = Hashtbl.create 4096;
+    ite_cache = Hashtbl.create 4096;
+    next_id = 2;
+    max_nodes;
+  }
+
+let tru _ = tru_node
+let fls _ = fls_node
+let is_true b = b.id = 1
+let is_false b = b.id = 0
+let equal a b = a == b
+
+let mk m v low high =
+  if low == high then low
+  else begin
+    let key = (v, low.id, high.id) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if m.next_id - 2 >= m.max_nodes then raise Blowup;
+      let n = { id = m.next_id; v; low; high } in
+      m.next_id <- m.next_id + 1;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let var m i =
+  if i < 0 then invalid_arg "Bdd.var";
+  mk m i fls_node tru_node
+
+let nvar m i =
+  if i < 0 then invalid_arg "Bdd.nvar";
+  mk m i tru_node fls_node
+
+let top_var f g h = min f.v (min g.v h.v)
+
+let cofactor v b = if b.v = v then (b.low, b.high) else (b, b)
+
+let rec ite m f g h =
+  if is_true f then g
+  else if is_false f then h
+  else if g == h then g
+  else if is_true g && is_false h then f
+  else begin
+    let key = (f.id, g.id, h.id) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+      let v = top_var f g h in
+      let f0, f1 = cofactor v f in
+      let g0, g1 = cofactor v g in
+      let h0, h1 = cofactor v h in
+      let low = ite m f0 g0 h0 in
+      let high = ite m f1 g1 h1 in
+      let r = mk m v low high in
+      Hashtbl.replace m.ite_cache key r;
+      r
+  end
+
+let not_ m f = ite m f fls_node tru_node
+let and_ m f g = ite m f g fls_node
+let or_ m f g = ite m f tru_node g
+let xor_ m f g = ite m f (ite m g fls_node tru_node) g
+let xnor_ m f g = ite m f g (ite m g fls_node tru_node)
+let imp m f g = ite m f g tru_node
+
+let exists m vars f =
+  let vars = List.sort_uniq compare vars in
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    if is_true f || is_false f then f
+    else
+      match Hashtbl.find_opt cache f.id with
+      | Some r -> r
+      | None ->
+        let r =
+          if List.mem f.v vars then or_ m (go f.low) (go f.high)
+          else mk m f.v (go f.low) (go f.high)
+        in
+        Hashtbl.replace cache f.id r;
+        r
+  in
+  go f
+
+let forall m vars f = not_ m (exists m vars (not_ m f))
+
+let compose m subst f =
+  let cache = Hashtbl.create 256 in
+  let rec go f =
+    if is_true f || is_false f then f
+    else
+      match Hashtbl.find_opt cache f.id with
+      | Some r -> r
+      | None ->
+        let low = go f.low and high = go f.high in
+        let guard = match subst f.v with Some g -> g | None -> var m f.v in
+        let r = ite m guard high low in
+        Hashtbl.replace cache f.id r;
+        r
+  in
+  go f
+
+let rec eval b env =
+  if is_true b then true
+  else if is_false b then false
+  else if env b.v then eval b.high env
+  else eval b.low env
+
+let size b =
+  let seen = Hashtbl.create 64 in
+  let rec go b =
+    if (not (is_true b)) && (not (is_false b)) && not (Hashtbl.mem seen b.id) then begin
+      Hashtbl.add seen b.id ();
+      go b.low;
+      go b.high
+    end
+  in
+  go b;
+  Hashtbl.length seen
+
+let live_nodes m = m.next_id - 2
+
+let support b =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go b =
+    if (not (is_true b)) && (not (is_false b)) && not (Hashtbl.mem seen b.id) then begin
+      Hashtbl.add seen b.id ();
+      Hashtbl.replace vars b.v ();
+      go b.low;
+      go b.high
+    end
+  in
+  go b;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let any_sat b =
+  if is_false b then raise Not_found;
+  let rec go b acc =
+    if is_true b then List.rev acc
+    else if is_false b.low then go b.high ((b.v, true) :: acc)
+    else go b.low ((b.v, false) :: acc)
+  in
+  go b []

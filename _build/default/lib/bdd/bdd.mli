@@ -1,0 +1,57 @@
+(** Reduced ordered binary decision diagrams.
+
+    A classical hash-consed BDD package: nodes are unique per
+    [(var, low, high)] triple, so structural equality is physical equality
+    and [equal] is O(1).  Operations are memoised.  A manager-level node
+    budget lets callers reproduce the "BDD blow-up" failure mode the paper
+    reports for explicit memory models — exceeding it raises {!Blowup}. *)
+
+type man
+type t
+
+exception Blowup
+
+val man : ?max_nodes:int -> unit -> man
+(** [max_nodes] defaults to no limit. *)
+
+val tru : man -> t
+val fls : man -> t
+val var : man -> int -> t
+(** Variable indices double as the (static) order: smaller index = closer to
+    the root. *)
+
+val nvar : man -> int -> t
+val ite : man -> t -> t -> t -> t
+val not_ : man -> t -> t
+val and_ : man -> t -> t -> t
+val or_ : man -> t -> t -> t
+val xor_ : man -> t -> t -> t
+val xnor_ : man -> t -> t -> t
+val imp : man -> t -> t -> t
+
+val equal : t -> t -> bool
+val is_true : t -> bool
+val is_false : t -> bool
+
+val exists : man -> int list -> t -> t
+(** Existential quantification over the given variables. *)
+
+val forall : man -> int list -> t -> t
+
+val compose : man -> (int -> t option) -> t -> t
+(** Simultaneous substitution: replace each variable for which the function
+    returns [Some f] by [f]. *)
+
+val eval : t -> (int -> bool) -> bool
+val size : t -> int
+(** Number of distinct internal nodes reachable from this root. *)
+
+val live_nodes : man -> int
+(** Total nodes ever created in the manager. *)
+
+val support : t -> int list
+(** Variables this BDD depends on, ascending. *)
+
+val any_sat : t -> (int * bool) list
+(** One satisfying partial assignment.  Raises [Not_found] on the false
+    BDD. *)

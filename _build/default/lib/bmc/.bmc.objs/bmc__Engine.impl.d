@@ -1,0 +1,1 @@
+lib/bmc/engine.ml: Array Cnf Format Fun Gc Hashtbl List Netlist Satsolver Trace Unix

@@ -1,0 +1,1 @@
+lib/bmc/engine.mli: Cnf Format Netlist Trace

@@ -1,0 +1,1 @@
+lib/bmc/trace.ml: Array Format List Netlist Simulator

@@ -1,0 +1,1 @@
+lib/bmc/trace.mli: Format Netlist

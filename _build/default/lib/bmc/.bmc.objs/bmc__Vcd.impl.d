@@ -1,0 +1,1 @@
+lib/bmc/vcd.ml: Array Bool Char Fun Hashtbl List Netlist Printf Simulator String Trace

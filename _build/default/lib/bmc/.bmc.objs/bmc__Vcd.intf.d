@@ -1,0 +1,1 @@
+lib/bmc/vcd.mli: Netlist Trace

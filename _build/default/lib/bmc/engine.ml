@@ -1,0 +1,364 @@
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+
+type proof_kind = Forward_diameter | Backward_induction
+
+type verdict =
+  | Proof of { depth : int; kind : proof_kind }
+  | Counterexample of Trace.t
+  | Bounded_safe of int
+  | Reasons_stable of int
+  | Timed_out of int
+
+type stats = {
+  depths_completed : int;
+  solve_time : float;
+  num_vars : int;
+  num_clauses : int;
+  num_conflicts : int;
+  peak_memory_mb : float;
+  latch_reasons : Netlist.signal list;
+  memory_reasons : int list;
+  reasons_last_changed : int;
+}
+
+type result = { verdict : verdict; stats : stats }
+
+type config = {
+  max_depth : int;
+  deadline : float option;
+  proof_checks : bool;
+  collect_reasons : bool;
+  stop_on_stable : int option;
+  free_latches : Netlist.signal -> bool;
+}
+
+let default_config =
+  {
+    max_depth = 100;
+    deadline = None;
+    proof_checks = true;
+    collect_reasons = false;
+    stop_on_stable = None;
+    free_latches = (fun _ -> false);
+  }
+
+type hooks = {
+  on_unroll : Cnf.t -> int -> unit;
+  mem_init_of_model : Cnf.t -> int -> (string * (int * int) list) list;
+}
+
+let no_hooks = { on_unroll = (fun _ _ -> ()); mem_init_of_model = (fun _ _ -> []) }
+
+(* Mutable run state threaded through one [check] call. *)
+type run = {
+  cfg : config;
+  hks : hooks;
+  net : Netlist.t;
+  solver : Solver.t;
+  unr : Cnf.t;
+  prop : Netlist.signal;
+  prop_name : string;
+  act_lfp : Lit.t;
+  act_cp : Lit.t;
+  state_latches : Netlist.signal list;
+  reasons : (Netlist.signal, unit) Hashtbl.t;
+  mem_reasons : (int, unit) Hashtbl.t;
+  mutable reasons_last_changed : int;
+  mutable solve_time : float;
+}
+
+let timed_solve run assumptions =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> run.solve_time <- run.solve_time +. Unix.gettimeofday () -. t0)
+    (fun () -> Solver.solve ~assumptions run.solver)
+
+(* Loop-free-path constraints: for the new frame [i], require state [i] to
+   differ from every earlier state, guarded by [act_lfp]. *)
+let add_lfp_pairs run i =
+  let unr = run.unr in
+  List.iter
+    (fun j ->
+      let diffs =
+        List.map
+          (fun l ->
+            let x = Cnf.lit unr ~frame:j l in
+            let y = Cnf.lit unr ~frame:i l in
+            let q = Cnf.fresh_lit unr in
+            (* q -> (x <> y) *)
+            Cnf.add_clause unr [ Lit.negate q; x; y ];
+            Cnf.add_clause unr [ Lit.negate q; Lit.negate x; Lit.negate y ];
+            q)
+          run.state_latches
+      in
+      Cnf.add_clause unr (Lit.negate run.act_lfp :: diffs))
+    (List.init i Fun.id)
+
+let collect_reasons_from_core run =
+  List.iter
+    (fun tag ->
+      match Cnf.meaning_of run.unr tag with
+      | Some (Cnf.Tag.Latch l) ->
+        if not (Hashtbl.mem run.reasons l) then Hashtbl.replace run.reasons l ()
+      | Some (Cnf.Tag.Memory id) ->
+        if not (Hashtbl.mem run.mem_reasons id) then Hashtbl.replace run.mem_reasons id ()
+      | Some (Cnf.Tag.Misc _) | None -> ())
+    (Solver.unsat_core_tags run.solver)
+
+let extract_trace run depth =
+  let unr = run.unr in
+  let solver = run.solver in
+  let inputs =
+    Array.init (depth + 1) (fun frame ->
+        List.filter_map
+          (fun s ->
+            match Netlist.node run.net (Netlist.node_of s) with
+            | Netlist.Input name ->
+              Some (name, Solver.value solver (Cnf.lit unr ~frame s))
+            | Netlist.Const_false | Netlist.Latch _ | Netlist.And _
+            | Netlist.Mem_out _ -> None)
+          (Netlist.inputs run.net))
+  in
+  let latch0 =
+    List.filter_map
+      (fun l ->
+        match Netlist.latch_init run.net l with
+        | None ->
+          Some
+            ( Netlist.latch_name run.net l,
+              Solver.value solver (Cnf.lit unr ~frame:0 l) )
+        | Some _ -> None)
+      (Netlist.latches run.net)
+  in
+  let mem_init = run.hks.mem_init_of_model unr depth in
+  { Trace.property = run.prop_name; depth; inputs; latch0; mem_init }
+
+exception Done of verdict
+
+let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
+  let solver = Solver.create () in
+  Solver.set_deadline solver config.deadline;
+  let unr = Cnf.create ~free_latches:config.free_latches solver net in
+  let run =
+    {
+      cfg = config;
+      hks = hooks;
+      net;
+      solver;
+      unr;
+      prop = Netlist.find_property net property;
+      prop_name = property;
+      act_lfp = Cnf.fresh_lit unr;
+      act_cp = Cnf.fresh_lit unr;
+      state_latches =
+        List.filter (fun l -> not (config.free_latches l)) (Netlist.latches net);
+      reasons = Hashtbl.create 64;
+      mem_reasons = Hashtbl.create 4;
+      reasons_last_changed = 0;
+      solve_time = 0.0;
+    }
+  in
+  let act_init = Cnf.act_init unr in
+  let deadline_passed () =
+    match config.deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let completed = ref (-1) in
+  let verdict =
+    try
+      for i = 0 to config.max_depth do
+        if deadline_passed () then raise (Done (Timed_out !completed));
+        hooks.on_unroll unr i;
+        let p_i = Cnf.lit unr ~frame:i run.prop in
+        (* Loop-free-path constraints only serve the termination checks. *)
+        if config.proof_checks then add_lfp_pairs run i;
+        if config.proof_checks then begin
+          (* Forward termination: no loop-free path of length i from I. *)
+          if timed_solve run [ act_init; run.act_lfp ] = Solver.Unsat then
+            raise (Done (Proof { depth = i; kind = Forward_diameter }));
+          (* Backward termination: property inductive at depth i. *)
+          if timed_solve run [ run.act_lfp; run.act_cp; Lit.negate p_i ] = Solver.Unsat
+          then raise (Done (Proof { depth = i; kind = Backward_induction }))
+        end;
+        (* Falsification: counterexample of length exactly i. *)
+        (match timed_solve run [ act_init; Lit.negate p_i ] with
+        | Solver.Sat -> raise (Done (Counterexample (extract_trace run i)))
+        | Solver.Unsat ->
+          if config.collect_reasons then begin
+            let before = Hashtbl.length run.reasons + Hashtbl.length run.mem_reasons in
+            collect_reasons_from_core run;
+            if Hashtbl.length run.reasons + Hashtbl.length run.mem_reasons <> before
+            then run.reasons_last_changed <- i
+          end);
+        completed := i;
+        (* CP_{i+1} = CP_i /\ P_i *)
+        Cnf.add_clause unr [ Lit.negate run.act_cp; p_i ];
+        match config.stop_on_stable with
+        | Some s when config.collect_reasons && i - run.reasons_last_changed >= s ->
+          raise (Done (Reasons_stable i))
+        | Some _ | None -> ()
+      done;
+      Bounded_safe config.max_depth
+    with
+    | Done v -> v
+    | Solver.Timeout -> Timed_out !completed
+  in
+  let gc = Gc.quick_stat () in
+  let stats =
+    {
+      depths_completed = !completed + 1;
+      solve_time = run.solve_time;
+      num_vars = Solver.num_vars solver;
+      num_clauses = Solver.num_clauses solver;
+      num_conflicts = Solver.num_conflicts solver;
+      peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
+      latch_reasons = Hashtbl.fold (fun l () acc -> l :: acc) run.reasons [];
+      memory_reasons =
+        List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
+      reasons_last_changed = run.reasons_last_changed;
+    }
+  in
+  { verdict; stats }
+
+(* Multi-property mode: one incremental run over the shared unrolling.  Each
+   property carries its own CP activation literal and is retired as soon as a
+   counterexample or a proof lands. *)
+type prop_state = {
+  ps_name : string;
+  ps_signal : Netlist.signal;
+  ps_act_cp : Lit.t;
+  mutable ps_verdict : verdict option;
+}
+
+let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
+  let solver = Solver.create () in
+  Solver.set_deadline solver config.deadline;
+  let unr = Cnf.create ~free_latches:config.free_latches solver net in
+  let run =
+    {
+      cfg = config;
+      hks = hooks;
+      net;
+      solver;
+      unr;
+      prop = Netlist.true_;
+      prop_name = "";
+      act_lfp = Cnf.fresh_lit unr;
+      act_cp = Cnf.fresh_lit unr;
+      state_latches =
+        List.filter (fun l -> not (config.free_latches l)) (Netlist.latches net);
+      reasons = Hashtbl.create 64;
+      mem_reasons = Hashtbl.create 4;
+      reasons_last_changed = 0;
+      solve_time = 0.0;
+    }
+  in
+  let act_init = Cnf.act_init unr in
+  let props =
+    List.map
+      (fun name ->
+        {
+          ps_name = name;
+          ps_signal = Netlist.find_property net name;
+          ps_act_cp = Cnf.fresh_lit unr;
+          ps_verdict = None;
+        })
+      properties
+  in
+  let undecided () = List.filter (fun p -> p.ps_verdict = None) props in
+  let deadline_passed () =
+    match config.deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  let completed = ref (-1) in
+  (try
+     let i = ref 0 in
+     while !i <= config.max_depth && undecided () <> [] do
+       if deadline_passed () then raise Exit;
+       hooks.on_unroll unr !i;
+       if config.proof_checks then add_lfp_pairs run !i;
+       let pending = undecided () in
+       if config.proof_checks then begin
+         (* Forward diameter: settles every remaining property at once. *)
+         if timed_solve run [ act_init; run.act_lfp ] = Solver.Unsat then begin
+           List.iter
+             (fun p ->
+               p.ps_verdict <- Some (Proof { depth = !i; kind = Forward_diameter }))
+             pending;
+           raise Exit
+         end;
+         List.iter
+           (fun p ->
+             let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
+             if
+               timed_solve run [ run.act_lfp; p.ps_act_cp; Lit.negate p_i ]
+               = Solver.Unsat
+             then
+               p.ps_verdict <- Some (Proof { depth = !i; kind = Backward_induction }))
+           pending
+       end;
+       List.iter
+         (fun p ->
+           if p.ps_verdict = None then begin
+             let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
+             match timed_solve run [ act_init; Lit.negate p_i ] with
+             | Solver.Sat ->
+               let run_p = { run with prop = p.ps_signal; prop_name = p.ps_name } in
+               p.ps_verdict <- Some (Counterexample (extract_trace run_p !i))
+             | Solver.Unsat ->
+               if config.collect_reasons then collect_reasons_from_core run
+           end)
+         pending;
+       (* CP updates for the survivors. *)
+       List.iter
+         (fun p ->
+           if p.ps_verdict = None then
+             let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
+             Cnf.add_clause unr [ Lit.negate p.ps_act_cp; p_i ])
+         pending;
+       completed := !i;
+       incr i
+     done
+   with Exit | Solver.Timeout -> ());
+  let gc = Gc.quick_stat () in
+  let stats =
+    {
+      depths_completed = !completed + 1;
+      solve_time = run.solve_time;
+      num_vars = Solver.num_vars solver;
+      num_clauses = Solver.num_clauses solver;
+      num_conflicts = Solver.num_conflicts solver;
+      peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
+      latch_reasons = Hashtbl.fold (fun l () acc -> l :: acc) run.reasons [];
+      memory_reasons =
+        List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
+      reasons_last_changed = run.reasons_last_changed;
+    }
+  in
+  let results =
+    List.map
+      (fun p ->
+        let verdict =
+          match p.ps_verdict with
+          | Some v -> v
+          | None ->
+            if deadline_passed () then Timed_out !completed
+            else Bounded_safe config.max_depth
+        in
+        (p.ps_name, { verdict; stats }))
+      props
+  in
+  (results, stats)
+
+let pp_verdict ppf = function
+  | Proof { depth; kind = Forward_diameter } ->
+    Format.fprintf ppf "proof (forward diameter %d)" depth
+  | Proof { depth; kind = Backward_induction } ->
+    Format.fprintf ppf "proof (induction at depth %d)" depth
+  | Counterexample t -> Format.fprintf ppf "counterexample at depth %d" t.Trace.depth
+  | Bounded_safe n -> Format.fprintf ppf "no counterexample up to depth %d" n
+  | Reasons_stable n -> Format.fprintf ppf "latch reasons stable at depth %d" n
+  | Timed_out n -> Format.fprintf ppf "timeout after depth %d" n

@@ -1,0 +1,90 @@
+(** SAT-based bounded model checking with induction proofs and proof
+    analysis — the BMC-1 algorithm of the paper (Fig. 1), parameterisable
+    into BMC-2 and BMC-3 (Figs. 2–3) through {!hooks} and {!config}.
+
+    At every depth [i] the engine can run three queries against one
+    incremental solver, selected by assumption literals:
+
+    - forward termination: [I /\ LFP_i] — unsatisfiable when the forward
+      proof diameter is exceeded, proving the property;
+    - backward termination (induction step): [LFP_i /\ CP_i /\ ~P_i] —
+      unsatisfiable when the property is inductive at depth [i];
+    - falsification: [I /\ ~P_i] — satisfiable exactly when a counterexample
+      of length [i] exists.
+
+    [LFP_i] are loop-free-path (state distinctness) constraints over the
+    non-abstracted latches; [CP_i] asserts the property at all earlier
+    depths.  After each unsatisfiable falsification query the engine can
+    retrace the refutation and accumulate {e latch reasons} — the proof-based
+    abstraction of Fig. 1 lines 10–11. *)
+
+type proof_kind = Forward_diameter | Backward_induction
+
+type verdict =
+  | Proof of { depth : int; kind : proof_kind }
+  | Counterexample of Trace.t
+  | Bounded_safe of int  (** no counterexample up to the bound *)
+  | Reasons_stable of int
+      (** latch reasons unchanged for [stop_on_stable] depths (PBA) *)
+  | Timed_out of int  (** deepest fully analysed depth *)
+
+type stats = {
+  depths_completed : int;
+  solve_time : float;  (** seconds spent inside the SAT solver *)
+  num_vars : int;
+  num_clauses : int;
+  num_conflicts : int;
+  peak_memory_mb : float;
+  latch_reasons : Netlist.signal list;
+      (** union of latch reasons over all analysed depths *)
+  memory_reasons : int list;
+      (** ids of memories whose EMM constraints appeared in some refutation *)
+  reasons_last_changed : int;  (** depth at which either reason set last grew *)
+}
+
+type result = { verdict : verdict; stats : stats }
+
+type config = {
+  max_depth : int;
+  deadline : float option;  (** wall-clock limit, [Unix.gettimeofday] scale *)
+  proof_checks : bool;  (** false = falsification only (BMC-2 style) *)
+  collect_reasons : bool;  (** PBA bookkeeping from UNSAT cores *)
+  stop_on_stable : int option;
+      (** stop once latch reasons are unchanged for this many depths *)
+  free_latches : Netlist.signal -> bool;
+      (** abstracted latches become pseudo-primary inputs *)
+}
+
+val default_config : config
+(** [max_depth = 100], no deadline, proof checks on, no PBA collection. *)
+
+type hooks = {
+  on_unroll : Cnf.t -> int -> unit;
+      (** called once per depth before any query at that depth; the EMM
+          layer injects its memory-modeling constraints here *)
+  mem_init_of_model : Cnf.t -> int -> (string * (int * int) list) list;
+      (** called on a satisfiable falsification at the given depth to
+          recover initial memory contents for the trace *)
+}
+
+val no_hooks : hooks
+
+val check : ?config:config -> ?hooks:hooks -> Netlist.t -> property:string -> result
+
+val check_all :
+  ?config:config ->
+  ?hooks:hooks ->
+  Netlist.t ->
+  properties:string list ->
+  (string * result) list * stats
+(** Check many properties in a single incremental run, sharing the unrolled
+    transition relation, the EMM constraints and all learnt clauses — the way
+    the paper's platform processes the 216 reachability properties of its
+    first industry case study.  Per depth, every still-undecided property
+    gets its own falsification query; the (property-independent)
+    forward-diameter check, when it fires, settles every survivor at once,
+    and per-property backward-induction checks run against per-property
+    assumption literals.  Returns the per-property results plus the shared
+    run statistics.  [stop_on_stable] is ignored in this mode. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

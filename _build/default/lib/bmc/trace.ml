@@ -1,0 +1,55 @@
+type t = {
+  property : string;
+  depth : int;
+  inputs : (string * bool) list array;
+  latch0 : (string * bool) list;
+  mem_init : (string * (int * int) list) list;
+}
+
+let property_values net trace =
+  let prop = Netlist.find_property net trace.property in
+  let latch_values l =
+    match List.assoc_opt (Netlist.latch_name net l) trace.latch0 with
+    | Some v -> v
+    | None -> false
+  in
+  let mem_values m a =
+    match List.assoc_opt (Netlist.memory_name m) trace.mem_init with
+    | Some words -> ( match List.assoc_opt a words with Some w -> w | None -> 0)
+    | None -> 0
+  in
+  let sim = Simulator.create ~latch_values ~mem_values net in
+  Array.init (trace.depth + 1) (fun frame ->
+      let frame_inputs =
+        if frame < Array.length trace.inputs then trace.inputs.(frame) else []
+      in
+      let inputs name =
+        match List.assoc_opt name frame_inputs with Some v -> v | None -> false
+      in
+      Simulator.step sim ~inputs;
+      Simulator.value sim prop)
+
+let replay net trace =
+  let values = property_values net trace in
+  not values.(trace.depth)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>counterexample for %S at depth %d@," t.property t.depth;
+  if t.latch0 <> [] then begin
+    Format.fprintf ppf "initial latches:";
+    List.iter (fun (n, v) -> Format.fprintf ppf " %s=%b" n v) t.latch0;
+    Format.fprintf ppf "@,"
+  end;
+  List.iter
+    (fun (m, words) ->
+      Format.fprintf ppf "initial %s:" m;
+      List.iter (fun (a, w) -> Format.fprintf ppf " [%d]=%d" a w) words;
+      Format.fprintf ppf "@,")
+    t.mem_init;
+  Array.iteri
+    (fun frame assignments ->
+      Format.fprintf ppf "frame %d:" frame;
+      List.iter (fun (n, v) -> if v then Format.fprintf ppf " %s" n) assignments;
+      Format.fprintf ppf "@,")
+    t.inputs;
+  Format.fprintf ppf "@]"

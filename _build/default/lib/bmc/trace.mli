@@ -1,0 +1,28 @@
+(** Counterexample traces and their replay.
+
+    A trace records everything needed to reproduce a property violation on
+    the {!Simulator}: the primary-input stimulus per frame, the values of
+    arbitrary-initial-value latches, and — for EMM counterexamples over
+    memories with arbitrary initial contents — the initial memory words the
+    solver chose.  Replaying a trace on the original netlist confirms the
+    counterexample is a real design behaviour (and exposes spurious ones
+    produced by over-abstraction, as in the paper's Industry-II study). *)
+
+type t = {
+  property : string;
+  depth : int;  (** frame at which the property fails *)
+  inputs : (string * bool) list array;  (** index = frame *)
+  latch0 : (string * bool) list;  (** arbitrary-init latches only *)
+  mem_init : (string * (int * int) list) list;
+      (** memory name -> (address, word) initial contents constraints *)
+}
+
+val replay : Netlist.t -> t -> bool
+(** [replay net trace] simulates the stimulus and returns [true] iff the
+    named property evaluates to false at frame [depth] — i.e. the trace is a
+    genuine counterexample of [net]. *)
+
+val property_values : Netlist.t -> t -> bool array
+(** Value of the property signal at each frame [0 .. depth] during replay. *)
+
+val pp : Format.formatter -> t -> unit

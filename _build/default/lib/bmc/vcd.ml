@@ -1,0 +1,84 @@
+(* Identifier codes: VCD allows any printable ASCII; generate short unique
+   codes from an integer counter. *)
+let code_of_int n =
+  let base = 94 and first = 33 in
+  let rec go n acc =
+    let acc = String.make 1 (Char.chr (first + (n mod base))) ^ acc in
+    if n < base then acc else go ((n / base) - 1) acc
+  in
+  go n ""
+
+type watched = { w_name : string; w_code : string; w_signal : Netlist.signal }
+
+let sanitize name =
+  String.map (fun c -> if c = ' ' || c = '$' then '_' else c) name
+
+let write net trace out =
+  let watched = ref [] in
+  let counter = ref 0 in
+  let add name signal =
+    let w = { w_name = sanitize name; w_code = code_of_int !counter; w_signal = signal } in
+    incr counter;
+    watched := w :: !watched
+  in
+  List.iter
+    (fun s ->
+      match Netlist.node net (Netlist.node_of s) with
+      | Netlist.Input name -> add name s
+      | Netlist.Const_false | Netlist.Latch _ | Netlist.And _ | Netlist.Mem_out _ -> ())
+    (Netlist.inputs net);
+  List.iter (fun l -> add (Netlist.latch_name net l) l) (Netlist.latches net);
+  List.iter (fun (name, s) -> add ("out." ^ name) s) (Netlist.outputs net);
+  List.iter (fun (name, s) -> add ("prop." ^ name) s) (Netlist.properties net);
+  let watched = List.rev !watched in
+  Printf.fprintf out "$date reproduced counterexample $end\n";
+  Printf.fprintf out "$version emmver $end\n";
+  Printf.fprintf out "$timescale 1ns $end\n";
+  Printf.fprintf out "$scope module %s $end\n" (sanitize trace.Trace.property);
+  List.iter
+    (fun w -> Printf.fprintf out "$var wire 1 %s %s $end\n" w.w_code w.w_name)
+    watched;
+  Printf.fprintf out "$upscope $end\n$enddefinitions $end\n";
+  (* Replay, dumping values after each evaluated cycle. *)
+  let latch_values l =
+    match List.assoc_opt (Netlist.latch_name net l) trace.Trace.latch0 with
+    | Some v -> v
+    | None -> false
+  in
+  let mem_values m a =
+    match List.assoc_opt (Netlist.memory_name m) trace.Trace.mem_init with
+    | Some words -> ( match List.assoc_opt a words with Some w -> w | None -> 0)
+    | None -> 0
+  in
+  let sim = Simulator.create ~latch_values ~mem_values net in
+  let previous = Hashtbl.create 64 in
+  for frame = 0 to trace.Trace.depth do
+    let frame_inputs =
+      if frame < Array.length trace.Trace.inputs then trace.Trace.inputs.(frame) else []
+    in
+    let inputs name =
+      match List.assoc_opt name frame_inputs with Some v -> v | None -> false
+    in
+    Simulator.step sim ~inputs;
+    Printf.fprintf out "#%d\n" (frame * 10);
+    if frame = 0 then Printf.fprintf out "$dumpvars\n";
+    List.iter
+      (fun w ->
+        let v = Simulator.value sim w.w_signal in
+        let changed =
+          match Hashtbl.find_opt previous w.w_code with
+          | Some old -> old <> v
+          | None -> true
+        in
+        if changed then begin
+          Hashtbl.replace previous w.w_code v;
+          Printf.fprintf out "%d%s\n" (Bool.to_int v) w.w_code
+        end)
+      watched;
+    if frame = 0 then Printf.fprintf out "$end\n"
+  done;
+  Printf.fprintf out "#%d\n" ((trace.Trace.depth + 1) * 10)
+
+let write_file net trace path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> write net trace out)

@@ -1,0 +1,12 @@
+(** Value-change-dump export of counterexample traces.
+
+    Replays a trace on the cycle-accurate simulator and emits a VCD file
+    with every primary input, latch, output and property of the design, so
+    counterexamples can be inspected in any waveform viewer (GTKWave
+    etc.). *)
+
+val write : Netlist.t -> Trace.t -> out_channel -> unit
+(** Raises the usual [Invalid_argument]/[Not_found] of trace replay if the
+    trace does not belong to the netlist. *)
+
+val write_file : Netlist.t -> Trace.t -> string -> unit

@@ -1,0 +1,142 @@
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+
+module Tag = struct
+  type meaning =
+    | Latch of Netlist.signal
+    | Memory of int
+    | Misc of string
+end
+
+type t = {
+  solver : Solver.t;
+  net : Netlist.t;
+  free_latches : Netlist.signal -> bool;
+  frames : (int, (int, int) Hashtbl.t) Hashtbl.t; (* frame -> node id -> var *)
+  tags : (Tag.meaning, int) Hashtbl.t;
+  meanings : (int, Tag.meaning) Hashtbl.t;
+  mutable next_tag : int;
+  mutable act_init : Lit.t option;
+  mutable false_lit : Lit.t option;
+  mutable clauses_added : int;
+  mutable aux_vars : int;
+}
+
+let create ?(free_latches = fun _ -> false) solver net =
+  {
+    solver;
+    net;
+    free_latches;
+    frames = Hashtbl.create 64;
+    tags = Hashtbl.create 64;
+    meanings = Hashtbl.create 64;
+    next_tag = 0;
+    act_init = None;
+    false_lit = None;
+    clauses_added = 0;
+    aux_vars = 0;
+  }
+
+let solver t = t.solver
+let net t = t.net
+
+let add_clause ?tag t lits =
+  t.clauses_added <- t.clauses_added + 1;
+  Solver.add_clause ?tag t.solver lits
+
+let fresh_lit t =
+  t.aux_vars <- t.aux_vars + 1;
+  Lit.pos (Solver.new_var t.solver)
+
+let tag_for t meaning =
+  match Hashtbl.find_opt t.tags meaning with
+  | Some tag -> tag
+  | None ->
+    let tag = t.next_tag in
+    t.next_tag <- tag + 1;
+    Hashtbl.replace t.tags meaning tag;
+    Hashtbl.replace t.meanings tag meaning;
+    tag
+
+let meaning_of t tag = Hashtbl.find_opt t.meanings tag
+
+let act_init t =
+  match t.act_init with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Solver.new_var t.solver) in
+    t.act_init <- Some l;
+    l
+
+let false_lit t =
+  match t.false_lit with
+  | Some l -> l
+  | None ->
+    let l = Lit.pos (Solver.new_var t.solver) in
+    add_clause t [ Lit.negate l ];
+    t.false_lit <- Some l;
+    l
+
+let frame_table t frame =
+  match Hashtbl.find_opt t.frames frame with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 256 in
+    Hashtbl.replace t.frames frame tbl;
+    tbl
+
+let is_free_latch t l = t.free_latches l
+
+(* Literal of a node (positive phase) at a frame, elaborating on demand. *)
+let rec node_lit t frame id =
+  let tbl = frame_table t frame in
+  match Hashtbl.find_opt tbl id with
+  | Some v -> Lit.pos v
+  | None ->
+    let v = Solver.new_var t.solver in
+    (* Register before elaborating the definition: latch links reach back to
+       earlier frames only, so no cycle goes through (frame, id) itself, but
+       early registration keeps the recursion linear. *)
+    Hashtbl.replace tbl id v;
+    let lv = Lit.pos v in
+    (match Netlist.node t.net id with
+    | Netlist.Const_false -> add_clause t [ Lit.negate lv ]
+    | Netlist.Input _ | Netlist.Mem_out _ -> ()
+    | Netlist.And (a, b) ->
+      let la = signal_lit t frame a in
+      let lb = signal_lit t frame b in
+      add_clause t [ Lit.negate lv; la ];
+      add_clause t [ Lit.negate lv; lb ];
+      add_clause t [ lv; Lit.negate la; Lit.negate lb ]
+    | Netlist.Latch { init; next; _ } ->
+      let lsig = Netlist.signal_of_node id false in
+      if not (t.free_latches lsig) then begin
+        let tag = tag_for t (Tag.Latch lsig) in
+        if frame = 0 then begin
+          match init with
+          | Some b ->
+            let a = act_init t in
+            add_clause ~tag t [ Lit.negate a; (if b then lv else Lit.negate lv) ]
+          | None -> ()
+        end
+        else begin
+          match next with
+          | Some n ->
+            let ln = signal_lit t (frame - 1) n in
+            add_clause ~tag t [ Lit.negate lv; ln ];
+            add_clause ~tag t [ lv; Lit.negate ln ]
+          | None -> invalid_arg "Cnf: latch with unset next-state"
+        end
+      end);
+    lv
+
+and signal_lit t frame s =
+  let l = node_lit t frame (Netlist.node_of s) in
+  if Netlist.is_complement s then Lit.negate l else l
+
+let lit t ~frame s =
+  if frame < 0 then invalid_arg "Cnf.lit: negative frame";
+  signal_lit t frame s
+
+let clauses_added t = t.clauses_added
+let aux_vars t = t.aux_vars

@@ -1,0 +1,59 @@
+(** Time-frame expansion of a netlist into CNF.
+
+    Implements the [Unroll] step of the BMC algorithms (Figs. 1–3 of the
+    paper): every netlist signal gets a solver literal per time frame,
+    created on demand.  AND gates receive standard Tseitin clauses; latches
+    at frame [k > 0] get fresh variables linked to the previous frame's
+    next-state literal by equivalence clauses {e tagged with the latch}, so
+    that UNSAT cores translate into latch reasons ([Get_Latch_Reasons],
+    Fig. 1 line 11).  Latch initial values are guarded by a dedicated
+    activation literal {!act_init} so the same incremental solver serves
+    initialised (forward) and uninitialised (backward-induction) queries.
+
+    Memory read-data outputs ([Mem_out] nodes) become free variables per
+    frame — the EMM layer constrains them; the explicit baseline never
+    produces such nodes. *)
+
+module Tag : sig
+  (** What a clause tag refers to, for core-to-model mapping. *)
+  type meaning =
+    | Latch of Netlist.signal  (** transition-link / init clauses of a latch *)
+    | Memory of int  (** EMM constraint clauses of a memory module *)
+    | Misc of string
+end
+
+type t
+
+val create :
+  ?free_latches:(Netlist.signal -> bool) -> Satsolver.Solver.t -> Netlist.t -> t
+(** [free_latches] marks latches abstracted into pseudo-primary inputs (PBA
+    abstraction): they get fresh unconstrained variables in every frame. *)
+
+val solver : t -> Satsolver.Solver.t
+val net : t -> Netlist.t
+
+val lit : t -> frame:int -> Netlist.signal -> Satsolver.Lit.t
+(** The solver literal of a signal at a time frame ([frame >= 0]),
+    elaborating the required cone on first use. *)
+
+val fresh_lit : t -> Satsolver.Lit.t
+(** A fresh positive literal, for auxiliary constraint variables. *)
+
+val add_clause : ?tag:int -> t -> Satsolver.Lit.t list -> unit
+
+val tag_for : t -> Tag.meaning -> int
+(** Intern a tag.  The same meaning always yields the same tag. *)
+
+val meaning_of : t -> int -> Tag.meaning option
+
+val act_init : t -> Satsolver.Lit.t
+(** Assumption literal activating the initial-state constraints (latch reset
+    values; the EMM layer also guards reset memory contents with it). *)
+
+val false_lit : t -> Satsolver.Lit.t
+(** A literal constrained to false (the constant node). *)
+
+val is_free_latch : t -> Netlist.signal -> bool
+val clauses_added : t -> int
+val aux_vars : t -> int
+(** Variables created by {!fresh_lit} (EMM bookkeeping: constraint size). *)

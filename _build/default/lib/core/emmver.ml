@@ -1,0 +1,207 @@
+type method_ =
+  | Emm_bmc
+  | Emm_falsify
+  | Emm_pba
+  | Explicit_bmc
+  | Explicit_pba
+  | Abstract_bmc
+  | Bdd_reach
+
+let all_methods =
+  [ Emm_bmc; Emm_falsify; Emm_pba; Explicit_bmc; Explicit_pba; Abstract_bmc; Bdd_reach ]
+
+let method_to_string = function
+  | Emm_bmc -> "emm"
+  | Emm_falsify -> "emm-falsify"
+  | Emm_pba -> "emm-pba"
+  | Explicit_bmc -> "explicit"
+  | Explicit_pba -> "explicit-pba"
+  | Abstract_bmc -> "abstract"
+  | Bdd_reach -> "bdd"
+
+let method_of_string s =
+  match List.find_opt (fun m -> method_to_string m = s) all_methods with
+  | Some m -> Ok m
+  | None ->
+    Error
+      (Printf.sprintf "unknown method %S (expected one of: %s)" s
+         (String.concat ", " (List.map method_to_string all_methods)))
+
+type options = {
+  max_depth : int;
+  timeout_s : float option;
+  stability : int;
+  max_bdd_nodes : int;
+}
+
+let default_options =
+  { max_depth = 100; timeout_s = None; stability = 10; max_bdd_nodes = 2_000_000 }
+
+type conclusion =
+  | Proved of { depth : int; induction : bool }
+  | Falsified of { depth : int; trace : Bmc.Trace.t option; genuine : bool option }
+  | Inconclusive of string
+
+type outcome = {
+  conclusion : conclusion;
+  time_s : float;
+  solve_time_s : float;
+  memory_mb : float;
+  model_latches : int;
+  model_vars : int;
+  model_clauses : int;
+  emm_counts : Emm.counts option;
+  abstraction : Pba.abstraction option;
+}
+
+let deadline_of opts =
+  Option.map (fun s -> Unix.gettimeofday () +. s) opts.timeout_s
+
+let engine_config ?(proof_checks = true) ?free_latches opts =
+  {
+    Bmc.Engine.default_config with
+    max_depth = opts.max_depth;
+    deadline = deadline_of opts;
+    proof_checks;
+    free_latches = Option.value free_latches ~default:(fun _ -> false);
+  }
+
+(* Translate an engine result, replaying counterexamples on [replay_net]. *)
+let conclusion_of_result replay_net (result : Bmc.Engine.result) =
+  match result.Bmc.Engine.verdict with
+  | Bmc.Engine.Proof { depth; kind } ->
+    Proved { depth; induction = kind = Bmc.Engine.Backward_induction }
+  | Bmc.Engine.Counterexample t ->
+    Falsified
+      {
+        depth = t.Bmc.Trace.depth;
+        trace = Some t;
+        genuine = Some (Bmc.Trace.replay replay_net t);
+      }
+  | Bmc.Engine.Bounded_safe d ->
+    Inconclusive (Printf.sprintf "no counterexample up to depth %d" d)
+  | Bmc.Engine.Reasons_stable d ->
+    Inconclusive (Printf.sprintf "latch reasons stable at depth %d" d)
+  | Bmc.Engine.Timed_out d -> Inconclusive (Printf.sprintf "timeout after depth %d" d)
+
+let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
+    (result : Bmc.Engine.result) =
+  let stats = result.Bmc.Engine.stats in
+  {
+    conclusion = conclusion_of_result replay_net result;
+    time_s;
+    solve_time_s = stats.Bmc.Engine.solve_time;
+    memory_mb = stats.Bmc.Engine.peak_memory_mb;
+    model_latches;
+    model_vars = stats.Bmc.Engine.num_vars;
+    model_clauses = stats.Bmc.Engine.num_clauses;
+    emm_counts;
+    abstraction;
+  }
+
+let num_latches net = List.length (Netlist.latches net)
+
+let rec verify ?(options = default_options) ~method_ net ~property =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  match method_ with
+  | Emm_bmc ->
+    let result, counts = Emm.check ~config:(engine_config options) net ~property in
+    outcome_of_result ~emm_counts:counts ~model_latches:(num_latches net)
+      ~time_s:(elapsed ()) net result
+  | Emm_falsify ->
+    let result, counts =
+      Emm.check ~config:(engine_config ~proof_checks:false options) net ~property
+    in
+    outcome_of_result ~emm_counts:counts ~model_latches:(num_latches net)
+      ~time_s:(elapsed ()) net result
+  | Explicit_bmc ->
+    let expanded = Explicitmem.expand net in
+    let result = Bmc.Engine.check ~config:(engine_config options) expanded ~property in
+    outcome_of_result ~model_latches:(num_latches expanded) ~time_s:(elapsed ())
+      expanded result
+  | Abstract_bmc ->
+    (* Memory read data left entirely unconstrained: cheap, but
+       counterexamples may be spurious (checked by replay). *)
+    let result = Bmc.Engine.check ~config:(engine_config options) net ~property in
+    outcome_of_result ~model_latches:(num_latches net) ~time_s:(elapsed ()) net result
+  | Emm_pba -> verify_pba ~options ~use_emm:true net ~property ~t0
+  | Explicit_pba ->
+    let expanded = Explicitmem.expand net in
+    verify_pba ~options ~use_emm:false expanded ~property ~t0
+  | Bdd_reach ->
+    let expanded = Explicitmem.expand net in
+    let r =
+      Bddmc.check ~max_nodes:options.max_bdd_nodes ~max_steps:options.max_depth
+        expanded ~property
+    in
+    let conclusion =
+      match r.Bddmc.verdict with
+      | Bddmc.Safe steps -> Proved { depth = steps; induction = false }
+      | Bddmc.Unsafe steps -> Falsified { depth = steps; trace = None; genuine = None }
+      | Bddmc.Node_limit -> Inconclusive "BDD node limit exceeded"
+      | Bddmc.Step_limit n -> Inconclusive (Printf.sprintf "BDD step limit (%d)" n)
+    in
+    {
+      conclusion;
+      time_s = elapsed ();
+      solve_time_s = r.Bddmc.time;
+      memory_mb = float_of_int (r.Bddmc.peak_nodes * 40) /. 1e6;
+      model_latches = num_latches expanded;
+      model_vars = 2 * num_latches expanded;
+      model_clauses = 0;
+      emm_counts = None;
+      abstraction = None;
+    }
+
+and verify_pba ~options ~use_emm net ~property ~t0 =
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  match
+    Pba.discover ~max_depth:options.max_depth ~stability:options.stability
+      ?deadline:(deadline_of options) ~use_emm net ~property
+  with
+  | Either.Right verdict ->
+    (* Discovery itself concluded. *)
+    let result =
+      { Bmc.Engine.verdict;
+        stats =
+          {
+            Bmc.Engine.depths_completed = 0;
+            solve_time = 0.0;
+            num_vars = 0;
+            num_clauses = 0;
+            num_conflicts = 0;
+            peak_memory_mb = 0.0;
+            latch_reasons = [];
+            memory_reasons = [];
+            reasons_last_changed = 0;
+          };
+      }
+    in
+    outcome_of_result ~model_latches:(num_latches net) ~time_s:(elapsed ()) net result
+  | Either.Left abstraction ->
+    let result, counts =
+      Pba.check_with_abstraction ~config:(engine_config options) net abstraction
+        ~property
+    in
+    outcome_of_result ~emm_counts:counts ~abstraction
+      ~model_latches:(List.length abstraction.Pba.kept_latches)
+      ~time_s:(elapsed ()) net result
+
+let pp_conclusion ppf = function
+  | Proved { depth; induction } ->
+    Format.fprintf ppf "proved (%s at depth %d)"
+      (if induction then "induction" else "diameter/fixpoint")
+      depth
+  | Falsified { depth; genuine; _ } ->
+    Format.fprintf ppf "falsified at depth %d%s" depth
+      (match genuine with
+      | Some true -> " (genuine counterexample)"
+      | Some false -> " (SPURIOUS counterexample)"
+      | None -> "")
+  | Inconclusive msg -> Format.fprintf ppf "inconclusive: %s" msg
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "@[<v>%a@,time %.2fs (solver %.2fs), %.1f MB, model: %d latches, %d vars, %d clauses@]"
+    pp_conclusion o.conclusion o.time_s o.solve_time_s o.memory_mb o.model_latches
+    o.model_vars o.model_clauses

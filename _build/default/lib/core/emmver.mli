@@ -1,0 +1,70 @@
+(** The verification platform façade.
+
+    One entry point over every engine combination the paper evaluates:
+
+    - {!Emm_bmc} — BMC-3: EMM constraints, induction proofs, precise
+      arbitrary initial memory state (the paper's contribution);
+    - {!Emm_falsify} — BMC-2: EMM constraints, counterexample search only;
+    - {!Emm_pba} — BMC-3 + proof-based abstraction: discover the stable
+      latch-reason set, abstract irrelevant latches and memories, then prove
+      on the reduced model (§4.3, Table 2);
+    - {!Explicit_bmc} — BMC-1 on the explicitly expanded memory model (the
+      baseline in every comparison table);
+    - {!Explicit_pba} — PBA discovery and reduced-model proof over the
+      explicit model;
+    - {!Abstract_bmc} — memory abstracted away completely (free read data);
+      sound only for proofs, produces spurious counterexamples;
+    - {!Bdd_reach} — BDD-based forward reachability on the expanded model.
+
+    Every run returns a uniform {!outcome} carrying the verdict, wall-clock
+    time, model statistics, and — when EMM was involved — the constraint
+    counts of §4.1. *)
+
+type method_ =
+  | Emm_bmc
+  | Emm_falsify
+  | Emm_pba
+  | Explicit_bmc
+  | Explicit_pba
+  | Abstract_bmc
+  | Bdd_reach
+
+val method_of_string : string -> (method_, string) result
+val method_to_string : method_ -> string
+val all_methods : method_ list
+
+type options = {
+  max_depth : int;
+  timeout_s : float option;  (** wall-clock budget for the whole run *)
+  stability : int;  (** PBA stability depth (paper: 10) *)
+  max_bdd_nodes : int;
+}
+
+val default_options : options
+
+type conclusion =
+  | Proved of { depth : int; induction : bool }
+  | Falsified of { depth : int; trace : Bmc.Trace.t option; genuine : bool option }
+      (** [genuine] = the trace replays on the concrete design ([None] when
+          no trace is available, e.g. from the BDD engine) *)
+  | Inconclusive of string
+
+type outcome = {
+  conclusion : conclusion;
+  time_s : float;
+  solve_time_s : float;
+  memory_mb : float;
+  model_latches : int;  (** latches of the model actually checked *)
+  model_vars : int;
+  model_clauses : int;
+  emm_counts : Emm.counts option;
+  abstraction : Pba.abstraction option;
+}
+
+val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string -> outcome
+(** Check one safety property of the design with the chosen engine.
+    Counterexample traces are replayed on the given netlist to classify them
+    as genuine or spurious. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_conclusion : Format.formatter -> conclusion -> unit

@@ -1,0 +1,1 @@
+lib/designs/bubblesort.mli: Netlist

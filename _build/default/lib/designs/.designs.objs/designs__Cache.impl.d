@@ -1,0 +1,1 @@
+lib/designs/cache.ml: Array Hdl Netlist

@@ -1,0 +1,1 @@
+lib/designs/fifo.mli: Netlist

@@ -1,0 +1,1 @@
+lib/designs/image_filter.ml: Hdl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/designs/image_filter.mli: Netlist

@@ -1,0 +1,1 @@
+lib/designs/memcpy.ml: Hdl Netlist

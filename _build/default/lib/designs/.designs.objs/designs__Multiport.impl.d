@@ -1,0 +1,1 @@
+lib/designs/multiport.ml: Array Fun Hdl List Netlist Printf

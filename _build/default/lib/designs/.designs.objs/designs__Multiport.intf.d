@@ -1,0 +1,1 @@
+lib/designs/multiport.mli: Netlist

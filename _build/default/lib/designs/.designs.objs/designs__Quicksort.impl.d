@@ -1,0 +1,1 @@
+lib/designs/quicksort.ml: Hdl Netlist

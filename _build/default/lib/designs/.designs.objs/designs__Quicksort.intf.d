@@ -1,0 +1,1 @@
+lib/designs/quicksort.mli: Netlist

@@ -1,0 +1,1 @@
+lib/designs/regfile.ml: Hdl Netlist

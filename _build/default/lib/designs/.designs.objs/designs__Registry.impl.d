@@ -1,0 +1,1 @@
+lib/designs/registry.ml: Bubblesort Cache Fifo Image_filter List Memcpy Multiport Netlist Printf Quicksort Regfile

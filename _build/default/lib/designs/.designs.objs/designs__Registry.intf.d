@@ -1,0 +1,1 @@
+lib/designs/registry.mli: Netlist

@@ -1,0 +1,85 @@
+type config = { n : int; addr_width : int; data_width : int }
+
+let bits_for n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  go 1
+
+let default_config ~n = { n; addr_width = bits_for n; data_width = 8 }
+
+let build ?(buggy = false) cfg =
+  if cfg.n < 2 then invalid_arg "Bubblesort.build: need n >= 2";
+  if cfg.n >= 1 lsl cfg.addr_width then invalid_arg "Bubblesort.build: n too large";
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width in
+  let arr = Hdl.memory ctx ~name:"arr" ~addr_width:aw ~data_width:dw ~init:Netlist.Arbitrary in
+  let fsm =
+    Hdl.Fsm.create ctx "state"
+      ~states:[ "READ_A"; "READ_B"; "WRITE_A"; "WRITE_B"; "STEP"; "CHECK0"; "CHECK1"; "HALT" ]
+  in
+  let is = Hdl.Fsm.is fsm in
+  let and_b = Netlist.and_ net in
+  (* Outer bound i runs n-1 .. 1; inner index j runs 0 .. i-1. *)
+  let idx_i = Hdl.reg ctx ~init:(Some (cfg.n - 1)) "i" ~width:aw in
+  let idx_j = Hdl.reg ctx "j" ~width:aw in
+  let va = Hdl.reg ctx "va" ~width:dw in
+  let vb = Hdl.reg ctx "vb" ~width:dw in
+  let e0 = Hdl.reg ctx "e0" ~width:dw in
+  let j_plus_1 = Hdl.incr ctx idx_j in
+
+  let raddr =
+    Hdl.pmux ctx
+      [
+        (is "READ_A", idx_j);
+        (is "READ_B", j_plus_1);
+        (is "CHECK0", Hdl.zero ~width:aw);
+        (is "CHECK1", Hdl.const ~width:aw 1);
+      ]
+      ~default:idx_j
+  in
+  let re = Hdl.reduce_or ctx [| is "READ_A"; is "READ_B"; is "CHECK0"; is "CHECK1" |] in
+  let rd = Hdl.read_port ctx arr ~addr:raddr ~enable:re in
+
+  (* Decided during READ_B, while arr[j+1] is still on the read bus. *)
+  let need_swap = if buggy then Hdl.lt ctx va rd else Hdl.gt ctx va rd in
+  let waddr = Hdl.mux2 ctx (is "WRITE_A") idx_j j_plus_1 in
+  let wdata = Hdl.mux2 ctx (is "WRITE_A") vb va in
+  let we = Netlist.or_ net (is "WRITE_A") (is "WRITE_B") in
+  Hdl.write_port ctx arr ~addr:waddr ~data:wdata ~enable:we;
+
+  Hdl.connect ctx va (Hdl.mux2 ctx (is "READ_A") rd va);
+  Hdl.connect ctx vb (Hdl.mux2 ctx (is "READ_B") rd vb);
+  Hdl.connect ctx e0 (Hdl.mux2 ctx (is "CHECK0") rd e0);
+
+  let inner_done = Hdl.eq ctx j_plus_1 idx_i in
+  let outer_done = Hdl.eq_const ctx idx_i 1 in
+  let advancing = is "STEP" in
+  Hdl.connect ctx idx_j
+    (Hdl.pmux ctx
+       [ (and_b advancing inner_done, Hdl.zero ~width:aw); (advancing, j_plus_1) ]
+       ~default:idx_j);
+  Hdl.connect ctx idx_i
+    (Hdl.mux2 ctx (and_b advancing (and_b inner_done (Netlist.not_ outer_done)))
+       (Hdl.decr ctx idx_i) idx_i);
+
+  Hdl.Fsm.finalize fsm
+    [
+      (is "READ_A", "READ_B");
+      (and_b (is "READ_B") need_swap, "WRITE_A");
+      (is "READ_B", "STEP");
+      (is "WRITE_A", "WRITE_B");
+      (is "WRITE_B", "STEP");
+      (and_b (is "STEP") (and_b inner_done outer_done), "CHECK0");
+      (is "STEP", "READ_A");
+      (is "CHECK0", "CHECK1");
+      (is "CHECK1", "HALT");
+      (is "HALT", "HALT");
+    ];
+
+  Hdl.assert_always ctx "sorted"
+    (Netlist.implies net (is "CHECK1") (Hdl.le ctx e0 rd));
+  let i_in_range = Hdl.le ctx idx_i (Hdl.const ~width:aw (cfg.n - 1)) in
+  Hdl.assert_always ctx "bounds"
+    (Netlist.implies net (is "READ_A") (and_b (Hdl.lt ctx idx_j idx_i) i_in_range));
+  Hdl.output_bit ctx "halted" (is "HALT");
+  net

@@ -1,0 +1,22 @@
+(** A bubble-sort machine — the second "software program" case study.
+
+    Like the quicksort machine it sorts the first [n] elements of an
+    embedded memory with arbitrary initial contents, but with a simple
+    doubly-nested loop and no recursion stack: one memory, one read and one
+    write port.  Useful as a contrast workload: its proof diameter grows
+    quadratically with [n] where quicksort's grows roughly linearly.
+
+    Properties:
+    - ["sorted"]: the final check reads elements 0 and 1; the first cannot
+      exceed the second;
+    - ["bounds"]: whenever the inner loop compares, [j < i <= n-1] — a pure
+      control property, independent of the array contents.
+
+    [build ~buggy:true] swaps only when {e strictly less} (inverted
+    comparison), so the array ends up reverse-sorted and ["sorted"] fails. *)
+
+type config = { n : int; addr_width : int; data_width : int }
+
+val default_config : n:int -> config
+
+val build : ?buggy:bool -> config -> Netlist.t

@@ -1,0 +1,110 @@
+type config = { tag_width : int; index_width : int; data_width : int }
+
+let default_config = { tag_width = 2; index_width = 2; data_width = 4 }
+
+let build ?(buggy = false) cfg =
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let tw = cfg.tag_width and iw = cfg.index_width and dw = cfg.data_width in
+  let aw = tw + iw in
+  let and_b = Netlist.and_ net in
+  (* CPU-side request interface. *)
+  let req_valid = Hdl.input_bit ctx "req_valid" in
+  let req_write = Hdl.input_bit ctx "req_write" in
+  let req_addr = Hdl.input ctx "req_addr" ~width:aw in
+  let req_wdata = Hdl.input ctx "req_wdata" ~width:dw in
+  let watch = Hdl.input_bit ctx "watch" in
+  (* The three embedded memories. *)
+  let tags =
+    Hdl.memory ctx ~name:"tags" ~addr_width:iw ~data_width:(tw + 1) ~init:Netlist.Zeros
+  in
+  let data = Hdl.memory ctx ~name:"data" ~addr_width:iw ~data_width:dw ~init:Netlist.Zeros in
+  let backing =
+    Hdl.memory ctx ~name:"backing" ~addr_width:aw ~data_width:dw ~init:Netlist.Arbitrary
+  in
+  let fsm =
+    Hdl.Fsm.create ctx "state"
+      ~states:[ "IDLE"; "LOOKUP"; "WRITE"; "FILL_READ"; "FILL_WRITE"; "RESPOND" ]
+  in
+  let is = Hdl.Fsm.is fsm in
+  (* Latched request. *)
+  let addr = Hdl.reg ctx "addr" ~width:aw in
+  let wdata = Hdl.reg ctx "wdata" ~width:dw in
+  let is_write = Hdl.reg_bit ctx "is_write" in
+  let accept = and_b (is "IDLE") req_valid in
+  Hdl.connect ctx addr (Hdl.mux2 ctx accept req_addr addr);
+  Hdl.connect ctx wdata (Hdl.mux2 ctx accept req_wdata wdata);
+  Hdl.connect_bit ctx is_write (Netlist.mux net accept req_write is_write);
+  let index = Hdl.select addr ~hi:(iw - 1) ~lo:0 in
+  let tag = Hdl.select addr ~hi:(aw - 1) ~lo:iw in
+
+  (* Tag store: read during LOOKUP, written on fill. *)
+  let tag_rd = Hdl.read_port ctx tags ~addr:index ~enable:(is "LOOKUP") in
+  let line_valid = Hdl.bit_of tag_rd tw in
+  let line_tag = Hdl.select tag_rd ~hi:(tw - 1) ~lo:0 in
+  let hit = and_b line_valid (Hdl.eq ctx line_tag tag) in
+  let hit_reg = Hdl.reg_bit ctx "hit" in
+  Hdl.connect_bit ctx hit_reg (Netlist.mux net (is "LOOKUP") hit hit_reg);
+  Hdl.write_port ctx tags ~addr:index
+    ~data:(Hdl.concat tag (Array.make 1 Netlist.true_))
+    ~enable:(is "FILL_WRITE");
+
+  (* Data store: read during LOOKUP; written on fill and (unless the planted
+     bug is enabled) on write hits. *)
+  let data_rd = Hdl.read_port ctx data ~addr:index ~enable:(is "LOOKUP") in
+  let fill_reg = Hdl.reg ctx "fill" ~width:dw in
+  let write_hit = and_b (is "WRITE") hit_reg in
+  let data_we =
+    if buggy then is "FILL_WRITE" else Netlist.or_ net (is "FILL_WRITE") write_hit
+  in
+  Hdl.write_port ctx data ~addr:index
+    ~data:(Hdl.mux2 ctx (is "FILL_WRITE") fill_reg wdata)
+    ~enable:data_we;
+
+  (* Backing memory: fills read it, writes go through. *)
+  let backing_rd = Hdl.read_port ctx backing ~addr ~enable:(is "FILL_READ") in
+  Hdl.connect ctx fill_reg (Hdl.mux2 ctx (is "FILL_READ") backing_rd fill_reg);
+  Hdl.write_port ctx backing ~addr ~data:wdata ~enable:(is "WRITE");
+
+  (* Response register: hit data at LOOKUP, filled data otherwise. *)
+  let resp = Hdl.reg ctx "resp" ~width:dw in
+  Hdl.connect ctx resp
+    (Hdl.pmux ctx
+       [ (and_b (is "LOOKUP") hit, data_rd); (is "FILL_READ", backing_rd) ]
+       ~default:resp);
+
+  Hdl.Fsm.finalize fsm
+    [
+      (accept, "LOOKUP");
+      (is "IDLE", "IDLE");
+      (and_b (is "LOOKUP") is_write, "WRITE");
+      (and_b (is "LOOKUP") hit, "RESPOND");
+      (is "LOOKUP", "FILL_READ");
+      (is "WRITE", "IDLE");
+      (is "FILL_READ", "FILL_WRITE");
+      (is "FILL_WRITE", "RESPOND");
+      (is "RESPOND", "IDLE");
+    ];
+
+  (* Scoreboard: watch one written word; any later response for that address
+     must return it (unless overwritten, which re-arms with the new data). *)
+  let armed = Hdl.reg_bit ctx "armed" in
+  let shadow = Hdl.reg ctx "shadow" ~width:dw in
+  let slot = Hdl.reg ctx "slot" ~width:aw in
+  let arm = and_b (is "WRITE") (and_b watch (Netlist.not_ armed)) in
+  let rewrite = and_b (is "WRITE") (and_b armed (Hdl.eq ctx addr slot)) in
+  Hdl.connect_bit ctx armed (Netlist.or_ net arm armed);
+  Hdl.connect ctx shadow
+    (Hdl.mux2 ctx (Netlist.or_ net arm rewrite) wdata shadow);
+  Hdl.connect ctx slot (Hdl.mux2 ctx arm addr slot);
+  let watched_response =
+    and_b (is "RESPOND")
+      (and_b armed (and_b (Hdl.eq ctx addr slot) (Netlist.not_ is_write)))
+  in
+  Hdl.assert_always ctx "coherent"
+    (Netlist.implies net watched_response (Hdl.eq ctx resp shadow));
+  Hdl.assert_always ctx "fill_on_miss"
+    (Netlist.implies net (is "FILL_WRITE") (Netlist.not_ hit_reg));
+  Hdl.output ctx "resp" resp;
+  Hdl.output_bit ctx "responding" (is "RESPOND");
+  net

@@ -1,0 +1,32 @@
+(** A direct-mapped write-through cache controller — the kind of SoC block
+    the paper's introduction motivates (embedded memories serving "diverse
+    code and data requirements").
+
+    Three embedded memories: the tag store (valid bit + tag per line), the
+    data store (one word per line), and the backing memory the cache fronts
+    (arbitrary initial contents).  Requests arrive on the CPU-side inputs:
+    an address, a read/write flag and write data.  Reads that hit are served
+    from the data store; misses fill the line from backing memory; writes go
+    through to backing memory and update the data store on a hit.
+
+    Properties:
+    - ["coherent"]: a scoreboard arms on a watched write and demands that any
+      later response for the same address return the written data — across
+      hit, miss-fill and write-through paths;
+    - ["fill_on_miss"]: the fill state is only entered after a miss (control
+      invariant, provable by induction).
+
+    [build ~buggy:true] omits the data-store update on write hits, so a
+    subsequent read hit returns stale data: EMM finds the classic
+    read-fill / write / read-hit scenario. *)
+
+type config = {
+  tag_width : int;
+  index_width : int;
+  data_width : int;
+}
+
+val default_config : config
+(** [tag_width = 2], [index_width = 2], [data_width = 4]. *)
+
+val build : ?buggy:bool -> config -> Netlist.t

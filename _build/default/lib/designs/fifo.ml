@@ -1,0 +1,52 @@
+type config = { addr_width : int; data_width : int }
+
+let default_config = { addr_width = 2; data_width = 4 }
+
+let build ?(buggy = false) cfg =
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width in
+  let capacity = 1 lsl aw in
+  let and_b = Netlist.and_ net in
+  let push_req = Hdl.input_bit ctx "push" in
+  let pop_req = Hdl.input_bit ctx "pop" in
+  let data_in = Hdl.input ctx "data_in" ~width:dw in
+  let watch = Hdl.input_bit ctx "watch" in
+  let wr_ptr = Hdl.reg ctx "wr_ptr" ~width:aw in
+  let rd_ptr = Hdl.reg ctx "rd_ptr" ~width:aw in
+  let count = Hdl.reg ctx "count" ~width:(aw + 1) in
+  let full = Hdl.eq_const ctx count capacity in
+  let empty = Hdl.eq_const ctx count 0 in
+  (* The planted bug: a full FIFO accepts the push anyway and overwrites the
+     oldest live entry. *)
+  let push = if buggy then push_req else and_b push_req (Netlist.not_ full) in
+  let pop = and_b pop_req (Netlist.not_ empty) in
+  let mem = Hdl.memory ctx ~name:"fifo_ram" ~addr_width:aw ~data_width:dw ~init:Netlist.Zeros in
+  Hdl.write_port ctx mem ~addr:wr_ptr ~data:data_in ~enable:push;
+  let rd = Hdl.read_port ctx mem ~addr:rd_ptr ~enable:pop in
+  Hdl.connect ctx wr_ptr (Hdl.mux2 ctx push (Hdl.incr ctx wr_ptr) wr_ptr);
+  Hdl.connect ctx rd_ptr (Hdl.mux2 ctx pop (Hdl.incr ctx rd_ptr) rd_ptr);
+  let count_up = and_b push (Netlist.not_ pop) in
+  let count_down = and_b pop (Netlist.not_ push) in
+  Hdl.connect ctx count
+    (Hdl.pmux ctx
+       [ (count_up, Hdl.incr ctx count); (count_down, Hdl.decr ctx count) ]
+       ~default:count);
+  (* Scoreboard: watch one pushed word until its slot pops. *)
+  let armed = Hdl.reg_bit ctx "armed" in
+  let shadow = Hdl.reg ctx "shadow" ~width:dw in
+  let slot = Hdl.reg ctx "slot" ~width:aw in
+  let arm = and_b watch (and_b push (Netlist.not_ armed)) in
+  let slot_pops = and_b pop (and_b armed (Hdl.eq ctx rd_ptr slot)) in
+  Hdl.connect_bit ctx armed
+    (Netlist.or_ net arm (and_b armed (Netlist.not_ slot_pops)));
+  Hdl.connect ctx shadow (Hdl.mux2 ctx arm data_in shadow);
+  Hdl.connect ctx slot (Hdl.mux2 ctx arm wr_ptr slot);
+  Hdl.assert_always ctx "fifo_data"
+    (Netlist.implies net slot_pops (Hdl.eq ctx rd shadow));
+  Hdl.assert_always ctx "fifo_count"
+    (Hdl.le ctx count (Hdl.const ~width:(aw + 1) capacity));
+  Hdl.output ctx "read_data" rd;
+  Hdl.output_bit ctx "full" full;
+  Hdl.output_bit ctx "empty" empty;
+  net

@@ -1,0 +1,20 @@
+(** A synchronous FIFO over an embedded memory, with an end-to-end data
+    integrity checker — the small warm-up design used by the quickstart
+    example and the test-suite.
+
+    The checker non-deterministically watches one pushed word (driven by the
+    [watch] input): it records the written slot and data, and when that slot
+    is popped the property ["fifo_data"] demands the read data match.  A
+    second property ["fifo_count"] bounds the occupancy counter.
+
+    [build ~buggy:true] plants a real bug: pushes are not blocked when the
+    FIFO is full, so a full-FIFO push overwrites the oldest live entry and
+    the watched word can be corrupted — EMM-based BMC finds the minimal
+    overwrite scenario. *)
+
+type config = { addr_width : int; data_width : int }
+
+val default_config : config
+(** [addr_width = 2], [data_width = 4]. *)
+
+val build : ?buggy:bool -> config -> Netlist.t

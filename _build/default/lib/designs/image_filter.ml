@@ -1,0 +1,49 @@
+type config = { addr_width : int; first_value : int; num_properties : int }
+
+let default_config = { addr_width = 4; first_value = 18; num_properties = 216 }
+
+let max_output = (255 + (2 * 255) + 0x7f) / 4 (* = 223 *)
+
+let property_names cfg =
+  List.init cfg.num_properties (fun i -> Printf.sprintf "P%d" (cfg.first_value + i))
+
+let reachable_values cfg =
+  List.filter
+    (fun v -> v <= max_output)
+    (List.init cfg.num_properties (fun i -> cfg.first_value + i))
+
+let build cfg =
+  let ctx = Hdl.create () in
+  let aw = cfg.addr_width in
+  (* Column counter sweeping the line buffers. *)
+  let col = Hdl.reg ctx "col" ~width:aw in
+  Hdl.connect ctx col (Hdl.incr ctx col);
+  let pix = Hdl.input ctx "pix" ~width:8 in
+  (* Line buffers: row N-1 and row N-2 at the current column.  Reads observe
+     the previous row's value before this cycle's write lands. *)
+  let line1 = Hdl.memory ctx ~name:"line1" ~addr_width:aw ~data_width:8 ~init:Netlist.Zeros in
+  let line2 = Hdl.memory ctx ~name:"line2" ~addr_width:aw ~data_width:8 ~init:Netlist.Zeros in
+  let above = Hdl.read_port ctx line1 ~addr:col ~enable:Netlist.true_ in
+  let above2 = Hdl.read_port ctx line2 ~addr:col ~enable:Netlist.true_ in
+  Hdl.write_port ctx line1 ~addr:col ~data:pix ~enable:Netlist.true_;
+  Hdl.write_port ctx line2 ~addr:col ~data:above ~enable:Netlist.true_;
+  (* Vertical low-pass: (pix + 2*above + (above2 & 0x7f)) / 4. *)
+  let w = 10 in
+  let sum =
+    Hdl.add ctx
+      (Hdl.uresize pix ~width:w)
+      (Hdl.add ctx
+         (Hdl.shift_left_const (Hdl.uresize above ~width:w) 1)
+         (Hdl.uresize (Hdl.select above2 ~hi:6 ~lo:0) ~width:w))
+  in
+  let out = Hdl.select sum ~hi:(w - 1) ~lo:2 in
+  let out_reg = Hdl.reg ctx "out" ~width:8 in
+  Hdl.connect ctx out_reg out;
+  Hdl.output ctx "filtered" out_reg;
+  (* One reachability property per probed output value. *)
+  List.iteri
+    (fun i name ->
+      let v = cfg.first_value + i in
+      Hdl.assert_always ctx name (Hdl.neq ctx out_reg (Hdl.const ~width:8 v)))
+    (property_names cfg);
+  Hdl.netlist ctx

@@ -1,0 +1,30 @@
+(** Synthetic equivalent of the paper's "Industry Design I": a low-pass
+    image filter with two embedded line-buffer memories.
+
+    The paper's design had 756 latches, two 1R1W memories (AW=10, DW=8,
+    reset to 0) and 216 reachability properties, of which 206 had witnesses
+    (max depth 51) and 10 were proved by induction.  This reconstruction
+    keeps the structure: a pixel stream enters, two line buffers provide the
+    samples one and two rows above, and the filter output is
+
+    {v out = (pix + 2*above + (above2 & 0x7f)) >> 2 v}
+
+    whose range is [0 .. 223].  The generated reachability properties are
+    [Pv: out <> v] for [v = first_value .. first_value+num_properties-1];
+    with the defaults (18, 216) exactly 206 values are reachable (witnesses
+    exist) and 10 are out of range (proved by induction), matching the
+    paper's split. *)
+
+type config = {
+  addr_width : int;  (** line-buffer depth = 2^addr_width pixels *)
+  first_value : int;
+  num_properties : int;
+}
+
+val default_config : config
+(** [addr_width = 4], [first_value = 18], [num_properties = 216]. *)
+
+val build : config -> Netlist.t
+val property_names : config -> string list
+val reachable_values : config -> int list
+(** The subset of checked values the filter can actually produce. *)

@@ -1,0 +1,49 @@
+type config = { n : int; addr_width : int; data_width : int }
+
+let bits_for n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  go 1
+
+let default_config ~n = { n; addr_width = bits_for n; data_width = 8 }
+
+let build ?(buggy = false) cfg =
+  if cfg.n < 1 then invalid_arg "Memcpy.build: need n >= 1";
+  if cfg.n >= 1 lsl cfg.addr_width then invalid_arg "Memcpy.build: n too large";
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width in
+  let src = Hdl.memory ctx ~name:"src" ~addr_width:aw ~data_width:dw ~init:Netlist.Arbitrary in
+  let dst = Hdl.memory ctx ~name:"dst" ~addr_width:aw ~data_width:dw ~init:Netlist.Zeros in
+  let fsm = Hdl.Fsm.create ctx "state" ~states:[ "COPY"; "VERIFY"; "HALT" ] in
+  let is = Hdl.Fsm.is fsm in
+  let idx = Hdl.reg ctx "idx" ~width:aw in
+  (* The planted bug stops one word short. *)
+  let copy_limit = if buggy then cfg.n - 1 else cfg.n in
+  let copy_done = Hdl.eq_const ctx idx (copy_limit - 1) in
+  let verify_done = Hdl.eq_const ctx idx (cfg.n - 1) in
+  let src_rd = Hdl.read_port ctx src ~addr:idx ~enable:(Netlist.not_ (is "HALT")) in
+  Hdl.write_port ctx dst ~addr:idx ~data:src_rd ~enable:(is "COPY");
+  let dst_rd = Hdl.read_port ctx dst ~addr:idx ~enable:(is "VERIFY") in
+  let next_idx = Hdl.incr ctx idx in
+  let and_b = Netlist.and_ net in
+  Hdl.connect ctx idx
+    (Hdl.pmux ctx
+       [
+         (and_b (is "COPY") copy_done, Hdl.zero ~width:aw);
+         (is "COPY", next_idx);
+         (is "VERIFY", next_idx);
+       ]
+       ~default:idx);
+  Hdl.Fsm.finalize fsm
+    [
+      (and_b (is "COPY") copy_done, "VERIFY");
+      (is "COPY", "COPY");
+      (and_b (is "VERIFY") verify_done, "HALT");
+      (is "VERIFY", "VERIFY");
+      (is "HALT", "HALT");
+    ];
+  Hdl.assert_always ctx "copied"
+    (Netlist.implies net (is "VERIFY") (Hdl.eq ctx src_rd dst_rd));
+  Hdl.output ctx "idx" idx;
+  Hdl.output_bit ctx "halted" (is "HALT");
+  net

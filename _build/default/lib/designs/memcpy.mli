@@ -1,0 +1,19 @@
+(** A DMA-style memcpy engine: copies [n] words from a source memory with
+    arbitrary initial contents into a destination memory, then re-reads both
+    and checks them equal.
+
+    Property ["copied"]: during the verify sweep, source and destination
+    agree at the checked address.  Provable by the forward-diameter check —
+    and only with precise arbitrary-initial-state modeling, since the proof
+    must relate two reads of the same (never-written) source location across
+    distant time frames.
+
+    [build ~buggy:true] makes the engine skip the last word, so the check
+    fails with a genuine counterexample whose initial source memory the
+    solver chooses. *)
+
+type config = { n : int; addr_width : int; data_width : int }
+
+val default_config : n:int -> config
+
+val build : ?buggy:bool -> config -> Netlist.t

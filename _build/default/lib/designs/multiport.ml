@@ -1,0 +1,63 @@
+type config = { addr_width : int; data_width : int; pipeline_depth : int }
+
+let default_config = { addr_width = 6; data_width = 8; pipeline_depth = 7 }
+
+let patterns = [| 0xA5; 0x3C; 0x7E; 0x81; 0x5A; 0xC3; 0x18; 0xE7 |]
+
+let property_names = List.init (Array.length patterns) (Printf.sprintf "hit%d")
+
+let build ?(rd_tied_zero = false) cfg =
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width in
+  (* Update engine: a mode counter that cycles 0 -> 1 -> 2 -> 0 (and recovers
+     from the unreachable 3), and a write-data register masked by the flag
+     "mode = 3" — the planted bug: the flag can never rise, so the memory
+     never receives non-zero data. *)
+  let mode = Hdl.reg ctx "mode" ~width:2 in
+  let mode_wraps = Netlist.or_ net (Hdl.eq_const ctx mode 2) (Hdl.eq_const ctx mode 3) in
+  Hdl.connect ctx mode (Hdl.mux2 ctx mode_wraps (Hdl.zero ~width:2) (Hdl.incr ctx mode));
+  let flag = Hdl.eq_const ctx mode 3 in
+  let wdata_in = Hdl.input ctx "wdata" ~width:dw in
+  let wd_reg = Hdl.reg ctx "wd" ~width:dw in
+  Hdl.connect ctx wd_reg
+    (Hdl.and_v ctx wdata_in (Array.make dw flag));
+  let waddr = Hdl.input ctx "waddr" ~width:aw in
+  let we = Hdl.input_bit ctx "we" in
+  (* Lookup side: three independent read ports feeding pattern matchers. *)
+  let raddrs = Array.init 3 (fun r -> Hdl.input ctx (Printf.sprintf "raddr%d" r) ~width:aw) in
+  let rds =
+    if rd_tied_zero then Array.init 3 (fun _ -> Hdl.zero ~width:dw)
+    else begin
+      let mem =
+        Hdl.memory ctx ~name:"table" ~addr_width:aw ~data_width:dw ~init:Netlist.Zeros
+      in
+      Hdl.write_port ctx mem ~addr:waddr ~data:wd_reg ~enable:we;
+      Array.map (fun addr -> Hdl.read_port ctx mem ~addr ~enable:Netlist.true_) raddrs
+    end
+  in
+  (* A handful of latches PBA should find irrelevant. *)
+  let spin = Hdl.reg ctx "spin" ~width:8 in
+  Hdl.connect ctx spin (Hdl.add ctx spin (Hdl.uresize wdata_in ~width:8));
+  Hdl.output ctx "spin" spin;
+  (* Match pipelines: a hit on pattern k enters a shift register of
+     [pipeline_depth] stages; the properties watch the last stage. *)
+  Array.iteri
+    (fun k pattern ->
+      let port = k mod 3 in
+      let hit = Hdl.eq ctx rds.(port) (Hdl.const ~width:dw pattern) in
+      let last =
+        List.fold_left
+          (fun prev stage ->
+            let r = Hdl.reg_bit ctx (Printf.sprintf "pipe%d_%d" k stage) in
+            Hdl.connect_bit ctx r prev;
+            r)
+          hit
+          (List.init cfg.pipeline_depth Fun.id)
+      in
+      Hdl.assert_always ctx (Printf.sprintf "hit%d" k) (Netlist.not_ last))
+    patterns;
+  (* The invariant the paper checked once WE looked suspicious. *)
+  let wd_zero = Netlist.not_ (Hdl.reduce_or ctx wd_reg) in
+  Hdl.assert_always ctx "mem_quiet" (Netlist.or_ net (Netlist.not_ we) wd_zero);
+  net

@@ -1,0 +1,38 @@
+(** Synthetic equivalent of the paper's "Industry Design II": a lookup engine
+    with one embedded memory serving one write port and three read ports.
+
+    The paper's design (2400 latches, AW=12, DW=32, 1W/3R, memory reset to
+    0) had 8 reachability properties.  Abstracting the memory completely
+    produced spurious witnesses at depth 7; with EMM no witness exists up to
+    depth 200; and the engineers then noticed the write-enable path never
+    delivers data — the invariant [G (WE = 0 \/ WD = 0)] holds, provable by
+    backward induction at depth 2 — after which the memory could be replaced
+    by constant-zero read data and every property proved by induction.
+
+    This reconstruction plants the same bug: the write-data register is
+    masked by a flag that only fires in an unreachable mode-counter state, so
+    the memory (reset to 0) never changes, the lookup patterns are never hit,
+    and the same verification narrative unfolds:
+
+    - ["hit0" .. "hit7"]: the pipelined pattern-match outputs never rise
+      (the paper's 8 reachability properties, all unreachable);
+    - ["mem_quiet"]: [WE = 0 \/ WD = 0], backward-inductive at depth 2.
+
+    [build ~rd_tied_zero:true] applies the invariant the way the paper did:
+    the memory is removed and read data tied to zero, which makes the 8
+    properties inductively provable on a memory-free model. *)
+
+type config = {
+  addr_width : int;
+  data_width : int;
+  pipeline_depth : int;  (** depth at which spurious witnesses appear *)
+}
+
+val default_config : config
+(** [addr_width = 6], [data_width = 8], [pipeline_depth = 7]. *)
+
+val patterns : int array
+(** The 8 lookup patterns, all non-zero. *)
+
+val build : ?rd_tied_zero:bool -> config -> Netlist.t
+val property_names : string list

@@ -1,0 +1,175 @@
+type config = {
+  n : int;
+  addr_width : int;
+  data_width : int;
+  stack_addr_width : int;
+}
+
+let bits_for n =
+  let rec go w = if 1 lsl w > n then w else go (w + 1) in
+  go 1
+
+let default_config ~n =
+  let addr_width = bits_for n in
+  { n; addr_width; data_width = 8; stack_addr_width = addr_width + 1 }
+
+let state_names =
+  [
+    "INIT_PUSH"; "POP"; "CHECK"; "PIVOT"; "PART"; "SWAP_I"; "SWAP_J"; "FIN_I";
+    "FIN_HI"; "PUSH_L"; "PUSH_R"; "CHECK0"; "CHECK1"; "HALT";
+  ]
+
+let build ?(buggy = false) cfg =
+  if cfg.n < 2 then invalid_arg "Quicksort.build: need n >= 2";
+  if cfg.n >= 1 lsl cfg.addr_width then invalid_arg "Quicksort.build: n too large";
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width and saw = cfg.stack_addr_width in
+  let sdw = 2 * aw in
+  (* Both memories start with arbitrary contents: sorting must work on any
+     array, and the stack discipline must never read unwritten garbage. *)
+  let arr = Hdl.memory ctx ~name:"arr" ~addr_width:aw ~data_width:dw ~init:Netlist.Arbitrary in
+  let stack =
+    Hdl.memory ctx ~name:"stack" ~addr_width:saw ~data_width:sdw ~init:Netlist.Arbitrary
+  in
+  let fsm = Hdl.Fsm.create ctx "state" ~states:state_names in
+  let is = Hdl.Fsm.is fsm in
+  let lo = Hdl.reg ctx "lo" ~width:aw in
+  let hi = Hdl.reg ctx "hi" ~width:aw in
+  let idx_i = Hdl.reg ctx "i" ~width:aw in
+  let idx_j = Hdl.reg ctx "j" ~width:aw in
+  let pivot = Hdl.reg ctx "pivot" ~width:dw in
+  let ti = Hdl.reg ctx "ti" ~width:dw in
+  let tj = Hdl.reg ctx "tj" ~width:dw in
+  let sp = Hdl.reg ctx "sp" ~width:saw in
+  let e0 = Hdl.reg ctx "e0" ~width:dw in
+  let or_b = Netlist.or_ net and and_b = Netlist.and_ net in
+
+  (* Array read port: address selected by state. *)
+  let a_zero = Hdl.zero ~width:aw and a_one = Hdl.const ~width:aw 1 in
+  let arr_raddr =
+    Hdl.pmux ctx
+      [
+        (is "PIVOT", hi);
+        (is "PART", idx_j);
+        (is "SWAP_I", idx_i);
+        (is "FIN_I", idx_i);
+        (is "CHECK0", a_zero);
+        (is "CHECK1", a_one);
+      ]
+      ~default:a_zero
+  in
+  let arr_re =
+    Hdl.reduce_or ctx
+      [| is "PIVOT"; is "PART"; is "SWAP_I"; is "FIN_I"; is "CHECK0"; is "CHECK1" |]
+  in
+  let arr_rd = Hdl.read_port ctx arr ~addr:arr_raddr ~enable:arr_re in
+
+  (* Array write port. *)
+  let arr_waddr =
+    Hdl.pmux ctx
+      [ (is "SWAP_I", idx_i); (is "SWAP_J", idx_j); (is "FIN_I", idx_i) ]
+      ~default:hi (* FIN_HI *)
+  in
+  let arr_wdata =
+    Hdl.pmux ctx
+      [ (is "SWAP_I", tj); (is "SWAP_J", ti); (is "FIN_I", pivot) ]
+      ~default:ti (* FIN_HI *)
+  in
+  let arr_we =
+    Hdl.reduce_or ctx [| is "SWAP_I"; is "SWAP_J"; is "FIN_I"; is "FIN_HI" |]
+  in
+  Hdl.write_port ctx arr ~addr:arr_waddr ~data:arr_wdata ~enable:arr_we;
+
+  (* Stack ports.  Reads happen on POP (sp > 0); writes push bounds pairs. *)
+  let sp_nonzero = Hdl.reduce_or ctx sp in
+  let stack_raddr = Hdl.decr ctx sp in
+  let stack_re = and_b (is "POP") sp_nonzero in
+  let stack_rd = Hdl.read_port ctx stack ~addr:stack_raddr ~enable:stack_re in
+  let popped_lo = Hdl.select stack_rd ~hi:(aw - 1) ~lo:0 in
+  let popped_hi = Hdl.select stack_rd ~hi:(sdw - 1) ~lo:aw in
+
+  let i_minus_1 = Hdl.decr ctx idx_i in
+  let i_plus_1 = Hdl.incr ctx idx_i in
+  let init_entry =
+    Hdl.concat (Hdl.zero ~width:aw) (Hdl.const ~width:aw (cfg.n - 1))
+  in
+  let left_entry = Hdl.concat lo i_minus_1 in
+  let right_entry = Hdl.concat i_plus_1 hi in
+  let stack_wdata =
+    Hdl.pmux ctx
+      [ (is "INIT_PUSH", init_entry); (is "PUSH_L", left_entry) ]
+      ~default:right_entry
+  in
+  let push_l_valid = and_b (is "PUSH_L") (Hdl.gt ctx idx_i lo) in
+  let push_r_valid = and_b (is "PUSH_R") (Hdl.lt ctx i_plus_1 hi) in
+  let stack_we = or_b (is "INIT_PUSH") (or_b push_l_valid push_r_valid) in
+  Hdl.write_port ctx stack ~addr:sp ~data:stack_wdata ~enable:stack_we;
+
+  (* Data-path updates. *)
+  let j_at_hi = Hdl.eq ctx idx_j hi in
+  let le_pivot =
+    if buggy then Hdl.ge ctx arr_rd pivot else Hdl.le ctx arr_rd pivot
+  in
+  let part_swap = and_b (is "PART") (and_b (Netlist.not_ j_at_hi) le_pivot) in
+  let part_skip = and_b (is "PART") (and_b (Netlist.not_ j_at_hi) (Netlist.not_ le_pivot)) in
+
+  Hdl.connect ctx lo (Hdl.mux2 ctx stack_re popped_lo lo);
+  Hdl.connect ctx hi (Hdl.mux2 ctx stack_re popped_hi hi);
+  Hdl.connect ctx pivot (Hdl.mux2 ctx (is "PIVOT") arr_rd pivot);
+  Hdl.connect ctx idx_i
+    (Hdl.pmux ctx
+       [ (is "PIVOT", lo); (is "SWAP_J", i_plus_1) ]
+       ~default:idx_i);
+  Hdl.connect ctx idx_j
+    (Hdl.pmux ctx
+       [
+         (is "PIVOT", lo);
+         (part_skip, Hdl.incr ctx idx_j);
+         (is "SWAP_J", Hdl.incr ctx idx_j);
+       ]
+       ~default:idx_j);
+  Hdl.connect ctx tj (Hdl.mux2 ctx part_swap arr_rd tj);
+  Hdl.connect ctx ti
+    (Hdl.mux2 ctx (or_b (is "SWAP_I") (is "FIN_I")) arr_rd ti);
+  Hdl.connect ctx sp
+    (Hdl.pmux ctx
+       [ (stack_we, Hdl.incr ctx sp); (stack_re, Hdl.decr ctx sp) ]
+       ~default:sp);
+  Hdl.connect ctx e0 (Hdl.mux2 ctx (is "CHECK0") arr_rd e0);
+
+  (* Control flow. *)
+  let lo_ge_hi = Hdl.ge ctx lo hi in
+  Hdl.Fsm.finalize fsm
+    [
+      (is "INIT_PUSH", "POP");
+      (and_b (is "POP") (Netlist.not_ sp_nonzero), "CHECK0");
+      (is "POP", "CHECK");
+      (and_b (is "CHECK") lo_ge_hi, "POP");
+      (is "CHECK", "PIVOT");
+      (is "PIVOT", "PART");
+      (and_b (is "PART") j_at_hi, "FIN_I");
+      (part_swap, "SWAP_I");
+      (is "PART", "PART");
+      (is "SWAP_I", "SWAP_J");
+      (is "SWAP_J", "PART");
+      (is "FIN_I", "FIN_HI");
+      (is "FIN_HI", "PUSH_L");
+      (is "PUSH_L", "PUSH_R");
+      (is "PUSH_R", "POP");
+      (is "CHECK0", "CHECK1");
+      (is "CHECK1", "HALT");
+      (is "HALT", "HALT");
+    ];
+
+  (* P1: the first element of the sorted array cannot exceed the second.  At
+     CHECK1 the read port delivers arr[1] while e0 holds arr[0]. *)
+  Hdl.assert_always ctx "P1"
+    (Netlist.implies net (is "CHECK1") (Hdl.le ctx e0 arr_rd));
+  (* P2: partition bounds popped from the recursion stack are well-formed. *)
+  let hi_in_range = Hdl.le ctx hi (Hdl.const ~width:aw (cfg.n - 1)) in
+  Hdl.assert_always ctx "P2"
+    (Netlist.implies net (is "PIVOT") (and_b (Hdl.lt ctx lo hi) hi_in_range));
+  Hdl.output ctx "sp" sp;
+  Hdl.output_bit ctx "halted" (is "HALT");
+  net

@@ -1,0 +1,36 @@
+(** The quicksort machine of the paper's first case study (§5).
+
+    An autonomous (input-free) design that sorts the first [n] elements of an
+    array held in a 1R1W embedded memory, using an explicit recursion stack
+    held in a second 1R1W memory — the paper implemented the same algorithm
+    in Verilog with AW=10/DW=32 (array) and AW=10/DW=24 (stack).  Both
+    memories start with {e arbitrary} contents, which is what makes the
+    correctness proofs depend on the precise initial-state modeling of §4.2.
+
+    Properties:
+    - ["P1"]: when the final check reads the first two sorted elements, the
+      first cannot exceed the second;
+    - ["P2"]: whenever partitioning starts, the bounds popped from the
+      recursion stack are well-formed ([lo < hi <= n-1]) — a control-flow
+      property that depends on the stack but not on the array contents,
+      mirroring the paper's P2.
+
+    Both hold and are proved by the forward-diameter check; Table 1's column
+    D is that diameter. *)
+
+type config = {
+  n : int;  (** number of elements to sort *)
+  addr_width : int;  (** array address width; requires [n < 2^addr_width] *)
+  data_width : int;  (** element width *)
+  stack_addr_width : int;
+}
+
+val default_config : n:int -> config
+(** [addr_width] minimal for [n] + 1 slack, [data_width] = 8,
+    [stack_addr_width] = [addr_width] + 1. *)
+
+val build : ?buggy:bool -> config -> Netlist.t
+(** [buggy] (default false) flips the partition comparison, planting a real
+    sorting bug that falsifies P1. *)
+
+val state_names : string list

@@ -1,0 +1,30 @@
+type config = { addr_width : int; data_width : int }
+
+let default_config = { addr_width = 3; data_width = 8 }
+
+let build ?(dual_write = false) cfg =
+  let ctx = Hdl.create () in
+  let net = Hdl.netlist ctx in
+  let aw = cfg.addr_width and dw = cfg.data_width in
+  let rf =
+    Hdl.memory ctx ~name:"regfile" ~addr_width:aw ~data_width:dw ~init:Netlist.Arbitrary
+  in
+  let waddr = Hdl.input ctx "waddr" ~width:aw in
+  let wdata = Hdl.input ctx "wdata" ~width:dw in
+  let we = Hdl.input_bit ctx "we" in
+  Hdl.write_port ctx rf ~addr:waddr ~data:wdata ~enable:we;
+  if dual_write then begin
+    let waddr2 = Hdl.input ctx "waddr2" ~width:aw in
+    let wdata2 = Hdl.input ctx "wdata2" ~width:dw in
+    let we2 = Hdl.input_bit ctx "we2" in
+    Hdl.write_port ctx rf ~addr:waddr2 ~data:wdata2 ~enable:we2
+  end;
+  let ra1 = Hdl.input ctx "ra1" ~width:aw in
+  let ra2 = Hdl.input ctx "ra2" ~width:aw in
+  let rd1 = Hdl.read_port ctx rf ~addr:ra1 ~enable:Netlist.true_ in
+  let rd2 = Hdl.read_port ctx rf ~addr:ra2 ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "read_consistent"
+    (Netlist.implies net (Hdl.eq ctx ra1 ra2) (Hdl.eq ctx rd1 rd2));
+  Hdl.output ctx "rd1" rd1;
+  Hdl.output ctx "rd2" rd2;
+  net

@@ -1,0 +1,17 @@
+(** A register file with one write port and two read ports — the smallest
+    design exercising EMM's multi-read-port constraints (§4.1, R = 2).
+
+    Property ["read_consistent"]: two simultaneous reads of the same address
+    return the same data.  A direct consequence of the memory semantics, so
+    EMM proves it by induction at trivial depth — but only because equation
+    (6) relates the initial-state words of the two ports.
+
+    [build ~dual_write:true] adds a second write port driven by independent
+    inputs; the ports can then collide on an address, which
+    {!Emm.find_data_race} detects. *)
+
+type config = { addr_width : int; data_width : int }
+
+val default_config : config
+
+val build : ?dual_write:bool -> config -> Netlist.t

@@ -1,0 +1,105 @@
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Netlist.t;
+}
+
+let quicksort n =
+  {
+    name = Printf.sprintf "quicksort-n%d" n;
+    description =
+      Printf.sprintf
+        "quicksort machine over %d elements (array + recursion stack memories); properties P1, P2"
+        n;
+    build = (fun () -> Quicksort.build (Quicksort.default_config ~n));
+  }
+
+let quicksort_buggy n =
+  {
+    name = Printf.sprintf "quicksort-buggy-n%d" n;
+    description =
+      Printf.sprintf "quicksort machine over %d elements with a flipped comparison (P1 fails)" n;
+    build = (fun () -> Quicksort.build ~buggy:true (Quicksort.default_config ~n));
+  }
+
+let all () =
+  [
+    quicksort 3;
+    quicksort 4;
+    quicksort 5;
+    quicksort_buggy 3;
+    {
+      name = "image-filter";
+      description =
+        "low-pass image filter with two line-buffer memories (Industry I equivalent); properties P18..P233";
+      build = (fun () -> Image_filter.build Image_filter.default_config);
+    };
+    {
+      name = "multiport";
+      description =
+        "lookup engine, one memory with 1 write / 3 read ports and a dead write path (Industry II equivalent); properties hit0..hit7, mem_quiet";
+      build = (fun () -> Multiport.build Multiport.default_config);
+    };
+    {
+      name = "multiport-rd0";
+      description = "multiport engine with the memory removed and read data tied to 0";
+      build = (fun () -> Multiport.build ~rd_tied_zero:true Multiport.default_config);
+    };
+    {
+      name = "fifo";
+      description = "synchronous FIFO with data-integrity scoreboard; properties fifo_data, fifo_count";
+      build = (fun () -> Fifo.build Fifo.default_config);
+    };
+    {
+      name = "fifo-buggy";
+      description = "FIFO that accepts pushes when full (overwrite bug)";
+      build = (fun () -> Fifo.build ~buggy:true Fifo.default_config);
+    };
+    {
+      name = "bubblesort-n4";
+      description =
+        "bubble-sort machine over 4 elements (single memory, quadratic diameter); properties sorted, bounds";
+      build = (fun () -> Bubblesort.build (Bubblesort.default_config ~n:4));
+    };
+    {
+      name = "bubblesort-buggy-n4";
+      description = "bubble-sort machine with inverted comparison (sorted fails)";
+      build = (fun () -> Bubblesort.build ~buggy:true (Bubblesort.default_config ~n:4));
+    };
+    {
+      name = "memcpy";
+      description =
+        "DMA engine copying 6 words between two memories, then verifying; property copied";
+      build = (fun () -> Memcpy.build (Memcpy.default_config ~n:6));
+    };
+    {
+      name = "memcpy-buggy";
+      description = "DMA engine that skips the last word (copy bug)";
+      build = (fun () -> Memcpy.build ~buggy:true (Memcpy.default_config ~n:6));
+    };
+    {
+      name = "cache";
+      description =
+        "direct-mapped write-through cache (tag, data and backing memories); properties coherent, fill_on_miss";
+      build = (fun () -> Cache.build Cache.default_config);
+    };
+    {
+      name = "cache-buggy";
+      description = "cache that forgets to update the data store on write hits";
+      build = (fun () -> Cache.build ~buggy:true Cache.default_config);
+    };
+    {
+      name = "regfile";
+      description =
+        "register file with 1 write / 2 read ports; property read_consistent";
+      build = (fun () -> Regfile.build Regfile.default_config);
+    };
+    {
+      name = "regfile-racy";
+      description = "register file with two colliding write ports (for `emmver races`)";
+      build = (fun () -> Regfile.build ~dual_write:true Regfile.default_config);
+    };
+  ]
+
+let find name = List.find (fun e -> e.name = name) (all ())
+let names () = List.map (fun e -> e.name) (all ())

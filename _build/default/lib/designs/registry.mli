@@ -1,0 +1,14 @@
+(** Catalog of built-in designs, keyed by name — used by the [emmver] CLI and
+    the benchmark harness. *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Netlist.t;
+}
+
+val all : unit -> entry list
+val find : string -> entry
+(** Raises [Not_found]. *)
+
+val names : unit -> string list

@@ -1,0 +1,414 @@
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+
+type counts = {
+  addr_clauses : int;
+  excl_gates : int;
+  data_clauses : int;
+  init_clauses : int;
+  init_pairs : int;
+  aux_vars : int;
+}
+
+let zero_counts =
+  {
+    addr_clauses = 0;
+    excl_gates = 0;
+    data_clauses = 0;
+    init_clauses = 0;
+    init_pairs = 0;
+    aux_vars = 0;
+  }
+
+let add_counts a b =
+  {
+    addr_clauses = a.addr_clauses + b.addr_clauses;
+    excl_gates = a.excl_gates + b.excl_gates;
+    data_clauses = a.data_clauses + b.data_clauses;
+    init_clauses = a.init_clauses + b.init_clauses;
+    init_pairs = a.init_pairs + b.init_pairs;
+    aux_vars = a.aux_vars + b.aux_vars;
+  }
+
+let pp_counts ppf c =
+  Format.fprintf ppf
+    "addr-clauses=%d excl-gates=%d data-clauses=%d init-clauses=%d init-pairs=%d aux-vars=%d"
+    c.addr_clauses c.excl_gates c.data_clauses c.init_clauses c.init_pairs c.aux_vars
+
+(* One read access: frame, read port, its "never written" chain head N, the
+   fresh initial-data word V, and the read-address literals (for equation (6)
+   pairing and for initial-state extraction). *)
+type access = {
+  a_frame : int;
+  a_port : int;
+  n_lit : Lit.t;
+  v_lits : Lit.t array;
+  ra_lits : Lit.t array;
+}
+
+type mem_state = {
+  mem : Netlist.memory;
+  tag : int;
+  mutable accesses : access list; (* newest first *)
+}
+
+type t = {
+  unr : Cnf.t;
+  mems : mem_state list;
+  init_consistency : bool;
+  mutable next_depth : int;
+  per_depth : (int, counts) Hashtbl.t;
+  mutable current : counts; (* accumulator for the depth being generated *)
+}
+
+let create ?memories ?(init_consistency = true) unr =
+  let net = Cnf.net unr in
+  let mems = match memories with Some ms -> ms | None -> Netlist.memories net in
+  let mems =
+    List.map
+      (fun mem ->
+        (match Netlist.memory_init mem with
+        | Netlist.Words _ ->
+          invalid_arg
+            (Printf.sprintf "Emm.create: memory %s has concrete initial words"
+               (Netlist.memory_name mem))
+        | Netlist.Zeros | Netlist.Arbitrary -> ());
+        let tag = Cnf.tag_for unr (Cnf.Tag.Memory (Netlist.memory_id mem)) in
+        { mem; tag; accesses = [] })
+      mems
+  in
+  {
+    unr;
+    mems;
+    init_consistency;
+    next_depth = 0;
+    per_depth = Hashtbl.create 64;
+    current = zero_counts;
+  }
+
+let fresh t =
+  t.current <- { t.current with aux_vars = t.current.aux_vars + 1 };
+  Cnf.fresh_lit t.unr
+
+let bump_addr t n = t.current <- { t.current with addr_clauses = t.current.addr_clauses + n }
+let bump_data t n = t.current <- { t.current with data_clauses = t.current.data_clauses + n }
+let bump_init t n = t.current <- { t.current with init_clauses = t.current.init_clauses + n }
+let bump_pairs t n = t.current <- { t.current with init_pairs = t.current.init_pairs + n }
+let bump_gates t n = t.current <- { t.current with excl_gates = t.current.excl_gates + n }
+
+(* A 2-input AND "gate" in the hybrid representation: fresh variable plus the
+   three defining clauses.  Counted as one exclusivity gate, per the paper's
+   accounting, unless [counted] is false (eq. (6) helper gates are reported
+   through [init_pairs] instead). *)
+let and_gate ?(counted = true) t ~tag a b =
+  let v = fresh t in
+  Cnf.add_clause ~tag t.unr [ Lit.negate v; a ];
+  Cnf.add_clause ~tag t.unr [ Lit.negate v; b ];
+  Cnf.add_clause ~tag t.unr [ v; Lit.negate a; Lit.negate b ];
+  if counted then bump_gates t 1;
+  v
+
+(* Address-equality variable over two literal buses, with the paper's 4m+1
+   clause encoding: per bit, (E -> (a=b)) and ((a=b) -> e); finally
+   (/\ e -> E). *)
+let addr_equal t ~tag ~bump a_bus b_bus =
+  let m = Array.length a_bus in
+  let e_vars = Array.make m (Lit.pos 0) in
+  let eq = fresh t in
+  for i = 0 to m - 1 do
+    let a = a_bus.(i) and b = b_bus.(i) in
+    let e = fresh t in
+    e_vars.(i) <- e;
+    (* E -> (a = b) *)
+    Cnf.add_clause ~tag t.unr [ Lit.negate eq; Lit.negate a; b ];
+    Cnf.add_clause ~tag t.unr [ Lit.negate eq; a; Lit.negate b ];
+    (* (a = b) -> e *)
+    Cnf.add_clause ~tag t.unr [ Lit.negate a; Lit.negate b; e ];
+    Cnf.add_clause ~tag t.unr [ a; b; e ]
+  done;
+  (* (/\ e) -> E *)
+  Cnf.add_clause ~tag t.unr
+    (eq :: Array.to_list (Array.map Lit.negate e_vars));
+  bump t ((4 * m) + 1);
+  eq
+
+let lits_of_bus t ~frame bus = Array.map (fun s -> Cnf.lit t.unr ~frame s) bus
+
+(* Generate all constraints for read port [r] of memory [ms] at depth [k]. *)
+let constrain_read t ms k r =
+  let unr = t.unr in
+  let tag = ms.tag in
+  let mem = ms.mem in
+  let n_bits = Netlist.memory_data_width mem in
+  let w_count = Netlist.num_write_ports mem in
+  let addr_bus, enable, out = Netlist.read_port mem r in
+  let ra = lits_of_bus t ~frame:k addr_bus in
+  let re = Cnf.lit unr ~frame:k enable in
+  let rd = lits_of_bus t ~frame:k out in
+  (* Write-port literals per frame: (addr, data, we). *)
+  let write_lits j w =
+    let wa, wd, we = Netlist.write_port mem w in
+    (lits_of_bus t ~frame:j wa, lits_of_bus t ~frame:j wd, Cnf.lit unr ~frame:j we)
+  in
+  (* s(j,w) = E(j,k,w,r) /\ WE(j,w) for every write access before k. *)
+  let s_of =
+    Array.init k (fun j ->
+        Array.init w_count (fun w ->
+            let wa, _, we = write_lits j w in
+            let e = addr_equal t ~tag ~bump:bump_addr wa ra in
+            and_gate t ~tag e we))
+  in
+  (* Exclusivity chains (eq. 4), built from the most recent access backwards:
+     PS(k,k,0) = RE; PS(i,p) = ~s(i,p) /\ PS(i,p+1); PS(i,W) = PS(i+1,0);
+     S(i,p) = s(i,p) /\ PS(i,p+1). *)
+  let s_sel = Array.make_matrix (max k 1) (max w_count 1) (Lit.pos 0) in
+  let ps = ref re in
+  for i = k - 1 downto 0 do
+    for p = w_count - 1 downto 0 do
+      let s = s_of.(i).(p) in
+      let ps_next = !ps in
+      s_sel.(i).(p) <- and_gate t ~tag s ps_next;
+      ps := and_gate t ~tag (Lit.negate s) ps_next
+    done
+  done;
+  let n_never = !ps in
+  (* Read-data constraints (eq. 5): S(i,p) -> RD = WD(i,p). *)
+  for i = 0 to k - 1 do
+    for p = 0 to w_count - 1 do
+      let _, wd, _ = write_lits i p in
+      let sel = s_sel.(i).(p) in
+      for b = 0 to n_bits - 1 do
+        Cnf.add_clause ~tag unr [ Lit.negate sel; Lit.negate rd.(b); wd.(b) ];
+        Cnf.add_clause ~tag unr [ Lit.negate sel; rd.(b); Lit.negate wd.(b) ]
+      done;
+      bump_data t (2 * n_bits)
+    done
+  done;
+  (* Arbitrary initial word V: N -> RD = V. *)
+  let v_lits = Array.init n_bits (fun _ -> fresh t) in
+  for b = 0 to n_bits - 1 do
+    Cnf.add_clause ~tag unr [ Lit.negate n_never; Lit.negate rd.(b); v_lits.(b) ];
+    Cnf.add_clause ~tag unr [ Lit.negate n_never; rd.(b); Lit.negate v_lits.(b) ]
+  done;
+  bump_data t (2 * n_bits);
+  (* Read-validity clause: RE -> (\/ S \/ N).  Implied by the chain but added
+     explicitly, as in the paper, to speed up the solver. *)
+  let sels =
+    List.concat_map
+      (fun i -> List.map (fun p -> s_sel.(i).(p)) (List.init w_count Fun.id))
+      (List.init k Fun.id)
+  in
+  Cnf.add_clause ~tag unr (Lit.negate re :: n_never :: sels);
+  bump_data t 1;
+  (* Reset contents: a memory initialised to zero reads 0 from unwritten
+     locations — but only on paths starting at the initial state. *)
+  (match Netlist.memory_init mem with
+  | Netlist.Zeros ->
+    let act = Cnf.act_init unr in
+    for b = 0 to n_bits - 1 do
+      Cnf.add_clause ~tag unr [ Lit.negate act; Lit.negate n_never; Lit.negate rd.(b) ]
+    done;
+    bump_init t n_bits
+  | Netlist.Arbitrary -> ()
+  | Netlist.Words _ -> assert false);
+  (* Equation (6): pairwise consistency with every earlier read access. *)
+  let this = { a_frame = k; a_port = r; n_lit = n_never; v_lits; ra_lits = ra } in
+  if t.init_consistency then
+    List.iter
+      (fun other ->
+        let eq = addr_equal t ~tag ~bump:(fun _ _ -> ()) other.ra_lits ra in
+        let u =
+          and_gate ~counted:false t ~tag eq
+            (and_gate ~counted:false t ~tag n_never other.n_lit)
+        in
+        for b = 0 to n_bits - 1 do
+          Cnf.add_clause ~tag unr
+            [ Lit.negate u; Lit.negate v_lits.(b); other.v_lits.(b) ];
+          Cnf.add_clause ~tag unr
+            [ Lit.negate u; v_lits.(b); Lit.negate other.v_lits.(b) ]
+        done;
+        bump_pairs t 1)
+      ms.accesses;
+  ms.accesses <- this :: ms.accesses
+
+let add_constraints t k =
+  if k <> t.next_depth then
+    invalid_arg
+      (Printf.sprintf "Emm.add_constraints: expected depth %d, got %d" t.next_depth k);
+  t.next_depth <- k + 1;
+  t.current <- zero_counts;
+  List.iter
+    (fun ms ->
+      List.iter
+        (fun r -> constrain_read t ms k r)
+        (List.init (Netlist.num_read_ports ms.mem) Fun.id))
+    t.mems;
+  Hashtbl.replace t.per_depth k t.current
+
+let counts_at t k =
+  match Hashtbl.find_opt t.per_depth k with Some c -> c | None -> zero_counts
+
+let counts_total t =
+  Hashtbl.fold (fun _ c acc -> add_counts c acc) t.per_depth zero_counts
+
+let word_of_lits solver lits =
+  let w = ref 0 in
+  Array.iteri (fun i l -> if Solver.value solver l then w := !w lor (1 lsl i)) lits;
+  !w
+
+let mem_init_of_model t =
+  let solver = Cnf.solver t.unr in
+  List.filter_map
+    (fun ms ->
+      match Netlist.memory_init ms.mem with
+      | Netlist.Zeros -> None (* defaults already match *)
+      | Netlist.Words _ -> None
+      | Netlist.Arbitrary ->
+        let words =
+          List.filter_map
+            (fun a ->
+              if Solver.value solver a.n_lit then
+                Some (word_of_lits solver a.ra_lits, word_of_lits solver a.v_lits)
+              else None)
+            ms.accesses
+        in
+        let dedup =
+          List.fold_left
+            (fun acc (addr, w) -> if List.mem_assoc addr acc then acc else (addr, w) :: acc)
+            [] words
+        in
+        Some (Netlist.memory_name ms.mem, dedup))
+    t.mems
+
+let predicted_clauses ~aw ~dw ~k ~writes ~reads =
+  ((((4 * aw) + (2 * dw) + 1) * k * writes) + (2 * dw) + 1) * reads
+
+let predicted_gates ~k ~writes ~reads = 3 * k * writes * reads
+
+type race = {
+  race_memory : string;
+  race_depth : int;
+  race_ports : int * int;
+  race_trace : Bmc.Trace.t;
+}
+
+(* Input stimulus of the current model, for race reporting. *)
+let trace_of_model t ~depth ~label =
+  let net = Cnf.net t.unr in
+  let solver = Cnf.solver t.unr in
+  let inputs =
+    Array.init (depth + 1) (fun frame ->
+        List.filter_map
+          (fun s ->
+            match Netlist.node net (Netlist.node_of s) with
+            | Netlist.Input name ->
+              Some (name, Solver.value solver (Cnf.lit t.unr ~frame s))
+            | Netlist.Const_false | Netlist.Latch _ | Netlist.And _
+            | Netlist.Mem_out _ -> None)
+          (Netlist.inputs net))
+  in
+  let latch0 =
+    List.filter_map
+      (fun l ->
+        match Netlist.latch_init net l with
+        | None ->
+          Some (Netlist.latch_name net l, Solver.value solver (Cnf.lit t.unr ~frame:0 l))
+        | Some _ -> None)
+      (Netlist.latches net)
+  in
+  {
+    Bmc.Trace.property = label;
+    depth;
+    inputs;
+    latch0;
+    mem_init = mem_init_of_model t;
+  }
+
+let find_data_race ?(max_depth = 50) ?deadline net =
+  let solver = Solver.create () in
+  Solver.set_deadline solver deadline;
+  let unr = Cnf.create solver net in
+  let t = create unr in
+  let act_init = Cnf.act_init unr in
+  let deadline_passed () =
+    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+  in
+  let result = ref None in
+  (try
+     for k = 0 to max_depth do
+       if deadline_passed () then raise Exit;
+       add_constraints t k;
+       List.iter
+         (fun ms ->
+           let mem = ms.mem in
+           let w = Netlist.num_write_ports mem in
+           for w1 = 0 to w - 1 do
+             for w2 = w1 + 1 to w - 1 do
+               let a1, _, e1 = Netlist.write_port mem w1 in
+               let a2, _, e2 = Netlist.write_port mem w2 in
+               let eq =
+                 addr_equal t ~tag:ms.tag
+                   ~bump:(fun _ _ -> ())
+                   (lits_of_bus t ~frame:k a1) (lits_of_bus t ~frame:k a2)
+               in
+               let assumptions =
+                 [
+                   act_init;
+                   eq;
+                   Cnf.lit unr ~frame:k e1;
+                   Cnf.lit unr ~frame:k e2;
+                 ]
+               in
+               if !result = None && Solver.solve ~assumptions solver = Solver.Sat
+               then
+                 result :=
+                   Some
+                     {
+                       race_memory = Netlist.memory_name mem;
+                       race_depth = k;
+                       race_ports = (w1, w2);
+                       race_trace =
+                         trace_of_model t ~depth:k
+                           ~label:
+                             (Printf.sprintf "__race_%s__" (Netlist.memory_name mem));
+                     }
+             done
+           done)
+         t.mems;
+       if !result <> None then raise Exit
+     done
+   with Exit | Solver.Timeout -> ());
+  !result
+
+let hooks ?memories ?init_consistency net =
+  ignore net;
+  let state = ref None in
+  let get unr =
+    match !state with
+    | Some s -> s
+    | None ->
+      let s = create ?memories ?init_consistency unr in
+      state := Some s;
+      s
+  in
+  let hooks =
+    {
+      Bmc.Engine.on_unroll = (fun unr k -> add_constraints (get unr) k);
+      mem_init_of_model =
+        (fun unr _depth -> match !state with
+          | Some s -> mem_init_of_model s
+          | None -> ignore unr; []);
+    }
+  in
+  let get_counts () = match !state with Some s -> counts_total s | None -> zero_counts in
+  (hooks, get_counts)
+
+let check ?config ?memories ?init_consistency net ~property =
+  let hks, get_counts = hooks ?memories ?init_consistency net in
+  let result = Bmc.Engine.check ?config ~hooks:hks net ~property in
+  (result, get_counts ())
+
+let check_many ?config ?memories ?init_consistency net ~properties =
+  let hks, get_counts = hooks ?memories ?init_consistency net in
+  let results, stats = Bmc.Engine.check_all ?config ~hooks:hks net ~properties in
+  (results, stats, get_counts ())

@@ -1,0 +1,136 @@
+let expanded_latch_name mem addr bit = Printf.sprintf "%s<%d>[%d]" mem addr bit
+
+let init_bit init addr bit =
+  match init with
+  | Netlist.Zeros -> Some false
+  | Netlist.Arbitrary -> None
+  | Netlist.Words ws ->
+    let w = if addr < Array.length ws then ws.(addr) else 0 in
+    Some ((w lsr bit) land 1 = 1)
+
+let expand old_net =
+  let net = Netlist.create () in
+  let map : (int, Netlist.signal) Hashtbl.t = Hashtbl.create 1024 in
+  (* Latch arrays per memory: mem_id -> word address -> bit -> latch signal *)
+  let mem_latches : (int, Netlist.signal array array) Hashtbl.t = Hashtbl.create 4 in
+  let mems = Netlist.memories old_net in
+  (* State elements first, so combinational copying can reference them. *)
+  List.iter
+    (fun l ->
+      let id = Netlist.node_of l in
+      let nl =
+        Netlist.latch net ~init:(Netlist.latch_init old_net l)
+          (Netlist.latch_name old_net l)
+      in
+      Hashtbl.replace map id nl)
+    (Netlist.latches old_net);
+  List.iter
+    (fun m ->
+      let size = 1 lsl Netlist.memory_addr_width m in
+      let dw = Netlist.memory_data_width m in
+      let name = Netlist.memory_name m in
+      let init = Netlist.memory_init m in
+      let words =
+        Array.init size (fun a ->
+            Array.init dw (fun b ->
+                Netlist.latch net ~init:(init_bit init a b)
+                  (expanded_latch_name name a b)))
+      in
+      Hashtbl.replace mem_latches (Netlist.memory_id m) words)
+    mems;
+  let mem_by_id = Hashtbl.create 4 in
+  List.iter (fun m -> Hashtbl.replace mem_by_id (Netlist.memory_id m) m) mems;
+  (* Memoised read-port data vectors. *)
+  let rports : (int * int, Netlist.signal array) Hashtbl.t = Hashtbl.create 8 in
+  let rec copy s =
+    let id = Netlist.node_of s in
+    let pos =
+      match Hashtbl.find_opt map id with
+      | Some ns -> ns
+      | None ->
+        let ns =
+          match Netlist.node old_net id with
+          | Netlist.Const_false -> Netlist.false_
+          | Netlist.Input name -> Netlist.input net name
+          | Netlist.Latch _ -> assert false (* pre-mapped *)
+          | Netlist.And (a, b) -> Netlist.and_ net (copy a) (copy b)
+          | Netlist.Mem_out { mem; port; bit } -> (read_data mem port).(bit)
+        in
+        Hashtbl.replace map id ns;
+        ns
+    in
+    if Netlist.is_complement s then Netlist.not_ pos else pos
+  (* rd = enable ? mem[addr] : 0, as a mux tree over the address bits. *)
+  and read_data mem port =
+    match Hashtbl.find_opt rports (mem, port) with
+    | Some v -> v
+    | None ->
+      let m = Hashtbl.find mem_by_id mem in
+      let words = Hashtbl.find mem_latches mem in
+      let addr_bus, enable, _ = Netlist.read_port m port in
+      let addr = Array.map copy addr_bus in
+      let en = copy enable in
+      let dw = Netlist.memory_data_width m in
+      (* Select among words.(lo .. lo + 2^level - 1) using address bits
+         [0 .. level-1]. *)
+      let rec select level lo bit =
+        if level = 0 then words.(lo).(bit)
+        else
+          let half = 1 lsl (level - 1) in
+          Netlist.mux net addr.(level - 1)
+            (select (level - 1) (lo + half) bit)
+            (select (level - 1) lo bit)
+      in
+      let aw = Netlist.memory_addr_width m in
+      let v = Array.init dw (fun bit -> Netlist.and_ net en (select aw 0 bit)) in
+      Hashtbl.replace rports (mem, port) v;
+      v
+  in
+  (* Next-state functions of the design's own latches. *)
+  List.iter
+    (fun l ->
+      let id = Netlist.node_of l in
+      let nl = Hashtbl.find map id in
+      Netlist.set_next net nl (copy (Netlist.latch_next old_net l)))
+    (Netlist.latches old_net);
+  (* Write logic: each memory bit keeps its value unless some write port hits
+     its address this cycle (no data races assumed, as in the paper). *)
+  List.iter
+    (fun m ->
+      let words = Hashtbl.find mem_latches (Netlist.memory_id m) in
+      let aw = Netlist.memory_addr_width m in
+      let dw = Netlist.memory_data_width m in
+      let ports =
+        List.init (Netlist.num_write_ports m) (fun w ->
+            let addr_bus, data_bus, enable = Netlist.write_port m w in
+            (Array.map copy addr_bus, Array.map copy data_bus, copy enable))
+      in
+      for a = 0 to (1 lsl aw) - 1 do
+        (* hit_w = enable_w && (addr_w = a) *)
+        let hits =
+          List.map
+            (fun (addr, data, en) ->
+              let addr_eq = ref Netlist.true_ in
+              for i = 0 to aw - 1 do
+                let bit_set = (a lsr i) land 1 = 1 in
+                let b = if bit_set then addr.(i) else Netlist.not_ addr.(i) in
+                addr_eq := Netlist.and_ net !addr_eq b
+              done;
+              (Netlist.and_ net en !addr_eq, data))
+            ports
+        in
+        for b = 0 to dw - 1 do
+          let next =
+            List.fold_right
+              (fun (hit, data) acc -> Netlist.mux net hit data.(b) acc)
+              hits words.(a).(b)
+          in
+          Netlist.set_next net words.(a).(b) next
+        done
+      done)
+    mems;
+  List.iter (fun (name, s) -> Netlist.add_property net name (copy s))
+    (Netlist.properties old_net);
+  List.iter (fun (name, s) -> Netlist.add_output net name (copy s))
+    (Netlist.outputs old_net);
+  net

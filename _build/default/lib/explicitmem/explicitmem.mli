@@ -1,0 +1,14 @@
+(** Explicit memory modeling: the baseline the paper compares EMM against.
+
+    [expand net] returns a new netlist in which every memory module is
+    replaced by one latch per memory bit, address-decoded write
+    multiplexers, and read multiplexer trees — the state space grows by
+    [2^AW * DW] latches per memory, which is exactly the explosion EMM
+    avoids.  Input, latch and property names are preserved so that traces
+    and property references carry over unchanged. *)
+
+val expand : Netlist.t -> Netlist.t
+
+val expanded_latch_name : string -> int -> int -> string
+(** [expanded_latch_name mem addr bit] is the name given to the latch holding
+    bit [bit] of word [addr] of memory [mem]. *)

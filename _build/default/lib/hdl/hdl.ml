@@ -1,0 +1,182 @@
+type ctx = { net : Netlist.t }
+type bit = Netlist.signal
+type vector = bit array
+
+let create () = { net = Netlist.create () }
+let netlist ctx = ctx.net
+
+let const ~width n =
+  if width <= 0 then invalid_arg "Hdl.const: width";
+  Array.init width (fun i -> Netlist.of_bool ((n lsr i) land 1 = 1))
+
+let zero ~width = const ~width 0
+let ones ~width = const ~width (-1)
+
+let input ctx name ~width =
+  Array.init width (fun i -> Netlist.input ctx.net (Printf.sprintf "%s[%d]" name i))
+
+let input_bit ctx name = Netlist.input ctx.net name
+
+let check_same_width op a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Hdl.%s: width mismatch (%d vs %d)" op (Array.length a)
+                   (Array.length b))
+
+let not_v a = Array.map Netlist.not_ a
+let map2 f a b = Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+let and_v ctx a b =
+  check_same_width "and_v" a b;
+  map2 (Netlist.and_ ctx.net) a b
+
+let or_v ctx a b =
+  check_same_width "or_v" a b;
+  map2 (Netlist.or_ ctx.net) a b
+
+let xor_v ctx a b =
+  check_same_width "xor_v" a b;
+  map2 (Netlist.xor_ ctx.net) a b
+
+let mux2 ctx sel a b =
+  check_same_width "mux2" a b;
+  map2 (fun x y -> Netlist.mux ctx.net sel x y) a b
+
+let pmux ctx cases ~default =
+  List.fold_right (fun (cond, v) acc -> mux2 ctx cond v acc) cases default
+
+let reduce_or ctx a = Array.fold_left (Netlist.or_ ctx.net) Netlist.false_ a
+let reduce_and ctx a = Array.fold_left (Netlist.and_ ctx.net) Netlist.true_ a
+
+(* Ripple-carry addition; [cin] threads through for subtraction reuse. *)
+let add_with_cin ctx a b cin =
+  check_same_width "add" a b;
+  let n = Array.length a in
+  let sum = Array.make n Netlist.false_ in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let x = a.(i) and y = b.(i) in
+    let xy = Netlist.xor_ ctx.net x y in
+    sum.(i) <- Netlist.xor_ ctx.net xy !carry;
+    carry :=
+      Netlist.or_ ctx.net (Netlist.and_ ctx.net x y) (Netlist.and_ ctx.net xy !carry)
+  done;
+  (sum, !carry)
+
+let add_carry ctx a b = add_with_cin ctx a b Netlist.false_
+let add ctx a b = fst (add_carry ctx a b)
+let sub ctx a b = fst (add_with_cin ctx a (not_v b) Netlist.true_)
+let incr ctx a = add ctx a (const ~width:(Array.length a) 1)
+let decr ctx a = sub ctx a (const ~width:(Array.length a) 1)
+
+let eq ctx a b =
+  check_same_width "eq" a b;
+  reduce_and ctx (map2 (Netlist.xnor_ ctx.net) a b)
+
+let neq ctx a b = Netlist.not_ (eq ctx a b)
+
+(* a < b (unsigned) iff a + ~b + 1 has no carry out, i.e. a - b borrows. *)
+let lt ctx a b =
+  check_same_width "lt" a b;
+  let _, carry = add_with_cin ctx a (not_v b) Netlist.true_ in
+  Netlist.not_ carry
+
+let ge ctx a b = Netlist.not_ (lt ctx a b)
+let gt ctx a b = lt ctx b a
+let le ctx a b = ge ctx b a
+let eq_const ctx a n = eq ctx a (const ~width:(Array.length a) n)
+
+let concat lo hi = Array.append lo hi
+
+let select v ~hi ~lo =
+  if lo < 0 || hi >= Array.length v || hi < lo then invalid_arg "Hdl.select: range";
+  Array.sub v lo (hi - lo + 1)
+
+let bit_of v i =
+  if i < 0 || i >= Array.length v then invalid_arg "Hdl.bit_of: index";
+  v.(i)
+
+let uresize v ~width =
+  let n = Array.length v in
+  if width <= n then Array.sub v 0 width
+  else Array.append v (Array.make (width - n) Netlist.false_)
+
+let shift_left_const v k =
+  let n = Array.length v in
+  Array.init n (fun i -> if i < k then Netlist.false_ else v.(i - k))
+
+let shift_right_const v k =
+  let n = Array.length v in
+  Array.init n (fun i -> if i + k < n then v.(i + k) else Netlist.false_)
+
+let reg ctx ?(init = Some 0) name ~width =
+  Array.init width (fun i ->
+      let bit_init = Option.map (fun n -> (n lsr i) land 1 = 1) init in
+      Netlist.latch ctx.net ~init:bit_init (Printf.sprintf "%s[%d]" name i))
+
+let reg_bit ctx ?(init = Some false) name = Netlist.latch ctx.net ~init name
+
+let connect ctx q d =
+  check_same_width "connect" q d;
+  Array.iteri (fun i l -> Netlist.set_next ctx.net l d.(i)) q
+
+let connect_bit ctx q d = Netlist.set_next ctx.net q d
+
+module Fsm = struct
+  type t = {
+    ctx : ctx;
+    state : vector;
+    names : string array;
+    mutable finalized : bool;
+  }
+
+  let width_for n =
+    let rec go w = if 1 lsl w >= n then w else go (w + 1) in
+    max 1 (go 0)
+
+  let create ctx name ~states =
+    if states = [] then invalid_arg "Fsm.create: no states";
+    let names = Array.of_list states in
+    let state = reg ctx ~init:(Some 0) name ~width:(width_for (Array.length names)) in
+    { ctx; state; names; finalized = false }
+
+  let encoding t name =
+    let rec find i =
+      if i >= Array.length t.names then invalid_arg ("Fsm: unknown state " ^ name)
+      else if t.names.(i) = name then i
+      else find (i + 1)
+    in
+    find 0
+
+  let is t name = eq_const t.ctx t.state (encoding t name)
+
+  let finalize t transitions =
+    if t.finalized then invalid_arg "Fsm.finalize: called twice";
+    t.finalized <- true;
+    let width = Array.length t.state in
+    let next =
+      pmux t.ctx
+        (List.map (fun (cond, target) -> (cond, const ~width (encoding t target)))
+           transitions)
+        ~default:t.state
+    in
+    connect t.ctx t.state next
+
+  let state_vector t = t.state
+end
+
+let memory ctx ~name ~addr_width ~data_width ~init =
+  Netlist.add_memory ctx.net ~name ~addr_width ~data_width ~init
+
+let write_port ctx m ~addr ~data ~enable =
+  ignore (Netlist.add_write_port ctx.net m ~addr ~data ~enable)
+
+let read_port ctx m ~addr ~enable = Netlist.add_read_port ctx.net m ~addr ~enable
+
+let assert_always ctx name p = Netlist.add_property ctx.net name p
+
+let output ctx name v =
+  Array.iteri
+    (fun i s -> Netlist.add_output ctx.net (Printf.sprintf "%s[%d]" name i) s)
+    v
+
+let output_bit ctx name s = Netlist.add_output ctx.net name s

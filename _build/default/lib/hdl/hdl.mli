@@ -1,0 +1,120 @@
+(** Word-level RTL construction DSL.
+
+    A thin synthesisable layer over {!Netlist}: vectors are little-endian
+    arrays of bit signals (index 0 = LSB), and every operation elaborates
+    directly into AND-inverter gates.  The case-study designs (quicksort
+    machine, image filter, multi-port lookup engine) are written against this
+    interface.
+
+    All operations check widths and raise [Invalid_argument] on mismatch. *)
+
+type ctx
+type bit = Netlist.signal
+type vector = bit array
+
+val create : unit -> ctx
+val netlist : ctx -> Netlist.t
+
+(** {2 Constants and inputs} *)
+
+val const : width:int -> int -> vector
+(** [const ~width n] encodes the low [width] bits of [n]. *)
+
+val zero : width:int -> vector
+val ones : width:int -> vector
+val input : ctx -> string -> width:int -> vector
+val input_bit : ctx -> string -> bit
+
+(** {2 Bitwise and logical operations} *)
+
+val not_v : vector -> vector
+val and_v : ctx -> vector -> vector -> vector
+val or_v : ctx -> vector -> vector -> vector
+val xor_v : ctx -> vector -> vector -> vector
+val mux2 : ctx -> bit -> vector -> vector -> vector
+(** [mux2 ctx sel a b] is [a] when [sel] else [b]. *)
+
+val pmux : ctx -> (bit * vector) list -> default:vector -> vector
+(** Priority multiplexer: first true condition wins. *)
+
+val reduce_or : ctx -> vector -> bit
+val reduce_and : ctx -> vector -> bit
+
+(** {2 Arithmetic and comparison (unsigned)} *)
+
+val add : ctx -> vector -> vector -> vector
+val add_carry : ctx -> vector -> vector -> vector * bit
+val sub : ctx -> vector -> vector -> vector
+val incr : ctx -> vector -> vector
+val decr : ctx -> vector -> vector
+val eq : ctx -> vector -> vector -> bit
+val neq : ctx -> vector -> vector -> bit
+val lt : ctx -> vector -> vector -> bit
+val le : ctx -> vector -> vector -> bit
+val gt : ctx -> vector -> vector -> bit
+val ge : ctx -> vector -> vector -> bit
+val eq_const : ctx -> vector -> int -> bit
+
+(** {2 Structural} *)
+
+val concat : vector -> vector -> vector
+(** [concat lo hi] appends [hi] above [lo]. *)
+
+val select : vector -> hi:int -> lo:int -> vector
+val bit_of : vector -> int -> bit
+val uresize : vector -> width:int -> vector
+(** Zero-extend or truncate. *)
+
+val shift_left_const : vector -> int -> vector
+val shift_right_const : vector -> int -> vector
+
+(** {2 State} *)
+
+val reg : ctx -> ?init:int option -> string -> width:int -> vector
+(** A register.  [init] defaults to [Some 0]; [None] gives an arbitrary
+    initial value.  Connect its input later with {!connect}. *)
+
+val reg_bit : ctx -> ?init:bool option -> string -> bit
+val connect : ctx -> vector -> vector -> unit
+(** [connect ctx q d] sets the next-state of register [q] to [d]. *)
+
+val connect_bit : ctx -> bit -> bit -> unit
+
+(** {2 Finite-state-machine helper} *)
+
+module Fsm : sig
+  type t
+
+  val create : ctx -> string -> states:string list -> t
+  (** Binary-encoded state register, reset to the first state. *)
+
+  val is : t -> string -> bit
+  (** True when the machine is in the named state. *)
+
+  val finalize : t -> (bit * string) list -> unit
+  (** [finalize fsm transitions] connects the state register: the first
+      transition whose condition holds selects the next state; otherwise the
+      machine keeps its state.  Must be called exactly once. *)
+
+  val state_vector : t -> vector
+  val encoding : t -> string -> int
+end
+
+(** {2 Memories} *)
+
+val memory :
+  ctx -> name:string -> addr_width:int -> data_width:int -> init:Netlist.mem_init ->
+  Netlist.memory
+
+val write_port :
+  ctx -> Netlist.memory -> addr:vector -> data:vector -> enable:bit -> unit
+
+val read_port : ctx -> Netlist.memory -> addr:vector -> enable:bit -> vector
+
+(** {2 Verification hooks} *)
+
+val assert_always : ctx -> string -> bit -> unit
+(** Register a safety property [AG p]. *)
+
+val output : ctx -> string -> vector -> unit
+val output_bit : ctx -> string -> bit -> unit

@@ -1,0 +1,238 @@
+let init_to_string = function
+  | Some false -> "0"
+  | Some true -> "1"
+  | None -> "x"
+
+let init_of_string lineno = function
+  | "0" -> Some false
+  | "1" -> Some true
+  | "x" -> None
+  | s -> failwith (Printf.sprintf "emn line %d: bad latch init %S" lineno s)
+
+let signal_to_string s =
+  let id = Netlist.node_of s in
+  if Netlist.is_complement s then "!" ^ string_of_int id else string_of_int id
+
+let check_name name =
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\t' || c = '\n' || c = '#' then
+        invalid_arg (Printf.sprintf "Netio: name %S contains reserved characters" name))
+    name
+
+let to_string net =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "emn 1";
+  for id = 1 to Netlist.num_nodes net - 1 do
+    match Netlist.node net id with
+    | Netlist.Const_false -> ()
+    | Netlist.Input name ->
+      check_name name;
+      line "node %d input %s" id name
+    | Netlist.Latch { name; init; _ } ->
+      check_name name;
+      line "node %d latch %s %s" id name (init_to_string init)
+    | Netlist.And (a, b) -> line "node %d and %s %s" id (signal_to_string a) (signal_to_string b)
+    | Netlist.Mem_out _ -> () (* reconstructed from the rport lines *)
+  done;
+  List.iter
+    (fun m ->
+      check_name (Netlist.memory_name m);
+      let init =
+        match Netlist.memory_init m with
+        | Netlist.Zeros -> "zeros"
+        | Netlist.Arbitrary -> "arbitrary"
+        | Netlist.Words ws ->
+          "words " ^ String.concat " " (List.map string_of_int (Array.to_list ws))
+      in
+      line "memory %d %s %d %d %s" (Netlist.memory_id m) (Netlist.memory_name m)
+        (Netlist.memory_addr_width m) (Netlist.memory_data_width m) init;
+      for w = 0 to Netlist.num_write_ports m - 1 do
+        let addr, data, enable = Netlist.write_port m w in
+        line "wport %d %s %s : %s" (Netlist.memory_id m) (signal_to_string enable)
+          (String.concat " " (List.map signal_to_string (Array.to_list addr)))
+          (String.concat " " (List.map signal_to_string (Array.to_list data)))
+      done;
+      for r = 0 to Netlist.num_read_ports m - 1 do
+        let addr, enable, out = Netlist.read_port m r in
+        line "rport %d %s %s : %s" (Netlist.memory_id m) (signal_to_string enable)
+          (String.concat " " (List.map signal_to_string (Array.to_list addr)))
+          (String.concat " "
+             (List.map (fun s -> string_of_int (Netlist.node_of s)) (Array.to_list out)))
+      done)
+    (Netlist.memories net);
+  List.iter
+    (fun l ->
+      line "next %d %s" (Netlist.node_of l) (signal_to_string (Netlist.latch_next net l)))
+    (Netlist.latches net);
+  List.iter
+    (fun (name, s) ->
+      check_name name;
+      line "property %s %s" name (signal_to_string s))
+    (Netlist.properties net);
+  List.iter
+    (fun (name, s) ->
+      check_name name;
+      line "output %s %s" name (signal_to_string s))
+    (Netlist.outputs net);
+  Buffer.contents buf
+
+let save net path =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () ->
+      output_string out (to_string net))
+
+(* {2 Loading} *)
+
+type node_def =
+  | Dinput of string
+  | Dlatch of string * bool option
+  | Dand of string * string
+
+type port_def = { p_mem : int; p_enable : string; p_addr : string list; p_rhs : string list }
+
+let of_string text =
+  let nodes : (int * node_def) list ref = ref [] in
+  let memories = ref [] in
+  let wports = ref [] in
+  let rports = ref [] in
+  let nexts = ref [] in
+  let properties = ref [] in
+  let outputs = ref [] in
+  let fail lineno fmt =
+    Printf.ksprintf (fun s -> failwith (Printf.sprintf "emn line %d: %s" lineno s)) fmt
+  in
+  let parse_port lineno rest =
+    match rest with
+    | mem :: enable :: tl ->
+      let rec split acc = function
+        | ":" :: rhs -> (List.rev acc, rhs)
+        | x :: tl -> split (x :: acc) tl
+        | [] -> fail lineno "port line missing ':'"
+      in
+      let addr, rhs = split [] tl in
+      { p_mem = int_of_string mem; p_enable = enable; p_addr = addr; p_rhs = rhs }
+    | _ -> fail lineno "truncated port line"
+  in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let lin =
+        match String.index_opt raw '#' with
+        | Some j -> String.sub raw 0 j
+        | None -> raw
+      in
+      match String.split_on_char ' ' (String.trim lin) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ "emn"; "1" ] -> ()
+      | "emn" :: _ -> fail lineno "unsupported format version"
+      | "node" :: id :: "input" :: [ name ] ->
+        nodes := (int_of_string id, Dinput name) :: !nodes
+      | "node" :: id :: "latch" :: name :: [ init ] ->
+        nodes := (int_of_string id, Dlatch (name, init_of_string lineno init)) :: !nodes
+      | "node" :: id :: "and" :: a :: [ b ] ->
+        nodes := (int_of_string id, Dand (a, b)) :: !nodes
+      | "memory" :: id :: name :: aw :: dw :: init ->
+        let init =
+          match init with
+          | [ "zeros" ] -> Netlist.Zeros
+          | [ "arbitrary" ] -> Netlist.Arbitrary
+          | "words" :: ws -> Netlist.Words (Array.of_list (List.map int_of_string ws))
+          | _ -> fail lineno "bad memory init"
+        in
+        memories :=
+          (int_of_string id, name, int_of_string aw, int_of_string dw, init) :: !memories
+      | "wport" :: rest -> wports := parse_port lineno rest :: !wports
+      | "rport" :: rest -> rports := parse_port lineno rest :: !rports
+      | [ "next"; latch; s ] -> nexts := (int_of_string latch, s) :: !nexts
+      | [ "property"; name; s ] -> properties := (name, s) :: !properties
+      | [ "output"; name; s ] -> outputs := (name, s) :: !outputs
+      | tok :: _ -> fail lineno "unknown directive %S" tok)
+    lines;
+  let net = Netlist.create () in
+  (* Old node id -> new signal (positive phase). *)
+  let map : (int, Netlist.signal) Hashtbl.t = Hashtbl.create 1024 in
+  Hashtbl.replace map 0 Netlist.false_;
+  let signal_of s =
+    let compl = String.length s > 0 && s.[0] = '!' in
+    let id = int_of_string (if compl then String.sub s 1 (String.length s - 1) else s) in
+    match Hashtbl.find_opt map id with
+    | Some ns -> if compl then Netlist.not_ ns else ns
+    | None -> failwith (Printf.sprintf "emn: node %d used before definition" id)
+  in
+  (* Memories first (ids ascending), so read ports can attach. *)
+  let mem_by_id = Hashtbl.create 4 in
+  List.iter
+    (fun (id, name, addr_width, data_width, init) ->
+      let m = Netlist.add_memory net ~name ~addr_width ~data_width ~init in
+      Hashtbl.replace mem_by_id id m)
+    (List.sort compare (List.rev !memories));
+  (* Nodes in id order; read ports are created when reached, in the order the
+     rport lines declare their output nodes. *)
+  let pending_rports = ref (List.rev !rports) in
+  let rport_done = Hashtbl.create 8 in
+  let defs = List.sort compare (List.rev !nodes) in
+  let min_rport_id p =
+    List.fold_left (fun acc s -> min acc (int_of_string s)) max_int p.p_rhs
+  in
+  let create_rport p =
+    let m =
+      match Hashtbl.find_opt mem_by_id p.p_mem with
+      | Some m -> m
+      | None -> failwith (Printf.sprintf "emn: rport of unknown memory %d" p.p_mem)
+    in
+    let addr = Array.of_list (List.map signal_of p.p_addr) in
+    let enable = signal_of p.p_enable in
+    let out = Netlist.add_read_port net m ~addr ~enable in
+    List.iteri
+      (fun bit s ->
+        let id = int_of_string s in
+        if bit < Array.length out then Hashtbl.replace map id out.(bit))
+      p.p_rhs;
+    Hashtbl.replace rport_done p ()
+  in
+  List.iter
+    (fun (id, def) ->
+      (* Create any read port whose outputs start before this node. *)
+      List.iter
+        (fun p ->
+          if (not (Hashtbl.mem rport_done p)) && min_rport_id p < id then create_rport p)
+        !pending_rports;
+      pending_rports := List.filter (fun p -> not (Hashtbl.mem rport_done p)) !pending_rports;
+      let s =
+        match def with
+        | Dinput name -> Netlist.input net name
+        | Dlatch (name, init) -> Netlist.latch net ~init name
+        | Dand (a, b) -> Netlist.and_ net (signal_of a) (signal_of b)
+      in
+      Hashtbl.replace map id s)
+    defs;
+  List.iter (fun p -> if not (Hashtbl.mem rport_done p) then create_rport p)
+    !pending_rports;
+  (* Write ports, next-states, properties, outputs. *)
+  List.iter
+    (fun p ->
+      let m = Hashtbl.find mem_by_id p.p_mem in
+      let addr = Array.of_list (List.map signal_of p.p_addr) in
+      let data = Array.of_list (List.map signal_of p.p_rhs) in
+      ignore (Netlist.add_write_port net m ~addr ~data ~enable:(signal_of p.p_enable)))
+    (List.rev !wports);
+  List.iter
+    (fun (latch, s) ->
+      match Hashtbl.find_opt map latch with
+      | Some l -> Netlist.set_next net l (signal_of s)
+      | None -> failwith (Printf.sprintf "emn: next of unknown latch %d" latch))
+    (List.rev !nexts);
+  List.iter (fun (name, s) -> Netlist.add_property net name (signal_of s))
+    (List.rev !properties);
+  List.iter (fun (name, s) -> Netlist.add_output net name (signal_of s)) (List.rev !outputs);
+  net
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,31 @@
+(** Textual interchange format for netlists with memory modules ("EMN").
+
+    A line-oriented format in the spirit of ASCII AIGER, extended with
+    word-level memory modules so that embedded-memory designs survive the
+    round trip.  Node definitions appear in topological (id) order; signals
+    are written as [<node-id>] or [!<node-id>] for the complement.
+
+    {v
+    emn 1
+    node 3 input we
+    node 4 latch count[0] 0      # init 0 | 1 | x (arbitrary)
+    node 7 and 6 !4
+    memory 0 ram 4 8 zeros       # id name AW DW zeros|arbitrary|words ...
+    wport 0 8 10 11 12 13 : 14 15 16 17 18 19 20 21
+    rport 0 9 22 23 24 25 : 30 31 32 33 34 35 36 37
+    next 4 !7
+    property safe !40
+    output full 12
+    v}
+
+    Loading reconstructs the design through the ordinary {!Netlist}
+    construction API (structural hashing may merge duplicate gates, so node
+    ids are not preserved — behaviour is). *)
+
+val to_string : Netlist.t -> string
+val save : Netlist.t -> string -> unit
+
+val of_string : string -> Netlist.t
+(** Raises [Failure] with a line number on malformed input. *)
+
+val load : string -> Netlist.t

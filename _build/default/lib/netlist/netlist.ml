@@ -1,0 +1,305 @@
+type signal = int
+
+let is_complement s = s land 1 = 1
+let node_of s = s lsr 1
+let signal_of_node n compl = (2 * n) lor (if compl then 1 else 0)
+let not_ s = s lxor 1
+let false_ = 0
+let true_ = 1
+let of_bool b = if b then true_ else false_
+
+type inode =
+  | INconst
+  | INinput of string
+  | INlatch of { lname : string; linit : bool option; mutable next : int (* -1 unset *) }
+  | INand of int * int
+  | INmem_out of { mem : int; port : int; bit : int }
+
+type mem_init = Zeros | Arbitrary | Words of int array
+
+type wport = { w_addr : signal array; w_data : signal array; w_enable : signal }
+type rport = { r_addr : signal array; r_enable : signal; r_out : signal array }
+
+type memory = {
+  mem_id : int;
+  mname : string;
+  addr_width : int;
+  data_width : int;
+  minit : mem_init;
+  mutable wports : wport list; (* reverse order *)
+  mutable rports : rport list; (* reverse order *)
+}
+
+type t = {
+  mutable nodes : inode array;
+  mutable num_nodes : int;
+  strash : (int * int, int) Hashtbl.t;
+  mutable rev_inputs : int list;
+  mutable rev_latches : int list;
+  mutable rev_memories : memory list;
+  mutable rev_properties : (string * signal) list;
+  mutable rev_outputs : (string * signal) list;
+}
+
+let create () =
+  let t =
+    {
+      nodes = Array.make 1024 INconst;
+      num_nodes = 0;
+      strash = Hashtbl.create 4096;
+      rev_inputs = [];
+      rev_latches = [];
+      rev_memories = [];
+      rev_properties = [];
+      rev_outputs = [];
+    }
+  in
+  t.nodes.(0) <- INconst;
+  t.num_nodes <- 1;
+  t
+
+let alloc t n =
+  if t.num_nodes = Array.length t.nodes then begin
+    let nodes = Array.make (2 * t.num_nodes) INconst in
+    Array.blit t.nodes 0 nodes 0 t.num_nodes;
+    t.nodes <- nodes
+  end;
+  let id = t.num_nodes in
+  t.nodes.(id) <- n;
+  t.num_nodes <- id + 1;
+  id
+
+let input t name =
+  let id = alloc t (INinput name) in
+  t.rev_inputs <- id :: t.rev_inputs;
+  signal_of_node id false
+
+let latch t ?(init = Some false) name =
+  let id = alloc t (INlatch { lname = name; linit = init; next = -1 }) in
+  t.rev_latches <- id :: t.rev_latches;
+  signal_of_node id false
+
+let set_next t l n =
+  if is_complement l then invalid_arg "Netlist.set_next: complemented latch reference";
+  match t.nodes.(node_of l) with
+  | INlatch r ->
+    if r.next >= 0 then invalid_arg "Netlist.set_next: next-state already set";
+    r.next <- n
+  | INconst | INinput _ | INand _ | INmem_out _ ->
+    invalid_arg "Netlist.set_next: not a latch"
+
+let and_ t a b =
+  if a = false_ || b = false_ then false_
+  else if a = true_ then b
+  else if b = true_ then a
+  else if a = b then a
+  else if a = not_ b then false_
+  else begin
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.strash key with
+    | Some id -> signal_of_node id false
+    | None ->
+      let ka, kb = key in
+      let id = alloc t (INand (ka, kb)) in
+      Hashtbl.add t.strash key id;
+      signal_of_node id false
+  end
+
+let or_ t a b = not_ (and_ t (not_ a) (not_ b))
+let implies t a b = or_ t (not_ a) b
+let xor_ t a b = or_ t (and_ t a (not_ b)) (and_ t (not_ a) b)
+let xnor_ t a b = not_ (xor_ t a b)
+let mux t sel a b = or_ t (and_ t sel a) (and_ t (not_ sel) b)
+let and_list t = List.fold_left (and_ t) true_
+let or_list t = List.fold_left (or_ t) false_
+
+let add_memory t ~name ~addr_width ~data_width ~init =
+  if addr_width <= 0 || data_width <= 0 then invalid_arg "Netlist.add_memory: bad widths";
+  let m =
+    {
+      mem_id = List.length t.rev_memories;
+      mname = name;
+      addr_width;
+      data_width;
+      minit = init;
+      wports = [];
+      rports = [];
+    }
+  in
+  t.rev_memories <- m :: t.rev_memories;
+  m
+
+let add_write_port _t m ~addr ~data ~enable =
+  if Array.length addr <> m.addr_width then invalid_arg "add_write_port: address width";
+  if Array.length data <> m.data_width then invalid_arg "add_write_port: data width";
+  let idx = List.length m.wports in
+  m.wports <- { w_addr = addr; w_data = data; w_enable = enable } :: m.wports;
+  idx
+
+let add_read_port t m ~addr ~enable =
+  if Array.length addr <> m.addr_width then invalid_arg "add_read_port: address width";
+  let idx = List.length m.rports in
+  let out =
+    Array.init m.data_width (fun bit ->
+        signal_of_node (alloc t (INmem_out { mem = m.mem_id; port = idx; bit })) false)
+  in
+  m.rports <- { r_addr = addr; r_enable = enable; r_out = out } :: m.rports;
+  out
+
+let memories t = List.rev t.rev_memories
+let memory_name m = m.mname
+let memory_id m = m.mem_id
+let memory_addr_width m = m.addr_width
+let memory_data_width m = m.data_width
+let memory_init m = m.minit
+let num_write_ports m = List.length m.wports
+let num_read_ports m = List.length m.rports
+
+let write_port m w =
+  let p = List.nth (List.rev m.wports) w in
+  (p.w_addr, p.w_data, p.w_enable)
+
+let read_port m r =
+  let p = List.nth (List.rev m.rports) r in
+  (p.r_addr, p.r_enable, p.r_out)
+
+let add_property t name s = t.rev_properties <- (name, s) :: t.rev_properties
+let properties t = List.rev t.rev_properties
+
+let find_property t name =
+  match List.assoc_opt name t.rev_properties with
+  | Some s -> s
+  | None -> invalid_arg ("Netlist.find_property: unknown property " ^ name)
+
+let add_output t name s = t.rev_outputs <- (name, s) :: t.rev_outputs
+let outputs t = List.rev t.rev_outputs
+
+type node =
+  | Const_false
+  | Input of string
+  | Latch of { name : string; init : bool option; next : signal option }
+  | And of signal * signal
+  | Mem_out of { mem : int; port : int; bit : int }
+
+let node t id =
+  if id < 0 || id >= t.num_nodes then invalid_arg "Netlist.node: bad id";
+  match t.nodes.(id) with
+  | INconst -> Const_false
+  | INinput name -> Input name
+  | INlatch { lname; linit; next } ->
+    Latch { name = lname; init = linit; next = (if next < 0 then None else Some next) }
+  | INand (a, b) -> And (a, b)
+  | INmem_out { mem; port; bit } -> Mem_out { mem; port; bit }
+
+let num_nodes t = t.num_nodes
+let inputs t = List.rev_map (fun id -> signal_of_node id false) t.rev_inputs
+let latches t = List.rev_map (fun id -> signal_of_node id false) t.rev_latches
+
+let latch_next t l =
+  match t.nodes.(node_of l) with
+  | INlatch { next; _ } ->
+    if next < 0 then invalid_arg "Netlist.latch_next: next-state unset"
+    else if is_complement l then not_ next
+    else next
+  | INconst | INinput _ | INand _ | INmem_out _ ->
+    invalid_arg "Netlist.latch_next: not a latch"
+
+let latch_init t l =
+  match t.nodes.(node_of l) with
+  | INlatch { linit; _ } ->
+    if is_complement l then Option.map not linit else linit
+  | INconst | INinput _ | INand _ | INmem_out _ ->
+    invalid_arg "Netlist.latch_init: not a latch"
+
+let latch_name t l =
+  match t.nodes.(node_of l) with
+  | INlatch { lname; _ } -> lname
+  | INconst | INinput _ | INand _ | INmem_out _ ->
+    invalid_arg "Netlist.latch_name: not a latch"
+
+(* Topological fold over the combinational fan-in cone (stops at latches,
+   inputs, memory outputs and constants). *)
+let fold_cone t roots ~init ~f =
+  let visited = Hashtbl.create 1024 in
+  let acc = ref init in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      (match t.nodes.(id) with
+      | INand (a, b) ->
+        visit (node_of a);
+        visit (node_of b)
+      | INconst | INinput _ | INlatch _ | INmem_out _ -> ());
+      acc := f !acc id (node t id)
+    end
+  in
+  List.iter (fun s -> visit (node_of s)) roots;
+  !acc
+
+let memory_interface_signals m =
+  List.concat_map
+    (fun p -> p.w_enable :: (Array.to_list p.w_addr @ Array.to_list p.w_data))
+    m.wports
+  @ List.concat_map (fun p -> p.r_enable :: Array.to_list p.r_addr) m.rports
+
+let support_latches t roots =
+  let seen_latch = Hashtbl.create 64 in
+  let seen_mem = Hashtbl.create 8 in
+  let visited = Hashtbl.create 1024 in
+  let order = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.add visited id ();
+      match t.nodes.(id) with
+      | INconst | INinput _ -> ()
+      | INand (a, b) ->
+        visit (node_of a);
+        visit (node_of b)
+      | INlatch { next; _ } ->
+        if not (Hashtbl.mem seen_latch id) then begin
+          Hashtbl.add seen_latch id ();
+          order := id :: !order
+        end;
+        if next >= 0 then visit (node_of next)
+      | INmem_out { mem; _ } ->
+        if not (Hashtbl.mem seen_mem mem) then begin
+          Hashtbl.add seen_mem mem ();
+          let m = List.find (fun m -> m.mem_id = mem) t.rev_memories in
+          List.iter (fun s -> visit (node_of s)) (memory_interface_signals m)
+        end
+    end
+  in
+  List.iter (fun s -> visit (node_of s)) roots;
+  List.rev_map (fun id -> signal_of_node id false) !order
+
+type stats = {
+  num_inputs : int;
+  num_latches : int;
+  num_ands : int;
+  num_memories : int;
+  num_mem_bits : int;
+}
+
+let stats t =
+  let num_ands = ref 0 in
+  for i = 0 to t.num_nodes - 1 do
+    match t.nodes.(i) with
+    | INand _ -> incr num_ands
+    | INconst | INinput _ | INlatch _ | INmem_out _ -> ()
+  done;
+  let num_mem_bits =
+    List.fold_left
+      (fun acc m -> acc + ((1 lsl m.addr_width) * m.data_width))
+      0 t.rev_memories
+  in
+  {
+    num_inputs = List.length t.rev_inputs;
+    num_latches = List.length t.rev_latches;
+    num_ands = !num_ands;
+    num_memories = List.length t.rev_memories;
+    num_mem_bits;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "inputs=%d latches=%d ands=%d memories=%d mem-bits=%d"
+    s.num_inputs s.num_latches s.num_ands s.num_memories s.num_mem_bits

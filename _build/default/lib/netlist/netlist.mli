@@ -1,0 +1,153 @@
+(** Bit-level structural netlists with embedded memory modules.
+
+    The combinational fabric is an AND-inverter graph: nodes are constants,
+    primary inputs, latches, 2-input AND gates, or memory read-data outputs;
+    signals are node references with a complement bit, so inversion is free.
+    AND construction performs constant folding and structural hashing.
+
+    Memories are kept as {e word-level modules} rather than expanded into
+    bits: a memory has an address width, a data width, an initial-contents
+    policy and a set of read and write ports, each port built from ordinary
+    signals (address/data buses, enable).  A read port's data bus is a vector
+    of [Mem_out] nodes — free variables from the point of view of the
+    combinational fabric, to be constrained either by EMM (the paper's
+    approach) or by explicit expansion (the baseline).
+
+    This mirrors the paper's verification model: "the memory arrays are
+    eliminated, but the memory interface signals and their control logic are
+    retained". *)
+
+type t
+
+type signal
+(** A node reference with complement bit. *)
+
+(** {2 Construction} *)
+
+val create : unit -> t
+
+val false_ : signal
+val true_ : signal
+val of_bool : bool -> signal
+val input : t -> string -> signal
+
+val latch : t -> ?init:bool option -> string -> signal
+(** A state element.  [init] defaults to [Some false] (reset to 0); [None]
+    models an arbitrary initial value.  The next-state function must be set
+    later with {!set_next} — latches may appear in their own support. *)
+
+val set_next : t -> signal -> signal -> unit
+(** [set_next t l n] sets the next-state input of latch [l].  Raises
+    [Invalid_argument] if [l] is not a positive latch reference or if its
+    next-state was already set. *)
+
+val not_ : signal -> signal
+val and_ : t -> signal -> signal -> signal
+val or_ : t -> signal -> signal -> signal
+val xor_ : t -> signal -> signal -> signal
+val xnor_ : t -> signal -> signal -> signal
+val implies : t -> signal -> signal -> signal
+val mux : t -> signal -> signal -> signal -> signal
+(** [mux t sel a b] is [a] when [sel] is true, else [b]. *)
+
+val and_list : t -> signal list -> signal
+val or_list : t -> signal list -> signal
+
+(** {2 Memory modules} *)
+
+type mem_init =
+  | Zeros  (** all locations reset to 0 *)
+  | Arbitrary  (** unconstrained initial contents (paper §4.2) *)
+  | Words of int array  (** concrete initial words, index = address *)
+
+type memory
+
+val add_memory :
+  t -> name:string -> addr_width:int -> data_width:int -> init:mem_init -> memory
+
+val add_write_port :
+  t -> memory -> addr:signal array -> data:signal array -> enable:signal -> int
+(** Returns the port index within the memory.  Bus widths must match the
+    memory's declared widths. *)
+
+val add_read_port : t -> memory -> addr:signal array -> enable:signal -> signal array
+(** Returns the read-data bus: fresh [Mem_out] signals of width
+    [data_width]. *)
+
+val memories : t -> memory list
+val memory_name : memory -> string
+val memory_id : memory -> int
+val memory_addr_width : memory -> int
+val memory_data_width : memory -> int
+val memory_init : memory -> mem_init
+val num_write_ports : memory -> int
+val num_read_ports : memory -> int
+
+val write_port : memory -> int -> signal array * signal array * signal
+(** [write_port m w] is [(addr, data, enable)]. *)
+
+val read_port : memory -> int -> signal array * signal * signal array
+(** [read_port m r] is [(addr, enable, data_out)]. *)
+
+(** {2 Properties and outputs} *)
+
+val add_property : t -> string -> signal -> unit
+(** Register a named safety property: the signal must hold in all reachable
+    states ([AG p]). *)
+
+val properties : t -> (string * signal) list
+val find_property : t -> string -> signal
+
+val add_output : t -> string -> signal -> unit
+val outputs : t -> (string * signal) list
+
+(** {2 Observers} *)
+
+val is_complement : signal -> bool
+val node_of : signal -> int
+val signal_of_node : int -> bool -> signal
+
+type node =
+  | Const_false
+  | Input of string
+  | Latch of { name : string; init : bool option; next : signal option }
+  | And of signal * signal
+  | Mem_out of { mem : int; port : int; bit : int }
+
+val node : t -> int -> node
+val num_nodes : t -> int
+val inputs : t -> signal list
+val latches : t -> signal list
+(** Positive references to all latch nodes, in creation order. *)
+
+val latch_next : t -> signal -> signal
+(** Next-state signal of a latch.  Raises [Invalid_argument] if unset. *)
+
+val latch_init : t -> signal -> bool option
+val latch_name : t -> signal -> string
+
+val fold_cone : t -> signal list -> init:'a -> f:('a -> int -> node -> 'a) -> 'a
+(** Fold over the transitive fan-in cone of the given signals in topological
+    order (definitions before uses).  The cone stops at latches, inputs and
+    memory outputs: latch next-state functions are {e not} entered. *)
+
+val memory_interface_signals : memory -> signal list
+(** All signals driving the memory's ports: write addresses/data/enables and
+    read addresses/enables.  The latches in their sequential cone are the
+    memory's "control logic" in the paper's sense (§4.3). *)
+
+val support_latches : t -> signal list -> signal list
+(** Latches in the sequential cone of influence of the given signals
+    (following latch next-state functions and memory-port control to a fixed
+    point). *)
+
+type stats = {
+  num_inputs : int;
+  num_latches : int;
+  num_ands : int;
+  num_memories : int;
+  num_mem_bits : int;  (** total bits if the memories were expanded *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/satsolver/checker.ml: Array Hashtbl List Lit Option Queue Vec

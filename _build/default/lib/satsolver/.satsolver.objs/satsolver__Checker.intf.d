@@ -1,0 +1,1 @@
+lib/satsolver/checker.mli: Lit

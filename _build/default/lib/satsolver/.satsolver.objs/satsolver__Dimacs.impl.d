@@ -1,0 +1,1 @@
+lib/satsolver/dimacs.ml: Buffer List Lit Printf Solver String

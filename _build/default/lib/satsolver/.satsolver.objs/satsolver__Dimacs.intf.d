@@ -1,0 +1,1 @@
+lib/satsolver/dimacs.mli: Lit Solver

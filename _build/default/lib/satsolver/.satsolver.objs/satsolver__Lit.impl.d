@@ -1,0 +1,1 @@
+lib/satsolver/lit.ml: Format

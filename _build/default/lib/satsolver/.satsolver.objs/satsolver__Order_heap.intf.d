@@ -1,0 +1,1 @@
+lib/satsolver/order_heap.mli:

@@ -1,0 +1,1 @@
+lib/satsolver/solver.ml: Array Format Hashtbl List Lit Order_heap Unix Vec

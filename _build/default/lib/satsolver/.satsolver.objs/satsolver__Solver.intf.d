@@ -1,0 +1,1 @@
+lib/satsolver/solver.mli: Format Lit

@@ -1,0 +1,1 @@
+lib/satsolver/vec.ml: Array List

@@ -1,0 +1,132 @@
+(* A deliberately simple propagation engine: occurrence lists plus a
+   scan-until-fixpoint loop.  Performance is secondary to independence from
+   the solver implementation. *)
+
+type cls = { lits : int array }
+
+type state = {
+  nvars : int;
+  clauses : cls Vec.t;
+  occurs : (int, int list) Hashtbl.t; (* literal -> clause indices *)
+  assign : int array; (* var -> -1 undef / 0 false / 1 true *)
+}
+
+let make num_vars =
+  {
+    nvars = num_vars;
+    clauses = Vec.create ~dummy:{ lits = [||] } ();
+    occurs = Hashtbl.create 1024;
+    assign = Array.make (max num_vars 1) (-1);
+  }
+
+let add_clause st lits =
+  (* Duplicate literals would defeat unit detection. *)
+  let lits = List.sort_uniq compare lits in
+  let idx = Vec.size st.clauses in
+  Vec.push st.clauses { lits = Array.of_list lits };
+  List.iter
+    (fun l ->
+      let old = Option.value (Hashtbl.find_opt st.occurs l) ~default:[] in
+      Hashtbl.replace st.occurs l (idx :: old))
+    lits
+
+let value st l =
+  let v = st.assign.(Lit.var l) in
+  if v < 0 then -1 else if Lit.sign l then v else 1 - v
+
+(* Propagate from the given seed assignments; returns [true] on conflict.
+   All assignments are recorded in [trail] for undoing. *)
+let propagate st seeds trail =
+  let conflict = ref false in
+  let queue = Queue.create () in
+  let enqueue l =
+    match value st l with
+    | 0 -> conflict := true
+    | 1 -> ()
+    | _ ->
+      st.assign.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+      trail := Lit.var l :: !trail;
+      Queue.push l queue
+  in
+  List.iter enqueue seeds;
+  (* Initial scan: pre-existing empty or unit clauses. *)
+  Vec.iter
+    (fun c ->
+      if not !conflict then begin
+        let satisfied = ref false in
+        let unassigned = ref [] in
+        Array.iter
+          (fun l ->
+            match value st l with
+            | 1 -> satisfied := true
+            | 0 -> ()
+            | _ -> unassigned := l :: !unassigned)
+          c.lits;
+        if not !satisfied then
+          match !unassigned with
+          | [] -> conflict := true
+          | [ unit_lit ] -> enqueue unit_lit
+          | _ :: _ :: _ -> ()
+      end)
+    st.clauses;
+  while (not !conflict) && not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    (* Clauses containing ~p may have become unit or empty. *)
+    let affected = Option.value (Hashtbl.find_opt st.occurs (Lit.negate p)) ~default:[] in
+    List.iter
+      (fun idx ->
+        if not !conflict then begin
+          let c = Vec.get st.clauses idx in
+          let satisfied = ref false in
+          let unassigned = ref [] in
+          Array.iter
+            (fun l ->
+              match value st l with
+              | 1 -> satisfied := true
+              | 0 -> ()
+              | _ -> unassigned := l :: !unassigned)
+            c.lits;
+          if not !satisfied then begin
+            match !unassigned with
+            | [] -> conflict := true
+            | [ unit_lit ] -> enqueue unit_lit
+            | _ :: _ :: _ -> ()
+          end
+        end)
+      affected
+  done;
+  !conflict
+
+let undo st trail = List.iter (fun v -> st.assign.(v) <- -1) trail
+
+(* Is [clause] RUP w.r.t. the current clause set?  Assert its negation and
+   propagate; a conflict certifies the clause. *)
+let rup st clause =
+  let trail = ref [] in
+  let conflict = propagate st (List.map Lit.negate clause) trail in
+  undo st !trail;
+  conflict
+
+let clause_is_rup ~num_vars set clause =
+  let st = make num_vars in
+  List.iter (add_clause st) set;
+  rup st clause
+
+let verify ~num_vars ~original ~derivation =
+  let st = make num_vars in
+  List.iter (add_clause st) original;
+  let ok =
+    List.for_all
+      (fun clause ->
+        let step_ok = rup st clause in
+        if step_ok then add_clause st clause;
+        step_ok)
+      derivation
+  in
+  (* Final step: the accumulated set must be unit-refutable. *)
+  ok
+  &&
+  let trail = ref [] in
+  let conflict = propagate st [] trail in
+  undo st !trail;
+  conflict

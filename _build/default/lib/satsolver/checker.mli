@@ -1,0 +1,20 @@
+(** Independent validation of refutations, in the spirit of the checker the
+    paper relies on for [SAT_Get_Refutation] (Zhang & Malik, DATE'03 — its
+    reference [20]).
+
+    The solver can log every clause it learns ({!Solver.set_proof_logging});
+    a refutation is then validated by checking each logged clause for the
+    {e reverse unit propagation} property against the original clauses and
+    the previously validated ones: asserting the negation of the clause and
+    running unit propagation must yield a conflict.  A final propagation
+    pass over everything must conflict as well, establishing
+    unsatisfiability without trusting any solver internals — this module
+    shares no code with the solver's propagation engine. *)
+
+val verify :
+  num_vars:int -> original:Lit.t list list -> derivation:Lit.t list list -> bool
+(** [true] iff every derived clause is RUP with respect to its predecessors
+    and the combined set is unit-refutable. *)
+
+val clause_is_rup : num_vars:int -> Lit.t list list -> Lit.t list -> bool
+(** One step: is the clause implied-by-unit-propagation from the set? *)

@@ -1,0 +1,55 @@
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+let parse_string s =
+  let num_vars = ref 0 in
+  let declared_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let lines = String.split_on_char '\n' s in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | [ "p"; "cnf"; nv; nc ] ->
+          num_vars := int_of_string nv;
+          declared_clauses := int_of_string nc
+        | _ -> failwith (Printf.sprintf "dimacs: bad problem line %d" (lineno + 1))
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun t -> t <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith (Printf.sprintf "dimacs: bad token %S line %d" tok (lineno + 1))
+               | Some 0 ->
+                 clauses := List.rev !current :: !clauses;
+                 current := []
+               | Some d ->
+                 num_vars := max !num_vars (abs d);
+                 current := Lit.of_dimacs d :: !current))
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  { num_vars = !num_vars; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse_string s
+
+let to_string { num_vars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int (Lit.to_dimacs l) ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let load_into solver { num_vars; clauses } =
+  Solver.ensure_vars solver num_vars;
+  List.iter (Solver.add_clause solver) clauses

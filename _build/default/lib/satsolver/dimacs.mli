@@ -1,0 +1,16 @@
+(** DIMACS CNF reading and writing.
+
+    Used by the CLI for standalone solving and by the test-suite to exchange
+    problems with reference tooling. *)
+
+type problem = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> problem
+(** Raises [Failure] with a location message on malformed input. *)
+
+val parse_file : string -> problem
+
+val to_string : problem -> string
+
+val load_into : Solver.t -> problem -> unit
+(** Declare the variables and add every clause to the solver. *)

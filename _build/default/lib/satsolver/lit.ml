@@ -1,0 +1,16 @@
+type t = int
+
+let of_var v sign = if sign then 2 * v else (2 * v) + 1
+let var l = l lsr 1
+let sign l = l land 1 = 0
+let negate l = l lxor 1
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let to_dimacs l = if sign l then var l + 1 else -(var l + 1)
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: zero"
+  else if d > 0 then pos (d - 1)
+  else neg (-d - 1)
+
+let pp ppf l = Format.fprintf ppf "%d" (to_dimacs l)

@@ -1,0 +1,34 @@
+(** Propositional literals encoded as non-negative integers.
+
+    A variable [v >= 0] yields two literals: the positive literal [2v] and
+    the negative literal [2v+1].  This packing keeps literal operations
+    branch-free and lets watch lists be indexed directly by literal. *)
+
+type t = int
+
+val of_var : int -> bool -> t
+(** [of_var v sign] is the literal over variable [v]; [sign = true] gives the
+    positive literal. *)
+
+val var : t -> int
+(** Variable index of a literal. *)
+
+val sign : t -> bool
+(** [true] iff the literal is positive. *)
+
+val negate : t -> t
+(** Complement literal. *)
+
+val pos : int -> t
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg : int -> t
+(** [neg v] is the negative literal of variable [v]. *)
+
+val to_dimacs : t -> int
+(** 1-based signed integer representation ([v+1] or [-(v+1)]). *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Raises [Invalid_argument] on [0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = {
+  activity : int -> float;
+  heap : int Vec.t;
+  mutable index : int array; (* var -> position in heap, -1 if absent *)
+}
+
+let create ~activity =
+  { activity; heap = Vec.create ~dummy:(-1) (); index = Array.make 64 (-1) }
+
+let ensure t v =
+  let n = Array.length t.index in
+  if v >= n then begin
+    let index = Array.make (max (2 * n) (v + 1)) (-1) in
+    Array.blit t.index 0 index 0 n;
+    t.index <- index
+  end
+
+let in_heap t v = v < Array.length t.index && t.index.(v) >= 0
+let is_empty t = Vec.is_empty t.heap
+
+let swap t i j =
+  let vi = Vec.get t.heap i and vj = Vec.get t.heap j in
+  Vec.set t.heap i vj;
+  Vec.set t.heap j vi;
+  t.index.(vi) <- j;
+  t.index.(vj) <- i
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.activity (Vec.get t.heap i) > t.activity (Vec.get t.heap parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let n = Vec.size t.heap in
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let best = ref i in
+  if left < n && t.activity (Vec.get t.heap left) > t.activity (Vec.get t.heap !best)
+  then best := left;
+  if right < n && t.activity (Vec.get t.heap right) > t.activity (Vec.get t.heap !best)
+  then best := right;
+  if !best <> i then begin
+    swap t i !best;
+    sift_down t !best
+  end
+
+let insert t v =
+  ensure t v;
+  if t.index.(v) < 0 then begin
+    Vec.push t.heap v;
+    t.index.(v) <- Vec.size t.heap - 1;
+    sift_up t (Vec.size t.heap - 1)
+  end
+
+let remove_max t =
+  if is_empty t then raise Not_found;
+  let v = Vec.get t.heap 0 in
+  let n = Vec.size t.heap in
+  swap t 0 (n - 1);
+  ignore (Vec.pop t.heap);
+  t.index.(v) <- -1;
+  if not (is_empty t) then sift_down t 0;
+  v
+
+let update t v =
+  if in_heap t v then begin
+    sift_up t t.index.(v);
+    sift_down t t.index.(v)
+  end
+
+let rebuild t vars =
+  while not (is_empty t) do
+    ignore (remove_max t)
+  done;
+  List.iter (insert t) vars

@@ -1,0 +1,27 @@
+(** Max-heap over variable indices keyed by an external activity array.
+
+    Used for VSIDS decision ordering: the heap stores variable indices and
+    compares them through the solver's activity table, which the solver
+    mutates; {!decrease_key}/{!increase_key} restore the heap property after
+    such mutations. *)
+
+type t
+
+val create : activity:(int -> float) -> t
+(** [activity] reads the current score of a variable; the heap never caches
+    scores. *)
+
+val in_heap : t -> int -> bool
+val insert : t -> int -> unit
+(** No-op if the variable is already in the heap. *)
+
+val remove_max : t -> int
+(** Raises [Not_found] when empty. *)
+
+val is_empty : t -> bool
+val update : t -> int -> unit
+(** Re-establish heap order around a variable whose activity changed.  No-op
+    if the variable is not in the heap. *)
+
+val rebuild : t -> int list -> unit
+(** Clear and re-insert the given variables. *)

@@ -1,0 +1,653 @@
+type result = Sat | Unsat
+
+type clause = {
+  cid : int;
+  lits : int array; (* watched literals at positions 0 and 1 *)
+  learnt : bool;
+  mutable activity : float;
+  mutable removed : bool;
+}
+
+(* Bookkeeping needed to rebuild refutations after clause deletion: original
+   clauses keep their tag, learnt clauses keep the premises they were
+   resolved from.  Premise entries >= 0 are clause ids; a negative entry
+   -(v+1) refers to the root-level derivation of variable [v] (root
+   assignments are permanent, so their reason chains can be re-traversed at
+   core-extraction time). *)
+type cid_info = Original of int | Learnt_from of int array
+
+let dummy_clause = { cid = -1; lits = [||]; learnt = false; activity = 0.; removed = true }
+
+type t = {
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable assign : int array; (* var -> -1 undef / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable phase : bool array;
+  mutable seen : bool array;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  activity : float array ref;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  order : Order_heap.t;
+  cid_info : (int, cid_info) Hashtbl.t;
+  mutable next_cid : int;
+  mutable ok : bool;
+  mutable last_core : int list;
+  mutable last_failed : int list;
+  mutable model : int array;
+  mutable assumptions : int array;
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable max_learnts : float;
+  mutable deadline : float option;
+  mutable proof_log : Lit.t list list; (* learnt clauses, newest first *)
+  mutable proof_logging : bool;
+}
+
+exception Timeout
+
+let var_decay = 1.0 /. 0.95
+let cla_decay = 1.0 /. 0.999
+let var_marker v = -v - 1
+
+let create () =
+  let activity = ref (Array.make 64 0.0) in
+  {
+    nvars = 0;
+    clauses = Vec.create ~dummy:dummy_clause ();
+    learnts = Vec.create ~dummy:dummy_clause ();
+    watches = Array.init 128 (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_clause ());
+    assign = Array.make 64 (-1);
+    level = Array.make 64 (-1);
+    reason = Array.make 64 None;
+    phase = Array.make 64 false;
+    seen = Array.make 64 false;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    activity;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    order = Order_heap.create ~activity:(fun v -> !activity.(v));
+    cid_info = Hashtbl.create 1024;
+    next_cid = 0;
+    ok = true;
+    last_core = [];
+    last_failed = [];
+    model = [||];
+    assumptions = [||];
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    max_learnts = 0.0;
+    deadline = None;
+    proof_log = [];
+    proof_logging = false;
+  }
+
+let set_deadline t d = t.deadline <- d
+let set_proof_logging t b = t.proof_logging <- b
+let proof_log t = List.rev t.proof_log
+
+let num_vars t = t.nvars
+let num_clauses t = Vec.size t.clauses
+let num_learnts t = Vec.size t.learnts
+let num_conflicts t = t.conflicts
+let num_decisions t = t.decisions
+let num_propagations t = t.propagations
+let okay t = t.ok
+
+let grow_arrays t n =
+  let old = Array.length t.assign in
+  if n > old then begin
+    let cap = max (2 * old) n in
+    let grow_int a def =
+      let b = Array.make cap def in
+      Array.blit a 0 b 0 old;
+      b
+    in
+    t.assign <- grow_int t.assign (-1);
+    t.level <- grow_int t.level (-1);
+    (let b = Array.make cap None in
+     Array.blit t.reason 0 b 0 old;
+     t.reason <- b);
+    (let b = Array.make cap false in
+     Array.blit t.phase 0 b 0 old;
+     t.phase <- b);
+    (let b = Array.make cap false in
+     Array.blit t.seen 0 b 0 old;
+     t.seen <- b);
+    let acts = Array.make cap 0.0 in
+    Array.blit !(t.activity) 0 acts 0 old;
+    t.activity := acts
+  end;
+  let oldw = Array.length t.watches in
+  if 2 * n > oldw then begin
+    let cap = max (2 * oldw) (2 * n) in
+    let w = Array.init cap (fun i ->
+        if i < oldw then t.watches.(i) else Vec.create ~capacity:4 ~dummy:dummy_clause ())
+    in
+    t.watches <- w
+  end
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  grow_arrays t t.nvars;
+  Order_heap.insert t.order v;
+  v
+
+let ensure_vars t n =
+  while t.nvars < n do
+    ignore (new_var t)
+  done
+
+(* -1 undef / 0 false / 1 true *)
+let lit_value t l =
+  let v = t.assign.(Lit.var l) in
+  if v < 0 then -1 else if Lit.sign l then v else 1 - v
+
+let decision_level t = Vec.size t.trail_lim
+
+let bump_var t v =
+  let a = !(t.activity) in
+  a.(v) <- a.(v) +. t.var_inc;
+  if a.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      a.(i) <- a.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  Order_heap.update t.order v
+
+let bump_clause t (c : clause) =
+  c.activity <- c.activity +. t.cla_inc;
+  if c.activity > 1e20 then begin
+    Vec.iter (fun (c : clause) -> c.activity <- c.activity *. 1e-20) t.learnts;
+    t.cla_inc <- t.cla_inc *. 1e-20
+  end
+
+let enqueue t l reason =
+  let v = Lit.var l in
+  t.assign.(v) <- (if Lit.sign l then 1 else 0);
+  t.level.(v) <- decision_level t;
+  t.reason.(v) <- reason;
+  Vec.push t.trail l
+
+let new_decision_level t = Vec.push t.trail_lim (Vec.size t.trail)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = Vec.get t.trail_lim lvl in
+    for i = Vec.size t.trail - 1 downto bound do
+      let l = Vec.get t.trail i in
+      let v = Lit.var l in
+      t.phase.(v) <- Lit.sign l;
+      t.assign.(v) <- -1;
+      t.reason.(v) <- None;
+      t.level.(v) <- -1;
+      Order_heap.insert t.order v
+    done;
+    Vec.shrink t.trail bound;
+    Vec.shrink t.trail_lim lvl;
+    t.qhead <- Vec.size t.trail
+  end
+
+(* Two-watched-literal Boolean constraint propagation.  Returns the
+   conflicting clause, if any. *)
+let propagate t =
+  let confl = ref None in
+  while !confl = None && t.qhead < Vec.size t.trail do
+    let p = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.propagations <- t.propagations + 1;
+    let false_lit = Lit.negate p in
+    let ws = t.watches.(false_lit) in
+    let n = Vec.size ws in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let c = Vec.get ws !i in
+      incr i;
+      if not c.removed then begin
+        (* Normalise: the falsified watch sits at position 1. *)
+        if c.lits.(0) = false_lit then begin
+          c.lits.(0) <- c.lits.(1);
+          c.lits.(1) <- false_lit
+        end;
+        let first = c.lits.(0) in
+        if lit_value t first = 1 then begin
+          (* Clause already satisfied; keep the watch. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a replacement watch. *)
+          let len = Array.length c.lits in
+          let k = ref 2 in
+          while !k < len && lit_value t c.lits.(!k) = 0 do
+            incr k
+          done;
+          if !k < len then begin
+            c.lits.(1) <- c.lits.(!k);
+            c.lits.(!k) <- false_lit;
+            Vec.push t.watches.(c.lits.(1)) c
+          end
+          else begin
+            (* Unit or conflicting. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value t first = 0 then begin
+              confl := Some c;
+              t.qhead <- Vec.size t.trail;
+              (* Keep the remaining watches. *)
+              while !i < n do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done
+            end
+            else enqueue t first (Some c)
+          end
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !confl
+
+(* DFS over the resolution bookkeeping.  Seeds follow the premise encoding:
+   entries >= 0 are clause ids, negative entries refer to the reason closure
+   of a variable's current assignment.  Returns the original clause ids
+   reached, plus the assumption literals (reason-less assignments above the
+   root level) encountered on the way. *)
+let collect_refutation t seeds =
+  let visited_cid = Hashtbl.create 251 in
+  let visited_var = Hashtbl.create 251 in
+  let originals = ref [] in
+  let failed = ref [] in
+  let stack = ref seeds in
+  let push s = stack := s :: !stack in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | s :: rest ->
+      stack := rest;
+      if s >= 0 then begin
+        if not (Hashtbl.mem visited_cid s) then begin
+          Hashtbl.add visited_cid s ();
+          match Hashtbl.find_opt t.cid_info s with
+          | Some (Original _) | None -> originals := s :: !originals
+          | Some (Learnt_from premises) -> Array.iter push premises
+        end
+      end
+      else begin
+        let v = -s - 1 in
+        if not (Hashtbl.mem visited_var v) then begin
+          Hashtbl.add visited_var v ();
+          match t.reason.(v) with
+          | Some c ->
+            push c.cid;
+            Array.iter (fun l -> if Lit.var l <> v then push (var_marker (Lit.var l))) c.lits
+          | None ->
+            if t.level.(v) > 0 then
+              failed := Lit.of_var v (t.assign.(v) = 1) :: !failed
+        end
+      end
+  done;
+  (List.sort_uniq compare !originals, !failed)
+
+(* First-UIP conflict analysis.  Returns the learnt clause (asserting literal
+   first), the backjump level, and the premises resolved on the way. *)
+let analyze t confl =
+  let learnt_tail = ref [] in
+  let premises = ref [] in
+  let to_clear = ref [] in
+  let path_c = ref 0 in
+  let p = ref (-1) in
+  let c = ref confl in
+  let index = ref (Vec.size t.trail - 1) in
+  let conflict_level = decision_level t in
+  let continue = ref true in
+  while !continue do
+    premises := !c.cid :: !premises;
+    if !c.learnt then bump_clause t !c;
+    let lits = !c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for idx = start to Array.length lits - 1 do
+      let q = lits.(idx) in
+      let v = Lit.var q in
+      if not t.seen.(v) then begin
+        t.seen.(v) <- true;
+        to_clear := v :: !to_clear;
+        if t.level.(v) > 0 then begin
+          bump_var t v;
+          if t.level.(v) >= conflict_level then incr path_c
+          else learnt_tail := q :: !learnt_tail
+        end
+        else
+          (* Root-level literal, resolved away: record its derivation so the
+             refutation remains reconstructible. *)
+          premises := var_marker v :: !premises
+      end
+    done;
+    (* Select the next literal to resolve on. *)
+    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+      decr index
+    done;
+    p := Vec.get t.trail !index;
+    decr index;
+    t.seen.(Lit.var !p) <- false;
+    decr path_c;
+    if !path_c <= 0 then continue := false
+    else
+      match t.reason.(Lit.var !p) with
+      | Some r -> c := r
+      | None -> continue := false (* decision reached; cannot precede the UIP *)
+  done;
+  (* Basic clause minimisation: a non-asserting literal is redundant when its
+     reason clause only contains literals already in the learnt clause (or at
+     the root level).  The reason participates in the implicit resolution, so
+     it joins the premises. *)
+  let minimised =
+    List.filter
+      (fun q ->
+        let v = Lit.var q in
+        match t.reason.(v) with
+        | None -> true
+        | Some c ->
+          let redundant =
+            Array.for_all
+              (fun l ->
+                let w = Lit.var l in
+                w = v || t.seen.(w) || t.level.(w) = 0)
+              c.lits
+          in
+          if redundant then begin
+            premises := c.cid :: !premises;
+            Array.iter
+              (fun l ->
+                let w = Lit.var l in
+                if w <> v && (not t.seen.(w)) && t.level.(w) = 0 then
+                  premises := var_marker w :: !premises)
+              c.lits
+          end;
+          not redundant)
+      !learnt_tail
+  in
+  let learnt = Lit.negate !p :: minimised in
+  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  let bj =
+    List.fold_left
+      (fun acc q -> if q = Lit.negate !p then acc else max acc t.level.(Lit.var q))
+      0 learnt
+  in
+  (learnt, bj, Array.of_list !premises)
+
+let attach_clause t c =
+  Vec.push t.watches.(c.lits.(0)) c;
+  Vec.push t.watches.(c.lits.(1)) c
+
+let record_refutation t seeds =
+  let core, failed = collect_refutation t seeds in
+  t.last_core <- core;
+  t.last_failed <- List.sort_uniq compare failed
+
+let mark_root_unsat t seeds =
+  record_refutation t seeds;
+  t.ok <- false
+
+let conflict_seeds confl =
+  confl.cid :: Array.fold_left (fun acc l -> var_marker (Lit.var l) :: acc) [] confl.lits
+
+let add_clause ?(tag = -1) t lits =
+  if t.ok then begin
+    if decision_level t <> 0 then invalid_arg "Solver.add_clause: not at root level";
+    (* Deduplicate and drop tautologies / root-satisfied clauses. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+      || List.exists (fun l -> lit_value t l = 1) lits
+    in
+    if not tautology then begin
+      List.iter (fun l ->
+          if Lit.var l >= t.nvars then
+            invalid_arg "Solver.add_clause: undeclared variable")
+        lits;
+      let cid = t.next_cid in
+      t.next_cid <- cid + 1;
+      Hashtbl.replace t.cid_info cid (Original tag);
+      let arr = Array.of_list lits in
+      let c = { cid; lits = arr; learnt = false; activity = 0.0; removed = false } in
+      Vec.push t.clauses c;
+      let n = Array.length arr in
+      (* Move up to two non-false literals into the watch positions; the
+         root-falsified literals stay in the clause so refutations remain
+         faithful. *)
+      let free = ref 0 in
+      let i = ref 0 in
+      while !free < 2 && !i < n do
+        if lit_value t arr.(!i) <> 0 then begin
+          let tmp = arr.(!free) in
+          arr.(!free) <- arr.(!i);
+          arr.(!i) <- tmp;
+          incr free
+        end;
+        incr i
+      done;
+      if !free = 0 then
+        (* All literals false at root: unsatisfiable formula. *)
+        mark_root_unsat t
+          (cid :: Array.fold_left (fun acc l -> var_marker (Lit.var l) :: acc) [] arr)
+      else if !free = 1 then begin
+        (* Unit at root level. *)
+        enqueue t arr.(0) (Some c);
+        match propagate t with
+        | None -> ()
+        | Some confl -> mark_root_unsat t (conflict_seeds confl)
+      end
+      else attach_clause t c
+    end
+  end
+
+let learn_clause t lits premises =
+  if t.proof_logging then t.proof_log <- lits :: t.proof_log;
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  Hashtbl.replace t.cid_info cid (Learnt_from premises);
+  let arr = Array.of_list lits in
+  let c = { cid; lits = arr; learnt = true; activity = 0.0; removed = false } in
+  if Array.length arr > 1 then begin
+    (* Position 1 must hold the highest-level non-asserting literal so the
+       watch invariant survives the backjump. *)
+    let best = ref 1 in
+    for i = 2 to Array.length arr - 1 do
+      if t.level.(Lit.var arr.(i)) > t.level.(Lit.var arr.(!best)) then best := i
+    done;
+    let tmp = arr.(1) in
+    arr.(1) <- arr.(!best);
+    arr.(!best) <- tmp;
+    Vec.push t.learnts c;
+    attach_clause t c
+  end
+  else Vec.push t.learnts c;
+  bump_clause t c;
+  c
+
+let locked t c =
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  (match t.reason.(v) with Some r -> r == c | None -> false)
+
+let reduce_db t =
+  let learnts = Vec.fold (fun acc c -> if c.removed then acc else c :: acc) [] t.learnts in
+  let arr = Array.of_list learnts in
+  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  let n = Array.length arr in
+  let limit = t.cla_inc /. float_of_int (max n 1) in
+  Array.iteri
+    (fun i c ->
+      if Array.length c.lits > 2 && (not (locked t c)) && (i < n / 2 || c.activity < limit)
+      then c.removed <- true)
+    arr;
+  let keep = Vec.fold (fun acc c -> if c.removed then acc else c :: acc) [] t.learnts in
+  Vec.clear t.learnts;
+  List.iter (Vec.push t.learnts) (List.rev keep)
+
+let luby y x =
+  let rec find_size size seq =
+    if size >= x + 1 then (size, seq) else find_size ((2 * size) + 1) (seq + 1)
+  in
+  let rec reduce size seq x =
+    if size - 1 = x then seq
+    else
+      let size = (size - 1) / 2 in
+      reduce size (seq - 1) (x mod size)
+  in
+  let size, seq = find_size 1 0 in
+  y ** float_of_int (reduce size seq x)
+
+let pick_branch_var t =
+  let rec loop () =
+    if Order_heap.is_empty t.order then -1
+    else
+      let v = Order_heap.remove_max t.order in
+      if t.assign.(v) < 0 then v else loop ()
+  in
+  loop ()
+
+exception Found of result
+exception Restart
+
+(* One restart-bounded search episode; raises [Found] on a definitive
+   answer, [Restart] when the conflict budget runs out. *)
+let search t conflict_budget =
+  let conflicts = ref 0 in
+  let n_assumptions = Array.length t.assumptions in
+  while true do
+    match propagate t with
+    | Some confl ->
+      t.conflicts <- t.conflicts + 1;
+      incr conflicts;
+      (match t.deadline with
+      | Some d when t.conflicts land 255 = 0 && Unix.gettimeofday () > d ->
+        cancel_until t 0;
+        raise Timeout
+      | Some _ | None -> ());
+      if decision_level t = 0 then begin
+        mark_root_unsat t (conflict_seeds confl);
+        raise (Found Unsat)
+      end
+      else if decision_level t <= n_assumptions then begin
+        (* The conflict is forced by the assumptions alone. *)
+        record_refutation t (conflict_seeds confl);
+        raise (Found Unsat)
+      end
+      else begin
+        let learnt, bj, premises = analyze t confl in
+        cancel_until t (max bj 0);
+        let c = learn_clause t learnt premises in
+        (match learnt with
+        | asserting :: _ -> enqueue t asserting (Some c)
+        | [] -> ());
+        t.var_inc <- t.var_inc *. var_decay;
+        t.cla_inc <- t.cla_inc *. cla_decay;
+        if float_of_int (Vec.size t.learnts) >= t.max_learnts then reduce_db t
+      end
+    | None ->
+      if !conflicts >= conflict_budget then begin
+        cancel_until t 0;
+        raise Restart
+      end;
+      if decision_level t < n_assumptions then begin
+        (* Enqueue the next assumption. *)
+        let p = t.assumptions.(decision_level t) in
+        match lit_value t p with
+        | 1 -> new_decision_level t (* already satisfied: placeholder level *)
+        | 0 ->
+          (* Assumption contradicted by the implied assignment. *)
+          let core, failed = collect_refutation t [ var_marker (Lit.var p) ] in
+          t.last_core <- core;
+          t.last_failed <- List.sort_uniq compare (p :: failed);
+          raise (Found Unsat)
+        | _ ->
+          new_decision_level t;
+          enqueue t p None
+      end
+      else begin
+        let v = pick_branch_var t in
+        if v < 0 then raise (Found Sat)
+        else begin
+          t.decisions <- t.decisions + 1;
+          new_decision_level t;
+          enqueue t (Lit.of_var v t.phase.(v)) None
+        end
+      end
+  done
+
+let solve ?(assumptions = []) t =
+  if not t.ok then begin
+    t.last_failed <- [];
+    Unsat
+  end
+  else begin
+    cancel_until t 0;
+    t.assumptions <- Array.of_list assumptions;
+    Array.iter
+      (fun l ->
+        if Lit.var l >= t.nvars then invalid_arg "Solver.solve: undeclared assumption")
+      t.assumptions;
+    t.max_learnts <- max 1000.0 (float_of_int (Vec.size t.clauses) /. 3.0);
+    let restarts = ref 0 in
+    let answer = ref None in
+    while !answer = None do
+      let budget = int_of_float (luby 2.0 !restarts *. 100.0) in
+      incr restarts;
+      match search t budget with
+      | exception Restart -> ()
+      | exception Found r -> answer := Some r
+      | () -> ()
+    done;
+    (match !answer with
+    | Some Sat ->
+      t.model <- Array.sub t.assign 0 t.nvars;
+      (* Unassigned variables default to false in the model. *)
+      Array.iteri (fun i v -> if v < 0 then t.model.(i) <- 0) t.model
+    | Some Unsat | None -> ());
+    cancel_until t 0;
+    t.assumptions <- [||];
+    match !answer with Some r -> r | None -> assert false
+  end
+
+let value_var t v = v < Array.length t.model && t.model.(v) = 1
+
+let value t l =
+  if Lit.sign l then value_var t (Lit.var l) else not (value_var t (Lit.var l))
+
+let unsat_core t = t.last_core
+
+let unsat_core_tags t =
+  let tags =
+    List.filter_map
+      (fun cid ->
+        match Hashtbl.find_opt t.cid_info cid with
+        | Some (Original tag) when tag >= 0 -> Some tag
+        | Some (Original _) | Some (Learnt_from _) | None -> None)
+      t.last_core
+  in
+  List.sort_uniq compare tags
+
+let failed_assumptions t = t.last_failed
+
+let pp_stats ppf t =
+  Format.fprintf ppf "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d"
+    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.conflicts t.decisions
+    t.propagations

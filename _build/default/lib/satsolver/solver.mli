@@ -1,0 +1,87 @@
+(** Incremental CDCL SAT solver with UNSAT-core extraction.
+
+    The solver implements the standard conflict-driven clause-learning loop
+    (two-watched-literal propagation, first-UIP learning, VSIDS decision
+    ordering with phase saving, Luby restarts, activity-based learnt-clause
+    deletion) together with resolution-trace bookkeeping: every learnt clause
+    records the clauses it was resolved from, so that after an UNSAT answer
+    the set of {e original} clauses participating in the refutation can be
+    reconstructed.  This is the [SAT_Get_Refutation] primitive of the paper
+    (Fig. 1 line 10), which proof-based abstraction consumes.
+
+    Clauses may carry an integer [tag]; {!unsat_core_tags} reports the
+    distinct tags present in the refutation.  The BMC layers tag clauses with
+    latch and memory-port identifiers so that cores translate directly into
+    latch reasons (Fig. 1 line 11). *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val ensure_vars : t -> int -> unit
+(** [ensure_vars t n] guarantees variables [0 .. n-1] exist. *)
+
+val num_vars : t -> int
+
+val add_clause : ?tag:int -> t -> Lit.t list -> unit
+(** Add a clause over existing variables.  Tautologies are silently dropped.
+    Adding the empty clause (or a clause falsified at root level) makes the
+    solver permanently unsatisfiable.  Must be called at root level, i.e. not
+    from within a [solve] callback. *)
+
+exception Timeout
+(** Raised by {!solve} when the {!set_deadline} wall-clock deadline passes.
+    The solver stays usable: the interrupted query can be retried. *)
+
+val set_deadline : t -> float option -> unit
+(** Wall-clock deadline (as given by [Unix.gettimeofday]) checked
+    periodically during search; [None] disables it. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** Solve the current formula under the given assumption literals.  The
+    solver remains usable afterwards: more clauses may be added and [solve]
+    called again. *)
+
+val okay : t -> bool
+(** [false] once the clause set is unsatisfiable independent of
+    assumptions. *)
+
+val value : t -> Lit.t -> bool
+(** Value of a literal in the model of the last [Sat] answer.  Unassigned
+    variables (eliminated from the search) read as [false]. *)
+
+val value_var : t -> int -> bool
+
+val unsat_core : t -> int list
+(** After an [Unsat] answer: ids of original clauses sufficient for the
+    refutation (together with the assumptions).  Ids are those returned
+    implicitly by clause insertion order, starting at 0. *)
+
+val unsat_core_tags : t -> int list
+(** Distinct non-negative tags of the original clauses in {!unsat_core}. *)
+
+val failed_assumptions : t -> Lit.t list
+(** After an [Unsat] answer under assumptions: a subset of the assumptions
+    sufficient for unsatisfiability. *)
+
+(** {2 Statistics} *)
+
+val set_proof_logging : t -> bool -> unit
+(** Record every learnt clause for later validation by {!Checker.verify}.
+    Enable before solving; off by default. *)
+
+val proof_log : t -> Lit.t list list
+(** Learnt clauses in derivation order. *)
+
+val num_clauses : t -> int
+val num_learnts : t -> int
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

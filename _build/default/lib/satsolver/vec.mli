@@ -1,0 +1,33 @@
+(** Growable arrays used throughout the solver hot paths.
+
+    A thin imperative vector; unlike [Buffer] it exposes O(1) random access
+    and unlike [Dynarray] (OCaml >= 5.2) it is available on this toolchain. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused slots; it is never observable through the API. *)
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a
+(** Removes and returns the last element.  Raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+val clear : 'a t -> unit
+val shrink : 'a t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val of_list : dummy:'a -> 'a list -> 'a t
+val swap_remove : 'a t -> int -> unit
+(** [swap_remove v i] removes index [i] by moving the last element into it;
+    O(1), does not preserve order. *)

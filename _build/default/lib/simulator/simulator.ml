@@ -1,0 +1,158 @@
+type t = {
+  net : Netlist.t;
+  latch_state : (int, bool) Hashtbl.t; (* latch node id -> current value *)
+  mem_state : (int, int array) Hashtbl.t; (* memory id -> contents *)
+  mem_by_id : (int, Netlist.memory) Hashtbl.t;
+  values : int array; (* node id -> -1 unknown / 0 / 1, for the current cycle *)
+  on_stack : bool array; (* combinational-cycle detection *)
+  mutable cycle : int;
+  mutable evaluated : bool;
+}
+
+(* Little-endian: bit i of the bus is bit i of the word. *)
+let bits_of_bus bus ~eval =
+  let w = ref 0 in
+  Array.iteri (fun i s -> if eval s then w := !w lor (1 lsl i)) bus;
+  !w
+
+let initial_word mem_values m a =
+  match Netlist.memory_init m with
+  | Netlist.Zeros -> 0
+  | Netlist.Arbitrary -> mem_values m a
+  | Netlist.Words ws -> if a < Array.length ws then ws.(a) else 0
+
+let create ?(latch_values = fun _ -> false) ?(mem_values = fun _ _ -> 0) net =
+  let latch_state = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      let v =
+        match Netlist.latch_init net l with
+        | Some b -> b
+        | None -> latch_values l
+      in
+      Hashtbl.replace latch_state (Netlist.node_of l) v)
+    (Netlist.latches net);
+  let mem_state = Hashtbl.create 4 in
+  let mem_by_id = Hashtbl.create 4 in
+  List.iter
+    (fun m ->
+      let size = 1 lsl Netlist.memory_addr_width m in
+      let contents = Array.init size (initial_word mem_values m) in
+      Hashtbl.replace mem_state (Netlist.memory_id m) contents;
+      Hashtbl.replace mem_by_id (Netlist.memory_id m) m)
+    (Netlist.memories net);
+  {
+    net;
+    latch_state;
+    mem_state;
+    mem_by_id;
+    values = Array.make (max 1 (Netlist.num_nodes net)) (-1);
+    on_stack = Array.make (max 1 (Netlist.num_nodes net)) false;
+    cycle = 0;
+    evaluated = false;
+  }
+
+(* Demand-driven combinational evaluation with cycle detection.  Memory read
+   outputs observe the memory contents at the start of the cycle. *)
+let rec eval_node t ~inputs id =
+  match t.values.(id) with
+  | 0 -> false
+  | 1 -> true
+  | _ ->
+    if t.on_stack.(id) then failwith "Simulator: combinational cycle";
+    t.on_stack.(id) <- true;
+    let v =
+      match Netlist.node t.net id with
+      | Netlist.Const_false -> false
+      | Netlist.Input name -> inputs name
+      | Netlist.Latch _ -> Hashtbl.find t.latch_state id
+      | Netlist.And (a, b) ->
+        (* Strict in both operands so that every gate of the demanded cone
+           has a recorded value for observers ([value], VCD). *)
+        let va = eval_signal t ~inputs a in
+        let vb = eval_signal t ~inputs b in
+        va && vb
+      | Netlist.Mem_out { mem; port; bit } ->
+        let m = Hashtbl.find t.mem_by_id mem in
+        let addr_bus, enable, _ = Netlist.read_port m port in
+        let en = eval_signal t ~inputs enable in
+        let addr = bits_of_bus addr_bus ~eval:(eval_signal t ~inputs) in
+        if en then begin
+          let word = (Hashtbl.find t.mem_state mem).(addr) in
+          (word lsr bit) land 1 = 1
+        end
+        else false
+    in
+    t.on_stack.(id) <- false;
+    t.values.(id) <- (if v then 1 else 0);
+    v
+
+and eval_signal t ~inputs s =
+  let v = eval_node t ~inputs (Netlist.node_of s) in
+  if Netlist.is_complement s then not v else v
+
+let step t ~inputs =
+  Array.fill t.values 0 (Array.length t.values) (-1);
+  (* Evaluate everything reachable from next-states, memory ports, properties
+     and outputs so that [value] works on any of them afterwards. *)
+  let eval s = eval_signal t ~inputs s in
+  (* Force current latch and input values so observers ([value], VCD dumps)
+     can read any named signal of the cycle, not just those in live cones. *)
+  List.iter (fun l -> ignore (eval l)) (Netlist.latches t.net);
+  List.iter (fun s -> ignore (eval s)) (Netlist.inputs t.net);
+  let next_latches =
+    List.map
+      (fun l -> (Netlist.node_of l, eval (Netlist.latch_next t.net l)))
+      (Netlist.latches t.net)
+  in
+  List.iter (fun (name, s) -> ignore name; ignore (eval s)) (Netlist.properties t.net);
+  List.iter (fun (name, s) -> ignore name; ignore (eval s)) (Netlist.outputs t.net);
+  (* Sample write ports before advancing state. *)
+  let writes =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun w ->
+            let addr_bus, data_bus, enable = Netlist.write_port m w in
+            if eval enable then
+              let addr = bits_of_bus addr_bus ~eval in
+              let data = bits_of_bus data_bus ~eval in
+              Some (Netlist.memory_id m, addr, data)
+            else None)
+          (List.init (Netlist.num_write_ports m) Fun.id))
+      (Netlist.memories t.net)
+  in
+  (* Force read ports too so traces can report them. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun r ->
+          let addr_bus, enable, out = Netlist.read_port m r in
+          ignore (eval enable);
+          Array.iter (fun s -> ignore (eval s)) addr_bus;
+          Array.iter (fun s -> ignore (eval s)) out)
+        (List.init (Netlist.num_read_ports m) Fun.id))
+    (Netlist.memories t.net);
+  (* Advance the state. *)
+  List.iter (fun (id, v) -> Hashtbl.replace t.latch_state id v) next_latches;
+  List.iter
+    (fun (mem, addr, data) -> (Hashtbl.find t.mem_state mem).(addr) <- data)
+    writes;
+  t.cycle <- t.cycle + 1;
+  t.evaluated <- true
+
+let value t s =
+  if not t.evaluated then invalid_arg "Simulator.value: no step evaluated yet";
+  let id = Netlist.node_of s in
+  match t.values.(id) with
+  | 0 -> Netlist.is_complement s
+  | 1 -> not (Netlist.is_complement s)
+  | _ -> invalid_arg "Simulator.value: signal not evaluated this cycle"
+
+let latch_value t l =
+  match Hashtbl.find_opt t.latch_state (Netlist.node_of l) with
+  | Some v -> if Netlist.is_complement l then not v else v
+  | None -> invalid_arg "Simulator.latch_value: not a latch"
+
+let mem_word t m a = (Hashtbl.find t.mem_state (Netlist.memory_id m)).(a)
+let cycle t = t.cycle

@@ -1,0 +1,41 @@
+(** Cycle-accurate simulation of netlists with memory modules.
+
+    Used to replay counterexample traces produced by BMC (validating that a
+    reported bug is a real behaviour of the design) and to cross-check the
+    EMM and explicit memory models in the test-suite.
+
+    Memory semantics follow the paper (§2.3): reads are combinational and
+    observe the {e current} contents; writes performed in a cycle become
+    visible from the next cycle on.  A read port whose enable is low drives
+    0 — well-formed designs must not depend on read data outside an enabled
+    read, which is the contract the EMM model relies on. *)
+
+type t
+
+val create :
+  ?latch_values:(Netlist.signal -> bool) ->
+  ?mem_values:(Netlist.memory -> int -> int) ->
+  Netlist.t ->
+  t
+(** Build a simulator in its initial state.  [latch_values] supplies initial
+    values for latches declared with arbitrary initial state (default
+    [false]); [mem_values m a] supplies the initial word at address [a] of a
+    memory with [Arbitrary] contents (default 0). *)
+
+val step : t -> inputs:(string -> bool) -> unit
+(** Evaluate one clock cycle: combinational values become observable through
+    {!value}, then latches and memories advance.  Raises [Failure] on a
+    combinational cycle through a memory address path. *)
+
+val value : t -> Netlist.signal -> bool
+(** Combinational value of a signal in the most recently evaluated cycle.
+    Raises [Invalid_argument] before the first {!step}. *)
+
+val latch_value : t -> Netlist.signal -> bool
+(** Current state of a latch (before the next step). *)
+
+val mem_word : t -> Netlist.memory -> int -> int
+(** Current contents of a memory location. *)
+
+val cycle : t -> int
+(** Number of completed steps. *)

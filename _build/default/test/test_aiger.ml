@@ -1,0 +1,141 @@
+(* AIGER interchange tests: behavioural round trips of expanded designs,
+   header/symbol details, and bad-state property mapping. *)
+
+let bus_env assignments name =
+  match String.index_opt name '[' with
+  | None -> ( match List.assoc_opt name assignments with Some v -> v <> 0 | None -> false)
+  | Some br ->
+    let prefix = String.sub name 0 br in
+    let idx = int_of_string (String.sub name (br + 1) (String.length name - br - 2)) in
+    (match List.assoc_opt prefix assignments with
+    | Some v -> (v lsr idx) land 1 = 1
+    | None -> false)
+
+let simulate_both net1 net2 stimuli =
+  let sim1 = Simulator.create net1 in
+  let sim2 = Simulator.create net2 in
+  List.for_all
+    (fun assignments ->
+      let env = bus_env assignments in
+      Simulator.step sim1 ~inputs:env;
+      Simulator.step sim2 ~inputs:env;
+      List.for_all2
+        (fun (n1, s1) (n2, s2) ->
+          n1 = n2 && Simulator.value sim1 s1 = Simulator.value sim2 s2)
+        (Netlist.outputs net1) (Netlist.outputs net2)
+      && List.for_all2
+           (fun (n1, s1) (n2, s2) ->
+             n1 = n2 && Simulator.value sim1 s1 = Simulator.value sim2 s2)
+           (Netlist.properties net1) (Netlist.properties net2))
+    stimuli
+
+let test_fifo_roundtrip () =
+  let net = Explicitmem.expand (Designs.Fifo.build Designs.Fifo.default_config) in
+  let loaded = Aiger.of_string (Aiger.to_string net) in
+  let stimuli =
+    List.init 15 (fun i ->
+        [ ("push", (i / 3) land 1); ("pop", i land 1); ("data_in", (i * 7) land 15);
+          ("watch", Bool.to_int (i = 2)) ])
+  in
+  Alcotest.(check bool) "behaviour preserved" true (simulate_both net loaded stimuli)
+
+let test_memory_rejected () =
+  let net = Designs.Fifo.build Designs.Fifo.default_config in
+  Alcotest.check_raises "unexpanded memories rejected"
+    (Invalid_argument "Aiger.to_string: netlist has memory modules; expand them first")
+    (fun () -> ignore (Aiger.to_string net))
+
+let test_header_counts () =
+  let ctx = Hdl.create () in
+  let a = Hdl.input_bit ctx "a" in
+  let r = Hdl.reg_bit ctx "r" in
+  Hdl.connect_bit ctx r (Netlist.and_ (Hdl.netlist ctx) a r);
+  Hdl.output_bit ctx "o" r;
+  Hdl.assert_always ctx "p" (Netlist.not_ r);
+  let text = Aiger.to_string (Hdl.netlist ctx) in
+  let header = List.hd (String.split_on_char '\n' text) in
+  Alcotest.(check string) "header" "aag 3 1 1 1 1 1" header
+
+let test_latch_inits () =
+  let ctx = Hdl.create () in
+  let r0 = Hdl.reg_bit ctx ~init:(Some false) "r0" in
+  let r1 = Hdl.reg_bit ctx ~init:(Some true) "r1" in
+  let rx = Hdl.reg_bit ctx ~init:None "rx" in
+  Hdl.connect_bit ctx r0 r0;
+  Hdl.connect_bit ctx r1 r1;
+  Hdl.connect_bit ctx rx rx;
+  let net = Hdl.netlist ctx in
+  let loaded = Aiger.of_string (Aiger.to_string net) in
+  let inits = List.map (Netlist.latch_init loaded) (Netlist.latches loaded) in
+  Alcotest.(check bool) "inits preserved" true
+    (inits = [ Some false; Some true; None ])
+
+let test_property_as_bad_state () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx "r" ~width:2 in
+  Hdl.connect ctx r (Hdl.incr ctx r);
+  Hdl.assert_always ctx "never3" (Netlist.not_ (Hdl.eq_const ctx r 3));
+  let net = Hdl.netlist ctx in
+  let loaded = Aiger.of_string (Aiger.to_string net) in
+  Alcotest.(check (list string)) "property names" [ "never3" ]
+    (List.map fst (Netlist.properties loaded));
+  (* The counterexample depth survives the round trip. *)
+  let r1 = Bmc.Engine.check net ~property:"never3" in
+  let r2 = Bmc.Engine.check loaded ~property:"never3" in
+  match (r1.Bmc.Engine.verdict, r2.Bmc.Engine.verdict) with
+  | Bmc.Engine.Counterexample t1, Bmc.Engine.Counterexample t2 ->
+    Alcotest.(check int) "same depth" t1.Bmc.Trace.depth t2.Bmc.Trace.depth
+  | _ -> Alcotest.fail "expected counterexamples on both"
+
+let test_plain_aiger_import () =
+  (* A hand-written classic aag: output = latch that toggles. *)
+  let text = "aag 1 0 1 1 0\n2 3\n2\nl0 toggle\no0 out\n" in
+  let net = Aiger.of_string text in
+  Alcotest.(check int) "one latch" 1 (List.length (Netlist.latches net));
+  Alcotest.(check int) "one output" 1 (List.length (Netlist.outputs net));
+  let sim = Simulator.create net in
+  let out = List.assoc "out" (Netlist.outputs net) in
+  Simulator.step sim ~inputs:(fun _ -> false);
+  Alcotest.(check bool) "cycle 0" false (Simulator.value sim out);
+  Simulator.step sim ~inputs:(fun _ -> false);
+  Alcotest.(check bool) "cycle 1" true (Simulator.value sim out)
+
+let test_outputs_are_bad () =
+  let text = "aag 1 0 1 1 0\n2 2 1\n2\n" in
+  (* A latch stuck at 1: as a bad-state output the property fails at 0. *)
+  let net = Aiger.of_string ~outputs_are_bad:true text in
+  match Netlist.properties net with
+  | [ (_, _) ] -> (
+    let r = Bmc.Engine.check net ~property:"o0" in
+    match r.Bmc.Engine.verdict with
+    | Bmc.Engine.Counterexample t -> Alcotest.(check int) "depth 0" 0 t.Bmc.Trace.depth
+    | _ -> Alcotest.fail "expected counterexample")
+  | _ -> Alcotest.fail "expected one property"
+
+(* Round-trip property over the whole registry (expanded).  The first
+   serialisation may renumber gates (the loader rebuilds them on demand), so
+   stability is checked from the second round onwards. *)
+let prop_registry_roundtrips =
+  QCheck2.Test.make ~count:8 ~name:"expanded registry designs round-trip"
+    (QCheck2.Gen.oneofl [ "fifo"; "regfile"; "multiport-rd0"; "memcpy" ])
+    (fun name ->
+      let net = Explicitmem.expand ((Designs.Registry.find name).Designs.Registry.build ()) in
+      let once = Aiger.to_string (Aiger.of_string (Aiger.to_string net)) in
+      let twice = Aiger.to_string (Aiger.of_string once) in
+      once = twice)
+
+let () =
+  Alcotest.run "aiger"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fifo roundtrip" `Quick test_fifo_roundtrip;
+          Alcotest.test_case "memory rejected" `Quick test_memory_rejected;
+          Alcotest.test_case "header counts" `Quick test_header_counts;
+          Alcotest.test_case "latch inits" `Quick test_latch_inits;
+          Alcotest.test_case "property as bad state" `Quick test_property_as_bad_state;
+          Alcotest.test_case "plain aiger import" `Quick test_plain_aiger_import;
+          Alcotest.test_case "outputs are bad" `Quick test_outputs_are_bad;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_registry_roundtrips ]);
+    ]

@@ -1,0 +1,161 @@
+(* BDD package tests: boolean laws, truth-table equivalence on random
+   expressions, quantification, composition, and the node-budget guard. *)
+
+type expr =
+  | Var of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Const of bool
+
+let rec eval_expr env = function
+  | Var i -> env i
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+  | Const b -> b
+
+let rec build_bdd m = function
+  | Var i -> Bdd.var m i
+  | Not e -> Bdd.not_ m (build_bdd m e)
+  | And (a, b) -> Bdd.and_ m (build_bdd m a) (build_bdd m b)
+  | Or (a, b) -> Bdd.or_ m (build_bdd m a) (build_bdd m b)
+  | Xor (a, b) -> Bdd.xor_ m (build_bdd m a) (build_bdd m b)
+  | Const true -> Bdd.tru m
+  | Const false -> Bdd.fls m
+
+let num_vars = 6
+
+let gen_expr =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 1 then
+          oneof [ map (fun i -> Var i) (int_bound (num_vars - 1)); map (fun b -> Const b) bool ]
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              map (fun e -> Not e) (self (n - 1));
+              map2 (fun a b -> And (a, b)) sub sub;
+              map2 (fun a b -> Or (a, b)) sub sub;
+              map2 (fun a b -> Xor (a, b)) sub sub;
+            ]))
+
+let env_of_int m i = (m lsr i) land 1 = 1
+
+let forall_envs f =
+  let rec go m = m >= 1 lsl num_vars || (f (env_of_int m) && go (m + 1)) in
+  go 0
+
+let prop_truth_table =
+  QCheck2.Test.make ~count:200 ~name:"BDD equals truth table" gen_expr (fun e ->
+      let m = Bdd.man () in
+      let b = build_bdd m e in
+      forall_envs (fun env -> Bdd.eval b env = eval_expr env e))
+
+let prop_canonical =
+  QCheck2.Test.make ~count:100 ~name:"equivalent expressions share the node"
+    (QCheck2.Gen.pair gen_expr gen_expr)
+    (fun (e1, e2) ->
+      let m = Bdd.man () in
+      let b1 = build_bdd m e1 and b2 = build_bdd m e2 in
+      let equivalent = forall_envs (fun env -> eval_expr env e1 = eval_expr env e2) in
+      Bdd.equal b1 b2 = equivalent)
+
+let prop_de_morgan =
+  QCheck2.Test.make ~count:100 ~name:"De Morgan" (QCheck2.Gen.pair gen_expr gen_expr)
+    (fun (e1, e2) ->
+      let m = Bdd.man () in
+      let a = build_bdd m e1 and b = build_bdd m e2 in
+      Bdd.equal (Bdd.not_ m (Bdd.and_ m a b)) (Bdd.or_ m (Bdd.not_ m a) (Bdd.not_ m b)))
+
+let prop_exists_semantics =
+  QCheck2.Test.make ~count:100 ~name:"exists v. f = f[v:=0] or f[v:=1]"
+    QCheck2.Gen.(pair gen_expr (int_bound (num_vars - 1)))
+    (fun (e, v) ->
+      let m = Bdd.man () in
+      let f = build_bdd m e in
+      let quantified = Bdd.exists m [ v ] f in
+      forall_envs (fun env ->
+          let with_v value i = if i = v then value else env i in
+          Bdd.eval quantified env
+          = (eval_expr (with_v false) e || eval_expr (with_v true) e)))
+
+let prop_compose_semantics =
+  QCheck2.Test.make ~count:100 ~name:"compose substitutes"
+    QCheck2.Gen.(triple gen_expr gen_expr (int_bound (num_vars - 1)))
+    (fun (e, g, v) ->
+      let m = Bdd.man () in
+      let f = build_bdd m e in
+      let gb = build_bdd m g in
+      let composed = Bdd.compose m (fun i -> if i = v then Some gb else None) f in
+      forall_envs (fun env ->
+          let env' i = if i = v then eval_expr env g else env i in
+          Bdd.eval composed env = eval_expr env' e))
+
+let test_terminals () =
+  let m = Bdd.man () in
+  Alcotest.(check bool) "true" true (Bdd.is_true (Bdd.tru m));
+  Alcotest.(check bool) "false" true (Bdd.is_false (Bdd.fls m));
+  Alcotest.(check bool) "not true = false" true
+    (Bdd.equal (Bdd.not_ m (Bdd.tru m)) (Bdd.fls m));
+  Alcotest.(check int) "terminal size" 0 (Bdd.size (Bdd.tru m))
+
+let test_var_basics () =
+  let m = Bdd.man () in
+  let x = Bdd.var m 0 in
+  Alcotest.(check bool) "x & !x = false" true
+    (Bdd.is_false (Bdd.and_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "x | !x = true" true (Bdd.is_true (Bdd.or_ m x (Bdd.not_ m x)));
+  Alcotest.(check bool) "nvar" true (Bdd.equal (Bdd.nvar m 0) (Bdd.not_ m x));
+  Alcotest.(check (list int)) "support" [ 0 ] (Bdd.support x)
+
+let test_any_sat () =
+  let m = Bdd.man () in
+  let f = Bdd.and_ m (Bdd.var m 0) (Bdd.nvar m 2) in
+  let assignment = Bdd.any_sat f in
+  let env i = match List.assoc_opt i assignment with Some b -> b | None -> false in
+  Alcotest.(check bool) "assignment satisfies" true (Bdd.eval f env);
+  Alcotest.check_raises "false has no model" Not_found (fun () ->
+      ignore (Bdd.any_sat (Bdd.fls m)))
+
+let test_blowup_budget () =
+  let m = Bdd.man ~max_nodes:16 () in
+  Alcotest.check_raises "budget enforced" Bdd.Blowup (fun () ->
+      (* An XOR chain needs a linear number of nodes > 16. *)
+      let f = ref (Bdd.fls m) in
+      for i = 0 to 30 do
+        f := Bdd.xor_ m !f (Bdd.var m i)
+      done)
+
+let test_size_ordering_sensitivity () =
+  (* (x0 & x1) | (x2 & x3): with the natural order this has 4 internal
+     nodes. *)
+  let m = Bdd.man () in
+  let f =
+    Bdd.or_ m
+      (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1))
+      (Bdd.and_ m (Bdd.var m 2) (Bdd.var m 3))
+  in
+  Alcotest.(check int) "node count" 4 (Bdd.size f)
+
+let () =
+  Alcotest.run "bdd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "terminals" `Quick test_terminals;
+          Alcotest.test_case "variable basics" `Quick test_var_basics;
+          Alcotest.test_case "any_sat" `Quick test_any_sat;
+          Alcotest.test_case "node budget" `Quick test_blowup_budget;
+          Alcotest.test_case "size" `Quick test_size_ordering_sensitivity;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_truth_table; prop_canonical; prop_de_morgan; prop_exists_semantics;
+            prop_compose_semantics;
+          ] );
+    ]

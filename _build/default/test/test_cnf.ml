@@ -1,0 +1,209 @@
+(* Unroller tests: the CNF time-frame expansion must agree with the
+   cycle-accurate simulator on every netlist signal, under any concrete
+   stimulus; plus activation-literal and tagging behaviour, and the
+   multi-property engine's consistency with single-property runs. *)
+
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+
+let bus_env assignments name =
+  match String.index_opt name '[' with
+  | None -> ( match List.assoc_opt name assignments with Some v -> v <> 0 | None -> false)
+  | Some br ->
+    let prefix = String.sub name 0 br in
+    let idx = int_of_string (String.sub name (br + 1) (String.length name - br - 2)) in
+    (match List.assoc_opt prefix assignments with
+    | Some v -> (v lsr idx) land 1 = 1
+    | None -> false)
+
+(* A memory-free design rich in latches and logic. *)
+let build_design () =
+  let ctx = Hdl.create () in
+  let d = Hdl.input ctx "d" ~width:4 in
+  let en = Hdl.input_bit ctx "en" in
+  let acc = Hdl.reg ctx "acc" ~width:4 in
+  let cnt = Hdl.reg ctx "cnt" ~width:4 in
+  Hdl.connect ctx acc (Hdl.mux2 ctx en (Hdl.add ctx acc d) acc);
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  let probe = Hdl.xor_v ctx acc cnt in
+  Hdl.output ctx "probe" probe;
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx probe 15));
+  (Hdl.netlist ctx, probe)
+
+(* Force a concrete stimulus through assumptions and compare every probe bit
+   at every frame with the simulator. *)
+let prop_unrolling_matches_simulator =
+  QCheck2.Test.make ~count:60 ~name:"unrolled CNF = simulator"
+    QCheck2.Gen.(list_size (int_range 1 6) (pair (int_bound 15) bool))
+    (fun stimulus ->
+      let net, probe = build_design () in
+      let solver = Solver.create () in
+      let unr = Cnf.create solver net in
+      let assumptions = ref [ Cnf.act_init unr ] in
+      List.iteri
+        (fun frame (d, en) ->
+          List.iter
+            (fun s ->
+              match Netlist.node net (Netlist.node_of s) with
+              | Netlist.Input name ->
+                let value = bus_env [ ("d", d); ("en", Bool.to_int en) ] name in
+                let l = Cnf.lit unr ~frame s in
+                assumptions := (if value then l else Lit.negate l) :: !assumptions
+              | _ -> ())
+            (Netlist.inputs net))
+        stimulus;
+      (* Build probe literals for every frame up front. *)
+      let frames = List.length stimulus in
+      let probe_lits =
+        List.init frames (fun frame -> Array.map (Cnf.lit unr ~frame) probe)
+      in
+      match Solver.solve ~assumptions:!assumptions solver with
+      | Solver.Unsat -> false
+      | Solver.Sat ->
+        let sim = Simulator.create net in
+        List.for_all2
+          (fun (d, en) lits ->
+            Simulator.step sim ~inputs:(bus_env [ ("d", d); ("en", Bool.to_int en) ]);
+            Array.for_all2
+              (fun s l -> Simulator.value sim s = Solver.value solver l)
+              probe lits)
+          stimulus probe_lits)
+
+let test_act_init_gates_reset () =
+  (* Without the activation literal, the latch can assume any value at frame
+     0; with it, the reset value is forced. *)
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx ~init:(Some 5) "r" ~width:3 in
+  Hdl.connect ctx r r;
+  let net = Hdl.netlist ctx in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  let latches = Netlist.latches net in
+  let bit0 = Cnf.lit unr ~frame:0 (List.nth latches 0) in
+  let bit1 = Cnf.lit unr ~frame:0 (List.nth latches 1) in
+  (* r = 5 = 101b, so bit1 = 0.  Unconstrained without act_init: *)
+  Alcotest.(check bool) "bit1 free without reset" true
+    (Solver.solve ~assumptions:[ bit1 ] solver = Solver.Sat);
+  Alcotest.(check bool) "bit1 forced low under reset" true
+    (Solver.solve ~assumptions:[ Cnf.act_init unr; bit1 ] solver = Solver.Unsat);
+  Alcotest.(check bool) "bit0 forced high under reset" true
+    (Solver.solve ~assumptions:[ Cnf.act_init unr; Lit.negate bit0 ] solver
+    = Solver.Unsat)
+
+let test_transition_link () =
+  (* A toggling latch alternates across frames. *)
+  let ctx = Hdl.create () in
+  let r = Hdl.reg_bit ctx "r" in
+  Hdl.connect_bit ctx r (Netlist.not_ r);
+  let net = Hdl.netlist ctx in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  let l0 = Cnf.lit unr ~frame:0 r in
+  let l3 = Cnf.lit unr ~frame:3 r in
+  (* Same parity: frame 3 = not frame 0 XOR'd thrice = negation. *)
+  Alcotest.(check bool) "frames linked" true
+    (Solver.solve ~assumptions:[ l0; l3 ] solver = Solver.Unsat);
+  Alcotest.(check bool) "consistent assignment accepted" true
+    (Solver.solve ~assumptions:[ l0; Lit.negate l3 ] solver = Solver.Sat)
+
+let test_latch_tags_present () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg_bit ctx "r" in
+  Hdl.connect_bit ctx r Netlist.true_;
+  let net = Hdl.netlist ctx in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  (* Query: reset r and demand it low at frame 1 — the refutation must cite
+     the latch. *)
+  let l1 = Cnf.lit unr ~frame:1 r in
+  Alcotest.(check bool) "unsat" true
+    (Solver.solve ~assumptions:[ Cnf.act_init unr; Lit.negate l1 ] solver
+    = Solver.Unsat);
+  let tags = Solver.unsat_core_tags solver in
+  let latch_tag = Cnf.tag_for unr (Cnf.Tag.Latch r) in
+  Alcotest.(check bool) "latch tag in core" true (List.mem latch_tag tags)
+
+let test_free_latch_is_unconstrained () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg_bit ctx "r" in
+  Hdl.connect_bit ctx r Netlist.true_;
+  let net = Hdl.netlist ctx in
+  let solver = Solver.create () in
+  let unr = Cnf.create ~free_latches:(fun _ -> true) solver net in
+  let l1 = Cnf.lit unr ~frame:1 r in
+  Alcotest.(check bool) "free latch low at frame 1 is satisfiable" true
+    (Solver.solve ~assumptions:[ Cnf.act_init unr; Lit.negate l1 ] solver = Solver.Sat)
+
+let test_constant_nodes () =
+  let net = Netlist.create () in
+  Netlist.add_property net "p" Netlist.true_;
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  let t = Cnf.lit unr ~frame:0 Netlist.true_ in
+  let f = Cnf.lit unr ~frame:2 Netlist.false_ in
+  Alcotest.(check bool) "true assumable" true (Solver.solve ~assumptions:[ t ] solver = Solver.Sat);
+  Alcotest.(check bool) "false refutable" true
+    (Solver.solve ~assumptions:[ f ] solver = Solver.Unsat)
+
+let test_negative_frame_rejected () =
+  let net = Netlist.create () in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  Alcotest.check_raises "negative frame" (Invalid_argument "Cnf.lit: negative frame")
+    (fun () -> ignore (Cnf.lit unr ~frame:(-1) Netlist.true_))
+
+(* check_all must agree with independent single-property runs. *)
+let test_check_all_consistency () =
+  let net = Designs.Image_filter.build { Designs.Image_filter.default_config with addr_width = 2 } in
+  let names = [ "P18"; "P60"; "P120"; "P230"; "P232" ] in
+  let config = { Bmc.Engine.default_config with max_depth = 25 } in
+  let results, _, _ = Emm.check_many ~config net ~properties:names in
+  List.iter
+    (fun (name, multi) ->
+      let single, _ = Emm.check ~config net ~property:name in
+      let signature r =
+        match r.Bmc.Engine.verdict with
+        | Bmc.Engine.Counterexample t -> `Cex t.Bmc.Trace.depth
+        | Bmc.Engine.Proof { kind; _ } -> `Proof kind
+        | Bmc.Engine.Bounded_safe d -> `Safe d
+        | Bmc.Engine.Reasons_stable d -> `Stable d
+        | Bmc.Engine.Timed_out d -> `Timeout d
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s agrees" name)
+        true
+        (signature multi = signature single))
+    results
+
+let test_check_all_traces_replay () =
+  let net = Designs.Image_filter.build { Designs.Image_filter.default_config with addr_width = 2 } in
+  let names = [ "P20"; "P40"; "P60" ] in
+  let config = { Bmc.Engine.default_config with max_depth = 25; proof_checks = false } in
+  let results, _, _ = Emm.check_many ~config net ~properties:names in
+  List.iter
+    (fun (name, r) ->
+      match r.Bmc.Engine.verdict with
+      | Bmc.Engine.Counterexample t ->
+        Alcotest.(check string) "trace property" name t.Bmc.Trace.property;
+        Alcotest.(check bool) (name ^ " replays") true (Bmc.Trace.replay net t)
+      | _ -> Alcotest.failf "%s: expected witness" name)
+    results
+
+let () =
+  Alcotest.run "cnf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "act_init gates reset" `Quick test_act_init_gates_reset;
+          Alcotest.test_case "transition link" `Quick test_transition_link;
+          Alcotest.test_case "latch tags present" `Quick test_latch_tags_present;
+          Alcotest.test_case "free latch unconstrained" `Quick
+            test_free_latch_is_unconstrained;
+          Alcotest.test_case "constant nodes" `Quick test_constant_nodes;
+          Alcotest.test_case "negative frame rejected" `Quick test_negative_frame_rejected;
+          Alcotest.test_case "check_all consistency" `Quick test_check_all_consistency;
+          Alcotest.test_case "check_all traces replay" `Quick test_check_all_traces_replay;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_unrolling_matches_simulator ] );
+    ]

@@ -1,0 +1,373 @@
+(* Case-study design tests: functional validation by simulation (quicksort
+   really sorts, the FIFO really queues, the filter computes the right
+   pixels) and the verification facts the benchmarks rely on. *)
+
+let bus_env assignments name =
+  match String.index_opt name '[' with
+  | None -> ( match List.assoc_opt name assignments with Some v -> v <> 0 | None -> false)
+  | Some br ->
+    let prefix = String.sub name 0 br in
+    let idx = int_of_string (String.sub name (br + 1) (String.length name - br - 2)) in
+    (match List.assoc_opt prefix assignments with
+    | Some v -> (v lsr idx) land 1 = 1
+    | None -> false)
+
+let find_mem net name =
+  List.find (fun m -> Netlist.memory_name m = name) (Netlist.memories net)
+
+(* Word value of a bus output registered bit-by-bit as "name[i]". *)
+let read_bus_output net sim name =
+  let outs = Netlist.outputs net in
+  let word = ref 0 in
+  List.iter
+    (fun (n, s) ->
+      match String.index_opt n '[' with
+      | Some br when String.sub n 0 br = name ->
+        let idx = int_of_string (String.sub n (br + 1) (String.length n - br - 2)) in
+        if Simulator.value sim s then word := !word lor (1 lsl idx)
+      | Some _ | None -> ())
+    outs;
+  !word
+
+(* {2 Quicksort} *)
+
+let run_quicksort ?(buggy = false) cfg init_array =
+  let net = Designs.Quicksort.build ~buggy cfg in
+  let sim =
+    Simulator.create
+      ~mem_values:(fun m a ->
+        if Netlist.memory_name m = "arr" && a < Array.length init_array then
+          init_array.(a)
+        else 0)
+      net
+  in
+  let halted = List.assoc "halted" (Netlist.outputs net) in
+  let steps = ref 0 in
+  Simulator.step sim ~inputs:(fun _ -> false);
+  incr steps;
+  while (not (Simulator.value sim halted)) && !steps < 3000 do
+    Simulator.step sim ~inputs:(fun _ -> false);
+    incr steps
+  done;
+  let arr = find_mem net "arr" in
+  (Array.init cfg.Designs.Quicksort.n (Simulator.mem_word sim arr), !steps)
+
+let prop_quicksort_sorts =
+  QCheck2.Test.make ~count:60 ~name:"quicksort machine sorts any array"
+    QCheck2.Gen.(
+      pair (int_range 2 6) (array_size (pure 6) (int_bound 255)))
+    (fun (n, raw) ->
+      let cfg = Designs.Quicksort.default_config ~n in
+      let input = Array.sub raw 0 n in
+      let sorted, _ = run_quicksort cfg input in
+      Array.to_list sorted = List.sort compare (Array.to_list input))
+
+let prop_buggy_quicksort_missorts =
+  QCheck2.Test.make ~count:30 ~name:"buggy quicksort reverse-sorts"
+    QCheck2.Gen.(array_size (pure 4) (int_bound 255))
+    (fun input ->
+      let cfg = Designs.Quicksort.default_config ~n:4 in
+      let sorted, _ = run_quicksort ~buggy:true cfg input in
+      (* The flipped comparison yields descending order. *)
+      Array.to_list sorted = List.rev (List.sort compare (Array.to_list input)))
+
+let test_quicksort_terminates_quickly () =
+  let cfg = Designs.Quicksort.default_config ~n:5 in
+  let _, steps = run_quicksort cfg [| 200; 3; 77; 77; 1 |] in
+  Alcotest.(check bool) "bounded run" true (steps < 120)
+
+let test_quicksort_config_validation () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Quicksort.build: need n >= 2")
+    (fun () -> ignore (Designs.Quicksort.build (Designs.Quicksort.default_config ~n:1)));
+  let cfg = { (Designs.Quicksort.default_config ~n:3) with Designs.Quicksort.addr_width = 1 } in
+  Alcotest.check_raises "n too large" (Invalid_argument "Quicksort.build: n too large")
+    (fun () -> ignore (Designs.Quicksort.build cfg))
+
+(* {2 Bubble sort} *)
+
+let run_bubblesort ?(buggy = false) cfg init_array =
+  let net = Designs.Bubblesort.build ~buggy cfg in
+  let sim =
+    Simulator.create
+      ~mem_values:(fun m a ->
+        if Netlist.memory_name m = "arr" && a < Array.length init_array then
+          init_array.(a)
+        else 0)
+      net
+  in
+  let halted = List.assoc "halted" (Netlist.outputs net) in
+  Simulator.step sim ~inputs:(fun _ -> false);
+  let steps = ref 1 in
+  while (not (Simulator.value sim halted)) && !steps < 3000 do
+    Simulator.step sim ~inputs:(fun _ -> false);
+    incr steps
+  done;
+  let arr = find_mem net "arr" in
+  (Array.init cfg.Designs.Bubblesort.n (Simulator.mem_word sim arr), !steps)
+
+let prop_bubblesort_sorts =
+  QCheck2.Test.make ~count:60 ~name:"bubble-sort machine sorts any array"
+    QCheck2.Gen.(pair (int_range 2 6) (array_size (pure 6) (int_bound 255)))
+    (fun (n, raw) ->
+      let cfg = Designs.Bubblesort.default_config ~n in
+      let input = Array.sub raw 0 n in
+      let sorted, _ = run_bubblesort cfg input in
+      Array.to_list sorted = List.sort compare (Array.to_list input))
+
+let prop_buggy_bubblesort_missorts =
+  QCheck2.Test.make ~count:30 ~name:"buggy bubble sort reverse-sorts"
+    QCheck2.Gen.(array_size (pure 4) (int_bound 255))
+    (fun input ->
+      let cfg = Designs.Bubblesort.default_config ~n:4 in
+      let sorted, _ = run_bubblesort ~buggy:true cfg input in
+      Array.to_list sorted = List.rev (List.sort compare (Array.to_list input)))
+
+(* {2 FIFO} *)
+
+let prop_fifo_reference =
+  QCheck2.Test.make ~count:80 ~name:"FIFO matches a queue model"
+    QCheck2.Gen.(list_size (int_range 1 20) (triple bool bool (int_bound 15)))
+    (fun ops ->
+      let cfg = Designs.Fifo.default_config in
+      let net = Designs.Fifo.build cfg in
+      let sim = Simulator.create net in
+      let queue = Queue.create () in
+      let capacity = 1 lsl cfg.Designs.Fifo.addr_width in
+      List.for_all
+        (fun (push, pop, data) ->
+          Simulator.step sim
+            ~inputs:
+              (bus_env
+                 [ ("push", Bool.to_int push); ("pop", Bool.to_int pop); ("data_in", data) ]);
+          (* Full/empty are judged on the state at the start of the cycle,
+             exactly as the design samples them. *)
+          let len0 = Queue.length queue in
+          let popped = if pop && len0 > 0 then Some (Queue.pop queue) else None in
+          if push && len0 < capacity then Queue.push data queue;
+          (* Compare the read data on successful pops. *)
+          match popped with
+          | Some expected -> read_bus_output net sim "read_data" = expected
+          | None -> true)
+        ops)
+
+let test_fifo_full_empty_flags () =
+  let cfg = Designs.Fifo.default_config in
+  let net = Designs.Fifo.build cfg in
+  let sim = Simulator.create net in
+  let full = List.assoc "full" (Netlist.outputs net) in
+  let empty = List.assoc "empty" (Netlist.outputs net) in
+  let step push pop =
+    Simulator.step sim
+      ~inputs:(bus_env [ ("push", Bool.to_int push); ("pop", Bool.to_int pop); ("data_in", 3) ])
+  in
+  step false false;
+  Alcotest.(check bool) "starts empty" true (Simulator.value sim empty);
+  for _ = 1 to 4 do
+    step true false
+  done;
+  step false false;
+  Alcotest.(check bool) "full after 4 pushes" true (Simulator.value sim full);
+  for _ = 1 to 4 do
+    step false true
+  done;
+  step false false;
+  Alcotest.(check bool) "empty again" true (Simulator.value sim empty)
+
+(* {2 Image filter} *)
+
+let test_image_filter_pixels () =
+  (* Feed constant rows and check the steady-state output formula. *)
+  let cfg = { Designs.Image_filter.default_config with addr_width = 2 } in
+  let net = Designs.Image_filter.build cfg in
+  let sim = Simulator.create net in
+  let row_len = 1 lsl cfg.Designs.Image_filter.addr_width in
+  (* Three rows of constant pixels 100, then read the output. *)
+  for _ = 1 to 3 * row_len do
+    Simulator.step sim ~inputs:(bus_env [ ("pix", 100) ])
+  done;
+  (* (100 + 2*100 + (100 land 0x7f)) / 4 = 100 *)
+  Alcotest.(check int) "steady state" 100 (read_bus_output net sim "filtered")
+
+let test_image_filter_reachable_split () =
+  let cfg = Designs.Image_filter.default_config in
+  let reachable = Designs.Image_filter.reachable_values cfg in
+  Alcotest.(check int) "206 reachable" 206 (List.length reachable);
+  Alcotest.(check int) "216 total" 216 (List.length (Designs.Image_filter.property_names cfg))
+
+(* {2 Multiport} *)
+
+let test_multiport_memory_stays_zero () =
+  let net = Designs.Multiport.build Designs.Multiport.default_config in
+  let sim = Simulator.create net in
+  let table = find_mem net "table" in
+  (* Drive aggressive write traffic; the mask bug keeps contents at 0. *)
+  for i = 0 to 60 do
+    Simulator.step sim
+      ~inputs:(bus_env [ ("wdata", 255); ("waddr", i land 63); ("we", 1) ])
+  done;
+  let all_zero = ref true in
+  for a = 0 to 63 do
+    if Simulator.mem_word sim table a <> 0 then all_zero := false
+  done;
+  Alcotest.(check bool) "memory never written non-zero" true !all_zero
+
+let test_multiport_properties_hold_in_sim () =
+  let net = Designs.Multiport.build Designs.Multiport.default_config in
+  let sim = Simulator.create net in
+  let props = List.map (fun (n, s) -> (n, s)) (Netlist.properties net) in
+  for i = 0 to 40 do
+    Simulator.step sim ~inputs:(bus_env [ ("wdata", i * 7); ("waddr", i); ("we", i land 1) ]);
+    List.iter
+      (fun (name, s) ->
+        if not (Simulator.value sim s) then
+          Alcotest.failf "property %s violated at cycle %d" name i)
+      props
+  done
+
+(* {2 Memcpy} *)
+
+let prop_memcpy_copies =
+  QCheck2.Test.make ~count:40 ~name:"memcpy engine copies the source"
+    QCheck2.Gen.(array_size (pure 6) (int_bound 255))
+    (fun src_words ->
+      let cfg = Designs.Memcpy.default_config ~n:6 in
+      let net = Designs.Memcpy.build cfg in
+      let sim =
+        Simulator.create
+          ~mem_values:(fun m a ->
+            if Netlist.memory_name m = "src" && a < 6 then src_words.(a) else 0)
+          net
+      in
+      let halted = List.assoc "halted" (Netlist.outputs net) in
+      Simulator.step sim ~inputs:(fun _ -> false);
+      let steps = ref 1 in
+      while (not (Simulator.value sim halted)) && !steps < 200 do
+        Simulator.step sim ~inputs:(fun _ -> false);
+        incr steps
+      done;
+      let dst = find_mem net "dst" in
+      List.for_all (fun a -> Simulator.mem_word sim dst a = src_words.(a))
+        (List.init 6 Fun.id))
+
+(* {2 Cache controller} *)
+
+(* Drive the cache with a request sequence; returns the responses observed.
+   Each request is (write, addr, data); None entries idle for one cycle. *)
+let run_cache ?(buggy = false) reqs =
+  let net = Designs.Cache.build ~buggy Designs.Cache.default_config in
+  let sim = Simulator.create ~mem_values:(fun _ a -> (a * 3) land 15) net in
+  let responding = List.assoc "responding" (Netlist.outputs net) in
+  let responses = ref [] in
+  let step env =
+    Simulator.step sim ~inputs:env;
+    if Simulator.value sim responding then
+      responses := read_bus_output net sim "resp" :: !responses
+  in
+  List.iter
+    (fun req ->
+      (match req with
+      | Some (write, addr, data) ->
+        step
+          (bus_env
+             [ ("req_valid", 1); ("req_write", Bool.to_int write); ("req_addr", addr);
+               ("req_wdata", data) ])
+      | None -> step (bus_env []));
+      (* Let the transaction drain: worst case LOOKUP/FILL_READ/FILL_WRITE/
+         RESPOND. *)
+      for _ = 1 to 4 do
+        step (bus_env [])
+      done)
+    reqs;
+  List.rev !responses
+
+let test_cache_read_miss_then_hit () =
+  (* First read fills from backing ((a*3) land 15); second read hits with the
+     same value. *)
+  let responses = run_cache [ Some (false, 5, 0); Some (false, 5, 0) ] in
+  Alcotest.(check (list int)) "both reads agree" [ 15; 15 ] responses
+
+let test_cache_write_then_read () =
+  let responses = run_cache [ Some (false, 9, 0); Some (true, 9, 4); Some (false, 9, 0) ] in
+  match responses with
+  | [ _fill; after_write ] -> Alcotest.(check int) "write visible" 4 after_write
+  | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length responses)
+
+let test_buggy_cache_serves_stale_data () =
+  let responses =
+    run_cache ~buggy:true [ Some (false, 9, 0); Some (true, 9, 4); Some (false, 9, 0) ]
+  in
+  match responses with
+  | [ first_fill; after_write ] ->
+    Alcotest.(check int) "stale hit" first_fill after_write;
+    Alcotest.(check bool) "differs from written value" true (after_write <> 4)
+  | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length responses)
+
+let test_cache_distinct_addresses_independent () =
+  (* Two addresses mapping to different lines don't disturb each other. *)
+  let responses =
+    run_cache [ Some (true, 1, 7); Some (true, 2, 9); Some (false, 1, 0); Some (false, 2, 0) ]
+  in
+  Alcotest.(check (list int)) "each read returns its write" [ 7; 9 ] responses
+
+let test_cache_conflict_eviction () =
+  (* Addresses 3 and 7 share index 3 (2-bit index): a fill of one evicts the
+     other, but write-through keeps the data correct. *)
+  let responses =
+    run_cache [ Some (true, 3, 5); Some (false, 7, 0); Some (false, 3, 0) ]
+  in
+  match responses with
+  | [ _seven; three ] -> Alcotest.(check int) "post-eviction read correct" 5 three
+  | _ -> Alcotest.failf "expected 2 responses, got %d" (List.length responses)
+
+(* {2 Registry} *)
+
+let test_registry_builds_everything () =
+  List.iter
+    (fun e ->
+      let net = e.Designs.Registry.build () in
+      Alcotest.(check bool)
+        (e.Designs.Registry.name ^ " has properties")
+        true
+        (Netlist.properties net <> []))
+    (Designs.Registry.all ())
+
+let test_registry_lookup () =
+  Alcotest.(check bool) "find" true
+    ((Designs.Registry.find "fifo").Designs.Registry.name = "fifo");
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Designs.Registry.find "nonsense"))
+
+let () =
+  Alcotest.run "designs"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "quicksort terminates" `Quick test_quicksort_terminates_quickly;
+          Alcotest.test_case "quicksort config validation" `Quick
+            test_quicksort_config_validation;
+          Alcotest.test_case "fifo flags" `Quick test_fifo_full_empty_flags;
+          Alcotest.test_case "image filter pixels" `Quick test_image_filter_pixels;
+          Alcotest.test_case "image filter 206/10 split" `Quick
+            test_image_filter_reachable_split;
+          Alcotest.test_case "multiport memory stays zero" `Quick
+            test_multiport_memory_stays_zero;
+          Alcotest.test_case "multiport properties in sim" `Quick
+            test_multiport_properties_hold_in_sim;
+          Alcotest.test_case "cache read miss then hit" `Quick
+            test_cache_read_miss_then_hit;
+          Alcotest.test_case "cache write then read" `Quick test_cache_write_then_read;
+          Alcotest.test_case "buggy cache serves stale data" `Quick
+            test_buggy_cache_serves_stale_data;
+          Alcotest.test_case "cache distinct addresses" `Quick
+            test_cache_distinct_addresses_independent;
+          Alcotest.test_case "cache conflict eviction" `Quick test_cache_conflict_eviction;
+          Alcotest.test_case "registry builds" `Quick test_registry_builds_everything;
+          Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_quicksort_sorts; prop_buggy_quicksort_missorts; prop_bubblesort_sorts;
+            prop_buggy_bubblesort_missorts; prop_fifo_reference; prop_memcpy_copies;
+          ] );
+    ]

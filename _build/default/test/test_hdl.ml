@@ -1,0 +1,264 @@
+(* HDL tests: word-level operators against OCaml integer semantics, register
+   and FSM behaviour, and width checking. *)
+
+let bus_env assignments name =
+  match String.index_opt name '[' with
+  | None -> ( match List.assoc_opt name assignments with Some v -> v <> 0 | None -> false)
+  | Some br ->
+    let prefix = String.sub name 0 br in
+    let idx = int_of_string (String.sub name (br + 1) (String.length name - br - 2)) in
+    (match List.assoc_opt prefix assignments with
+    | Some v -> (v lsr idx) land 1 = 1
+    | None -> false)
+
+let read_vector sim v =
+  let w = ref 0 in
+  Array.iteri (fun i s -> if Simulator.value sim s then w := !w lor (1 lsl i)) v;
+  !w
+
+(* Evaluate a binary word operation on concrete values. *)
+let eval_binop ~width f a b =
+  let ctx = Hdl.create () in
+  let va = Hdl.input ctx "a" ~width in
+  let vb = Hdl.input ctx "b" ~width in
+  let out = f ctx va vb in
+  Hdl.output ctx "r" out;
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  Simulator.step sim ~inputs:(bus_env [ ("a", a); ("b", b) ]);
+  read_vector sim out
+
+let eval_predicate ~width f a b =
+  let ctx = Hdl.create () in
+  let va = Hdl.input ctx "a" ~width in
+  let vb = Hdl.input ctx "b" ~width in
+  let out = f ctx va vb in
+  Hdl.output_bit ctx "r" out;
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  Simulator.step sim ~inputs:(bus_env [ ("a", a); ("b", b) ]);
+  Simulator.value sim out
+
+let width = 6
+let mask = (1 lsl width) - 1
+
+let gen_pair = QCheck2.Gen.(pair (int_bound mask) (int_bound mask))
+
+let prop_arith name f reference =
+  QCheck2.Test.make ~count:100 ~name gen_pair (fun (a, b) ->
+      eval_binop ~width f a b = reference a b land mask)
+
+let prop_pred name f reference =
+  QCheck2.Test.make ~count:100 ~name gen_pair (fun (a, b) ->
+      eval_predicate ~width f a b = reference a b)
+
+let arithmetic_properties =
+  [
+    prop_arith "add = (+) mod 2^w" Hdl.add (fun a b -> a + b);
+    prop_arith "sub = (-) mod 2^w" Hdl.sub (fun a b -> a - b);
+    prop_arith "and_v = land" Hdl.and_v ( land );
+    prop_arith "or_v = lor" Hdl.or_v ( lor );
+    prop_arith "xor_v = lxor" Hdl.xor_v ( lxor );
+    prop_pred "eq = (=)" Hdl.eq ( = );
+    prop_pred "neq = (<>)" Hdl.neq ( <> );
+    prop_pred "lt = (<)" Hdl.lt ( < );
+    prop_pred "le = (<=)" Hdl.le ( <= );
+    prop_pred "gt = (>)" Hdl.gt ( > );
+    prop_pred "ge = (>=)" Hdl.ge ( >= );
+  ]
+
+let prop_incr_decr =
+  QCheck2.Test.make ~count:100 ~name:"incr/decr wrap around"
+    (QCheck2.Gen.int_bound mask)
+    (fun a ->
+      eval_binop ~width (fun ctx v _ -> Hdl.incr ctx v) a 0 = (a + 1) land mask
+      && eval_binop ~width (fun ctx v _ -> Hdl.decr ctx v) a 0 = (a - 1) land mask)
+
+let prop_add_carry =
+  QCheck2.Test.make ~count:100 ~name:"add carry out" gen_pair (fun (a, b) ->
+      let ctx = Hdl.create () in
+      let va = Hdl.input ctx "a" ~width in
+      let vb = Hdl.input ctx "b" ~width in
+      let sum, carry = Hdl.add_carry ctx va vb in
+      Hdl.output ctx "s" sum;
+      Hdl.output_bit ctx "c" carry;
+      let sim = Simulator.create (Hdl.netlist ctx) in
+      Simulator.step sim ~inputs:(bus_env [ ("a", a); ("b", b) ]);
+      read_vector sim sum = (a + b) land mask
+      && Simulator.value sim carry = (a + b > mask))
+
+let prop_mux_select =
+  QCheck2.Test.make ~count:100 ~name:"mux2 selects"
+    QCheck2.Gen.(triple bool (int_bound mask) (int_bound mask))
+    (fun (sel, a, b) ->
+      let ctx = Hdl.create () in
+      let s = Hdl.input_bit ctx "s" in
+      let va = Hdl.input ctx "a" ~width in
+      let vb = Hdl.input ctx "b" ~width in
+      let out = Hdl.mux2 ctx s va vb in
+      Hdl.output ctx "r" out;
+      let sim = Simulator.create (Hdl.netlist ctx) in
+      Simulator.step sim
+        ~inputs:(bus_env [ ("s", Bool.to_int sel); ("a", a); ("b", b) ]);
+      read_vector sim out = if sel then a else b)
+
+let prop_shifts =
+  QCheck2.Test.make ~count:100 ~name:"constant shifts"
+    QCheck2.Gen.(pair (int_bound mask) (int_bound (width - 1)))
+    (fun (a, k) ->
+      eval_binop ~width (fun _ v _ -> Hdl.shift_left_const v k) a 0
+      = (a lsl k) land mask
+      && eval_binop ~width (fun _ v _ -> Hdl.shift_right_const v k) a 0 = a lsr k)
+
+let prop_concat_select =
+  QCheck2.Test.make ~count:100 ~name:"concat/select roundtrip" gen_pair
+    (fun (a, b) ->
+      let ctx = Hdl.create () in
+      let va = Hdl.input ctx "a" ~width in
+      let vb = Hdl.input ctx "b" ~width in
+      let joined = Hdl.concat va vb in
+      let lo = Hdl.select joined ~hi:(width - 1) ~lo:0 in
+      let hi = Hdl.select joined ~hi:((2 * width) - 1) ~lo:width in
+      Hdl.output ctx "lo" lo;
+      Hdl.output ctx "hi" hi;
+      let sim = Simulator.create (Hdl.netlist ctx) in
+      Simulator.step sim ~inputs:(bus_env [ ("a", a); ("b", b) ]);
+      read_vector sim lo = a && read_vector sim hi = b)
+
+let test_const () =
+  Alcotest.(check int) "const width" 4 (Array.length (Hdl.const ~width:4 5));
+  let ctx = Hdl.create () in
+  ignore ctx;
+  let v = Hdl.const ~width:4 5 in
+  Alcotest.(check bool) "bit0" true (v.(0) = Netlist.true_);
+  Alcotest.(check bool) "bit1" true (v.(1) = Netlist.false_);
+  Alcotest.(check bool) "bit2" true (v.(2) = Netlist.true_)
+
+let test_width_mismatch () =
+  let ctx = Hdl.create () in
+  let a = Hdl.input ctx "a" ~width:3 in
+  let b = Hdl.input ctx "b" ~width:4 in
+  Alcotest.check_raises "add widths"
+    (Invalid_argument "Hdl.add: width mismatch (3 vs 4)") (fun () ->
+      ignore (Hdl.add ctx a b))
+
+let test_uresize () =
+  let v = Hdl.const ~width:4 0b1010 in
+  Alcotest.(check int) "extend" 6 (Array.length (Hdl.uresize v ~width:6));
+  Alcotest.(check int) "truncate" 2 (Array.length (Hdl.uresize v ~width:2))
+
+let test_register_pipeline () =
+  let ctx = Hdl.create () in
+  let d = Hdl.input ctx "d" ~width:4 in
+  let r1 = Hdl.reg ctx "r1" ~width:4 in
+  let r2 = Hdl.reg ctx "r2" ~width:4 in
+  Hdl.connect ctx r1 d;
+  Hdl.connect ctx r2 r1;
+  Hdl.output ctx "q" r2;
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  let feed v = Simulator.step sim ~inputs:(bus_env [ ("d", v) ]) in
+  feed 5;
+  Alcotest.(check int) "cycle 0" 0 (read_vector sim r2);
+  feed 9;
+  Alcotest.(check int) "cycle 1" 0 (read_vector sim r2);
+  feed 0;
+  Alcotest.(check int) "cycle 2 sees first value" 5 (read_vector sim r2);
+  feed 0;
+  Alcotest.(check int) "cycle 3 sees second value" 9 (read_vector sim r2)
+
+let test_register_init () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx ~init:(Some 11) "r" ~width:4 in
+  Hdl.connect ctx r r;
+  Hdl.output ctx "q" r;
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  Simulator.step sim ~inputs:(fun _ -> false);
+  Alcotest.(check int) "init value" 11 (read_vector sim r)
+
+let test_fsm_walk () =
+  let ctx = Hdl.create () in
+  let go = Hdl.input_bit ctx "go" in
+  let fsm = Hdl.Fsm.create ctx "st" ~states:[ "IDLE"; "RUN"; "DONE" ] in
+  Hdl.Fsm.finalize fsm
+    [
+      (Netlist.and_ (Hdl.netlist ctx) (Hdl.Fsm.is fsm "IDLE") go, "RUN");
+      (Hdl.Fsm.is fsm "RUN", "DONE");
+      (Hdl.Fsm.is fsm "DONE", "DONE");
+    ];
+  Hdl.output_bit ctx "in_done" (Hdl.Fsm.is fsm "DONE");
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  let step go_v = Simulator.step sim ~inputs:(fun n -> n = "go" && go_v) in
+  step false;
+  Alcotest.(check bool) "stays idle" true (Simulator.value sim (Hdl.Fsm.is fsm "IDLE"));
+  step true;
+  Alcotest.(check bool) "still idle this cycle" true
+    (Simulator.value sim (Hdl.Fsm.is fsm "IDLE"));
+  step false;
+  Alcotest.(check bool) "run" true (Simulator.value sim (Hdl.Fsm.is fsm "RUN"));
+  step false;
+  Alcotest.(check bool) "done" true (Simulator.value sim (Hdl.Fsm.is fsm "DONE"))
+
+let test_fsm_errors () =
+  let ctx = Hdl.create () in
+  let fsm = Hdl.Fsm.create ctx "st" ~states:[ "A"; "B" ] in
+  Alcotest.check_raises "unknown state" (Invalid_argument "Fsm: unknown state C")
+    (fun () -> ignore (Hdl.Fsm.is fsm "C"));
+  Hdl.Fsm.finalize fsm [ (Hdl.Fsm.is fsm "A", "B") ];
+  Alcotest.check_raises "double finalize"
+    (Invalid_argument "Fsm.finalize: called twice") (fun () ->
+      Hdl.Fsm.finalize fsm [])
+
+let test_pmux_priority () =
+  let ctx = Hdl.create () in
+  let c1 = Hdl.input_bit ctx "c1" in
+  let c2 = Hdl.input_bit ctx "c2" in
+  let out =
+    Hdl.pmux ctx
+      [ (c1, Hdl.const ~width:4 1); (c2, Hdl.const ~width:4 2) ]
+      ~default:(Hdl.const ~width:4 3)
+  in
+  Hdl.output ctx "r" out;
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  let run c1v c2v =
+    Simulator.step sim ~inputs:(fun n -> (n = "c1" && c1v) || (n = "c2" && c2v));
+    read_vector sim out
+  in
+  Alcotest.(check int) "default" 3 (run false false);
+  Alcotest.(check int) "second" 2 (run false true);
+  Alcotest.(check int) "first wins" 1 (run true true)
+
+let test_reduce () =
+  let ctx = Hdl.create () in
+  let v = Hdl.input ctx "v" ~width:4 in
+  Hdl.output_bit ctx "any" (Hdl.reduce_or ctx v);
+  Hdl.output_bit ctx "all" (Hdl.reduce_and ctx v);
+  let sim = Simulator.create (Hdl.netlist ctx) in
+  let run x =
+    Simulator.step sim ~inputs:(bus_env [ ("v", x) ]);
+    (Simulator.value sim (Hdl.reduce_or ctx v), Simulator.value sim (Hdl.reduce_and ctx v))
+  in
+  Alcotest.(check (pair bool bool)) "zero" (false, false) (run 0);
+  Alcotest.(check (pair bool bool)) "partial" (true, false) (run 5);
+  Alcotest.(check (pair bool bool)) "all ones" (true, true) (run 15)
+
+let () =
+  Alcotest.run "hdl"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "const" `Quick test_const;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+          Alcotest.test_case "uresize" `Quick test_uresize;
+          Alcotest.test_case "register pipeline" `Quick test_register_pipeline;
+          Alcotest.test_case "register init" `Quick test_register_init;
+          Alcotest.test_case "fsm walk" `Quick test_fsm_walk;
+          Alcotest.test_case "fsm errors" `Quick test_fsm_errors;
+          Alcotest.test_case "pmux priority" `Quick test_pmux_priority;
+          Alcotest.test_case "reduce or/and" `Quick test_reduce;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          (arithmetic_properties
+          @ [
+              prop_incr_decr; prop_add_carry; prop_mux_select; prop_shifts;
+              prop_concat_select;
+            ]) );
+    ]

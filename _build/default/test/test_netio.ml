@@ -1,0 +1,151 @@
+(* EMN serialization tests: behavioural round-trips through the simulator,
+   format details, and error reporting. *)
+
+let bus_env assignments name =
+  match String.index_opt name '[' with
+  | None -> ( match List.assoc_opt name assignments with Some v -> v <> 0 | None -> false)
+  | Some br ->
+    let prefix = String.sub name 0 br in
+    let idx = int_of_string (String.sub name (br + 1) (String.length name - br - 2)) in
+    (match List.assoc_opt prefix assignments with
+    | Some v -> (v lsr idx) land 1 = 1
+    | None -> false)
+
+(* Behavioural equivalence under a shared stimulus: all outputs and
+   properties agree cycle by cycle. *)
+let simulate_both net1 net2 stimuli =
+  let sim1 = Simulator.create net1 in
+  let sim2 = Simulator.create net2 in
+  List.for_all
+    (fun assignments ->
+      let env = bus_env assignments in
+      Simulator.step sim1 ~inputs:env;
+      Simulator.step sim2 ~inputs:env;
+      List.for_all2
+        (fun (n1, s1) (n2, s2) ->
+          n1 = n2 && Simulator.value sim1 s1 = Simulator.value sim2 s2)
+        (Netlist.outputs net1) (Netlist.outputs net2)
+      && List.for_all2
+           (fun (n1, s1) (n2, s2) ->
+             n1 = n2 && Simulator.value sim1 s1 = Simulator.value sim2 s2)
+           (Netlist.properties net1) (Netlist.properties net2))
+    stimuli
+
+let roundtrip net = Netio.of_string (Netio.to_string net)
+
+let test_fifo_roundtrip () =
+  let net = Designs.Fifo.build Designs.Fifo.default_config in
+  let loaded = roundtrip net in
+  let stimuli =
+    List.init 12 (fun i ->
+        [ ("push", (i / 2) land 1); ("pop", i land 1); ("data_in", (i * 5) land 15);
+          ("watch", Bool.to_int (i = 3)) ])
+  in
+  Alcotest.(check bool) "behaviour preserved" true (simulate_both net loaded stimuli)
+
+let test_quicksort_roundtrip () =
+  (* Autonomous design with two memories and arbitrary initial state. *)
+  let net = Designs.Quicksort.build (Designs.Quicksort.default_config ~n:3) in
+  let loaded = roundtrip net in
+  let stimuli = List.init 50 (fun _ -> []) in
+  Alcotest.(check bool) "behaviour preserved" true (simulate_both net loaded stimuli);
+  (* Memory structure preserved. *)
+  let mems = Netlist.memories loaded in
+  Alcotest.(check int) "two memories" 2 (List.length mems);
+  let arr = List.find (fun m -> Netlist.memory_name m = "arr") mems in
+  Alcotest.(check bool) "arbitrary init" true (Netlist.memory_init arr = Netlist.Arbitrary)
+
+let test_multiport_roundtrip () =
+  let net = Designs.Multiport.build Designs.Multiport.default_config in
+  let loaded = roundtrip net in
+  let m = List.hd (Netlist.memories loaded) in
+  Alcotest.(check int) "three read ports" 3 (Netlist.num_read_ports m);
+  Alcotest.(check int) "one write port" 1 (Netlist.num_write_ports m);
+  let stimuli =
+    List.init 20 (fun i -> [ ("wdata", i * 11); ("waddr", i); ("we", i land 1);
+                             ("raddr0", i); ("raddr1", 63 - i); ("raddr2", 7) ])
+  in
+  Alcotest.(check bool) "behaviour preserved" true (simulate_both net loaded stimuli)
+
+let test_words_init_roundtrip () =
+  let ctx = Hdl.create () in
+  let mem =
+    Hdl.memory ctx ~name:"rom" ~addr_width:2 ~data_width:4
+      ~init:(Netlist.Words [| 7; 3; 1; 9 |])
+  in
+  let ra = Hdl.input ctx "ra" ~width:2 in
+  let rd = Hdl.read_port ctx mem ~addr:ra ~enable:Netlist.true_ in
+  Hdl.output ctx "rd" rd;
+  Hdl.assert_always ctx "p" Netlist.true_;
+  let net = Hdl.netlist ctx in
+  let loaded = roundtrip net in
+  (match Netlist.memory_init (List.hd (Netlist.memories loaded)) with
+  | Netlist.Words ws -> Alcotest.(check (array int)) "words" [| 7; 3; 1; 9 |] ws
+  | _ -> Alcotest.fail "expected words init");
+  let stimuli = List.init 4 (fun i -> [ ("ra", i) ]) in
+  Alcotest.(check bool) "rom behaviour" true (simulate_both net loaded stimuli)
+
+let test_format_header () =
+  let net = Designs.Fifo.build Designs.Fifo.default_config in
+  let text = Netio.to_string net in
+  Alcotest.(check bool) "starts with magic" true
+    (String.length text > 5 && String.sub text 0 5 = "emn 1")
+
+let test_parse_errors () =
+  let expect_failure text =
+    match Netio.of_string text with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected parse failure"
+  in
+  expect_failure "emn 2\n";
+  expect_failure "emn 1\nnode 1 gadget x\n";
+  expect_failure "emn 1\nnode 1 latch l 5\n";
+  expect_failure "emn 1\nnode 1 and 5 6\n" (* forward reference *)
+
+let test_comments_and_blanks () =
+  let text = "emn 1\n# a comment\n\nnode 1 input a  # trailing\nproperty p !1\n" in
+  let net = Netio.of_string text in
+  Alcotest.(check int) "one property" 1 (List.length (Netlist.properties net));
+  Alcotest.(check int) "one input" 1 (List.length (Netlist.inputs net))
+
+let test_save_load_files () =
+  let net = Designs.Regfile.build Designs.Regfile.default_config in
+  let path = Filename.temp_file "emn_test" ".emn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Netio.save net path;
+      let loaded = Netio.load path in
+      let stimuli =
+        List.init 10 (fun i ->
+            [ ("waddr", i); ("wdata", i * 3); ("we", 1); ("ra1", i); ("ra2", i) ])
+      in
+      Alcotest.(check bool) "file roundtrip" true (simulate_both net loaded stimuli))
+
+(* Property: double round-trip is textually stable (fixpoint after one
+   normalisation). *)
+let prop_roundtrip_stable =
+  QCheck2.Test.make ~count:20 ~name:"serialisation is a fixpoint"
+    (QCheck2.Gen.int_range 2 5)
+    (fun n ->
+      let net = Designs.Memcpy.build (Designs.Memcpy.default_config ~n) in
+      let once = Netio.to_string (Netio.of_string (Netio.to_string net)) in
+      let twice = Netio.to_string (Netio.of_string once) in
+      once = twice)
+
+let () =
+  Alcotest.run "netio"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "fifo roundtrip" `Quick test_fifo_roundtrip;
+          Alcotest.test_case "quicksort roundtrip" `Quick test_quicksort_roundtrip;
+          Alcotest.test_case "multiport roundtrip" `Quick test_multiport_roundtrip;
+          Alcotest.test_case "words init roundtrip" `Quick test_words_init_roundtrip;
+          Alcotest.test_case "format header" `Quick test_format_header;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "save/load files" `Quick test_save_load_files;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip_stable ]);
+    ]

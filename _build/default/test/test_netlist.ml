@@ -1,0 +1,191 @@
+(* Structural netlist tests: constant folding, structural hashing, cone
+   traversal, sequential support, and memory bookkeeping. *)
+
+let test_constant_folding () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  Alcotest.(check bool) "x & false" true (Netlist.and_ net a Netlist.false_ = Netlist.false_);
+  Alcotest.(check bool) "x & true" true (Netlist.and_ net a Netlist.true_ = a);
+  Alcotest.(check bool) "x & x" true (Netlist.and_ net a a = a);
+  Alcotest.(check bool) "x & !x" true
+    (Netlist.and_ net a (Netlist.not_ a) = Netlist.false_);
+  Alcotest.(check bool) "!!x" true (Netlist.not_ (Netlist.not_ a) = a)
+
+let test_structural_hashing () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let g1 = Netlist.and_ net a b in
+  let g2 = Netlist.and_ net b a in
+  Alcotest.(check bool) "commutative sharing" true (g1 = g2);
+  let before = Netlist.num_nodes net in
+  let _ = Netlist.and_ net a b in
+  Alcotest.(check int) "no new node" before (Netlist.num_nodes net)
+
+let test_latch_api () =
+  let net = Netlist.create () in
+  let l = Netlist.latch net ~init:(Some true) "l" in
+  Alcotest.(check bool) "init" true (Netlist.latch_init net l = Some true);
+  Alcotest.(check bool) "complement init" true
+    (Netlist.latch_init net (Netlist.not_ l) = Some false);
+  Alcotest.(check string) "name" "l" (Netlist.latch_name net l);
+  Netlist.set_next net l (Netlist.not_ l);
+  Alcotest.(check bool) "next" true (Netlist.latch_next net l = Netlist.not_ l);
+  Alcotest.(check bool) "complemented next" true
+    (Netlist.latch_next net (Netlist.not_ l) = l);
+  Alcotest.check_raises "double set"
+    (Invalid_argument "Netlist.set_next: next-state already set") (fun () ->
+      Netlist.set_next net l l)
+
+let test_unset_next_rejected () =
+  let net = Netlist.create () in
+  let l = Netlist.latch net "l" in
+  Alcotest.check_raises "unset next"
+    (Invalid_argument "Netlist.latch_next: next-state unset") (fun () ->
+      ignore (Netlist.latch_next net l))
+
+let test_fold_cone_topological () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let b = Netlist.input net "b" in
+  let g1 = Netlist.and_ net a b in
+  let g2 = Netlist.and_ net g1 (Netlist.not_ a) in
+  let order =
+    Netlist.fold_cone net [ g2 ] ~init:[] ~f:(fun acc id _ -> id :: acc) |> List.rev
+  in
+  (* Children must appear before parents. *)
+  let pos id = Option.get (List.find_index (( = ) id) order) in
+  Alcotest.(check bool) "a before g1" true
+    (pos (Netlist.node_of a) < pos (Netlist.node_of g1));
+  Alcotest.(check bool) "g1 before g2" true
+    (pos (Netlist.node_of g1) < pos (Netlist.node_of g2));
+  (* The cone must not contain unrelated nodes. *)
+  let c = Netlist.input net "c" in
+  Alcotest.(check bool) "c outside" true (not (List.mem (Netlist.node_of c) order))
+
+let test_fold_cone_stops_at_latches () =
+  let net = Netlist.create () in
+  let l = Netlist.latch net "l" in
+  let deep = Netlist.input net "deep" in
+  Netlist.set_next net l deep;
+  let g = Netlist.and_ net l l in
+  ignore g;
+  let ids = Netlist.fold_cone net [ l ] ~init:[] ~f:(fun acc id _ -> id :: acc) in
+  Alcotest.(check bool) "latch visited" true (List.mem (Netlist.node_of l) ids);
+  Alcotest.(check bool) "next-state cone not entered" true
+    (not (List.mem (Netlist.node_of deep) ids))
+
+let test_support_latches () =
+  let net = Netlist.create () in
+  let l1 = Netlist.latch net "l1" in
+  let l2 = Netlist.latch net "l2" in
+  let l3 = Netlist.latch net "l3" in
+  (* l1 <- l2, l2 <- l2, l3 independent. *)
+  Netlist.set_next net l1 l2;
+  Netlist.set_next net l2 l2;
+  Netlist.set_next net l3 l3;
+  let support = Netlist.support_latches net [ l1 ] in
+  Alcotest.(check bool) "l1 in" true (List.mem l1 support);
+  Alcotest.(check bool) "l2 in (through next)" true (List.mem l2 support);
+  Alcotest.(check bool) "l3 out" true (not (List.mem l3 support))
+
+let test_support_through_memory () =
+  let net = Netlist.create () in
+  let l_addr = Netlist.latch net "l_addr" in
+  Netlist.set_next net l_addr l_addr;
+  let l_other = Netlist.latch net "l_other" in
+  Netlist.set_next net l_other l_other;
+  let m = Netlist.add_memory net ~name:"m" ~addr_width:1 ~data_width:1 ~init:Netlist.Zeros in
+  let out = Netlist.add_read_port net m ~addr:[| l_addr |] ~enable:Netlist.true_ in
+  (* A consumer of the read data transitively depends on the address latch. *)
+  let support = Netlist.support_latches net [ out.(0) ] in
+  Alcotest.(check bool) "address latch in support" true (List.mem l_addr support);
+  Alcotest.(check bool) "unrelated latch out" true (not (List.mem l_other support))
+
+let test_memory_ports () =
+  let net = Netlist.create () in
+  let m = Netlist.add_memory net ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Arbitrary in
+  let a = Array.init 2 (fun i -> Netlist.input net (Printf.sprintf "a%d" i)) in
+  let d = Array.init 3 (fun i -> Netlist.input net (Printf.sprintf "d%d" i)) in
+  let en = Netlist.input net "en" in
+  let w = Netlist.add_write_port net m ~addr:a ~data:d ~enable:en in
+  Alcotest.(check int) "first port index" 0 w;
+  let out = Netlist.add_read_port net m ~addr:a ~enable:en in
+  Alcotest.(check int) "read width" 3 (Array.length out);
+  Alcotest.(check int) "wports" 1 (Netlist.num_write_ports m);
+  Alcotest.(check int) "rports" 1 (Netlist.num_read_ports m);
+  let addr, data, enable = Netlist.write_port m 0 in
+  Alcotest.(check bool) "write port contents" true (addr = a && data = d && enable = en);
+  Alcotest.check_raises "width check" (Invalid_argument "add_write_port: address width")
+    (fun () -> ignore (Netlist.add_write_port net m ~addr:[| en |] ~data:d ~enable:en))
+
+let test_stats () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  let l = Netlist.latch net "l" in
+  Netlist.set_next net l (Netlist.and_ net a l);
+  let _ =
+    Netlist.add_memory net ~name:"m" ~addr_width:4 ~data_width:8 ~init:Netlist.Zeros
+  in
+  let s = Netlist.stats net in
+  Alcotest.(check int) "inputs" 1 s.Netlist.num_inputs;
+  Alcotest.(check int) "latches" 1 s.Netlist.num_latches;
+  Alcotest.(check int) "ands" 1 s.Netlist.num_ands;
+  Alcotest.(check int) "memories" 1 s.Netlist.num_memories;
+  Alcotest.(check int) "mem bits" 128 s.Netlist.num_mem_bits
+
+let test_properties_and_outputs () =
+  let net = Netlist.create () in
+  let a = Netlist.input net "a" in
+  Netlist.add_property net "p" a;
+  Netlist.add_output net "o" (Netlist.not_ a);
+  Alcotest.(check bool) "find property" true (Netlist.find_property net "p" = a);
+  Alcotest.(check int) "outputs" 1 (List.length (Netlist.outputs net));
+  Alcotest.check_raises "unknown property"
+    (Invalid_argument "Netlist.find_property: unknown property q") (fun () ->
+      ignore (Netlist.find_property net "q"))
+
+(* Property: and_ agrees with the boolean semantics under any environment
+   (via fold_cone evaluation). *)
+let prop_and_or_xor_semantics =
+  QCheck2.Test.make ~count:200 ~name:"gate construction matches boolean semantics"
+    QCheck2.Gen.(array_size (pure 4) bool)
+    (fun env ->
+      let net = Netlist.create () in
+      let inputs = Array.init 4 (fun i -> Netlist.input net (string_of_int i)) in
+      let eval_tbl = Hashtbl.create 16 in
+      Array.iteri (fun i s -> Hashtbl.replace eval_tbl (Netlist.node_of s) env.(i)) inputs;
+      let rec eval s =
+        let v =
+          match Netlist.node net (Netlist.node_of s) with
+          | Netlist.Const_false -> false
+          | Netlist.Input _ -> Hashtbl.find eval_tbl (Netlist.node_of s)
+          | Netlist.And (a, b) -> eval a && eval b
+          | Netlist.Latch _ | Netlist.Mem_out _ -> assert false
+        in
+        if Netlist.is_complement s then not v else v
+      in
+      let a = inputs.(0) and b = inputs.(1) and c = inputs.(2) and d = inputs.(3) in
+      let formula = Netlist.or_ net (Netlist.and_ net a b) (Netlist.xor_ net c d) in
+      eval formula = ((env.(0) && env.(1)) || env.(2) <> env.(3)))
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "structural hashing" `Quick test_structural_hashing;
+          Alcotest.test_case "latch api" `Quick test_latch_api;
+          Alcotest.test_case "unset next rejected" `Quick test_unset_next_rejected;
+          Alcotest.test_case "fold_cone topological" `Quick test_fold_cone_topological;
+          Alcotest.test_case "fold_cone stops at latches" `Quick
+            test_fold_cone_stops_at_latches;
+          Alcotest.test_case "support latches" `Quick test_support_latches;
+          Alcotest.test_case "support through memory" `Quick test_support_through_memory;
+          Alcotest.test_case "memory ports" `Quick test_memory_ports;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "properties and outputs" `Quick test_properties_and_outputs;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_and_or_xor_semantics ]);
+    ]

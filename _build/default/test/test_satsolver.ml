@@ -1,0 +1,334 @@
+(* Unit and property tests for the CDCL solver, checked against a brute-force
+   truth-table reference on small instances. *)
+
+open Satsolver
+
+let lit v sign = Lit.of_var v sign
+
+(* Reference: does an assignment drawn from the bits of [m] satisfy all
+   clauses? *)
+let assignment_satisfies m clauses =
+  List.for_all
+    (List.exists (fun l ->
+         let bit = (m lsr Lit.var l) land 1 = 1 in
+         if Lit.sign l then bit else not bit))
+    clauses
+
+let brute_force_sat num_vars clauses =
+  let rec loop m = m < 1 lsl num_vars && (assignment_satisfies m clauses || loop (m + 1)) in
+  loop 0
+
+let solve_clauses ?(num_vars = 0) clauses =
+  let s = Solver.create () in
+  let nv =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+      num_vars clauses
+  in
+  Solver.ensure_vars s nv;
+  List.iter (Solver.add_clause s) clauses;
+  (s, Solver.solve s)
+
+let check_model s clauses =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        "clause satisfied by model" true
+        (List.exists (Solver.value s) c))
+    clauses
+
+(* {2 Unit tests} *)
+
+let test_trivial_sat () =
+  let clauses = [ [ lit 0 true; lit 1 true ]; [ lit 0 false ] ] in
+  let s, r = solve_clauses clauses in
+  Alcotest.(check bool) "sat" true (r = Solver.Sat);
+  check_model s clauses;
+  Alcotest.(check bool) "b is true" true (Solver.value_var s 1)
+
+let test_trivial_unsat () =
+  let clauses = [ [ lit 0 true ]; [ lit 0 false ] ] in
+  let _, r = solve_clauses clauses in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  Solver.add_clause s [];
+  Alcotest.(check bool) "not okay" false (Solver.okay s);
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat)
+
+let test_empty_formula () =
+  let s = Solver.create () in
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+let test_tautology_dropped () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 1;
+  Solver.add_clause s [ lit 0 true; lit 0 false ];
+  Alcotest.(check int) "no clause stored" 0 (Solver.num_clauses s);
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+(* Pigeonhole principle PHP(n+1, n): unsatisfiable, stresses learning. *)
+let pigeonhole_clauses pigeons holes =
+  let var p h = (p * holes) + h in
+  let at_least =
+    List.init pigeons (fun p -> List.init holes (fun h -> lit (var p h) true))
+  in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p1 ->
+            List.filter_map
+              (fun p2 ->
+                if p1 < p2 then Some [ lit (var p1 h) false; lit (var p2 h) false ]
+                else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  at_least @ at_most
+
+let test_pigeonhole_unsat () =
+  let clauses = pigeonhole_clauses 5 4 in
+  let _, r = solve_clauses clauses in
+  Alcotest.(check bool) "php(5,4) unsat" true (r = Solver.Unsat)
+
+let test_pigeonhole_sat () =
+  let clauses = pigeonhole_clauses 4 4 in
+  let s, r = solve_clauses clauses in
+  Alcotest.(check bool) "php(4,4) sat" true (r = Solver.Sat);
+  check_model s clauses
+
+let test_assumptions_basic () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 2;
+  Solver.add_clause s [ lit 0 false; lit 1 true ];
+  (* a -> b *)
+  Alcotest.(check bool) "sat under a" true
+    (Solver.solve ~assumptions:[ lit 0 true ] s = Solver.Sat);
+  Alcotest.(check bool) "b forced" true (Solver.value_var s 1);
+  Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "unsat under a" true
+    (Solver.solve ~assumptions:[ lit 0 true ] s = Solver.Unsat);
+  let failed = Solver.failed_assumptions s in
+  Alcotest.(check bool) "a among failed" true (List.mem (lit 0 true) failed);
+  Alcotest.(check bool) "sat without assumptions" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "a is false now" false (Solver.value_var s 0)
+
+let test_assumptions_conflicting () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 1;
+  let r = Solver.solve ~assumptions:[ lit 0 true; lit 0 false ] s in
+  Alcotest.(check bool) "contradictory assumptions" true (r = Solver.Unsat);
+  Alcotest.(check bool) "still okay" true (Solver.okay s);
+  Alcotest.(check bool) "recovers" true (Solver.solve s = Solver.Sat)
+
+let test_incremental_reuse () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 8;
+  Solver.add_clause s [ lit 0 true; lit 1 true ];
+  Alcotest.(check bool) "sat 1" true (Solver.solve s = Solver.Sat);
+  Solver.add_clause s [ lit 0 false ];
+  Alcotest.(check bool) "sat 2" true (Solver.solve s = Solver.Sat);
+  Alcotest.(check bool) "b" true (Solver.value_var s 1);
+  Solver.add_clause s [ lit 1 false ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "not okay" false (Solver.okay s)
+
+let test_unsat_core_subset () =
+  (* Clauses 0..2 form the contradiction; 3..4 are irrelevant. *)
+  let s = Solver.create () in
+  Solver.ensure_vars s 5;
+  Solver.add_clause s ~tag:0 [ lit 0 true ];
+  Solver.add_clause s ~tag:1 [ lit 0 false; lit 1 true ];
+  Solver.add_clause s ~tag:2 [ lit 1 false ];
+  Solver.add_clause s ~tag:3 [ lit 2 true; lit 3 true ];
+  Solver.add_clause s ~tag:4 [ lit 4 true ];
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let tags = Solver.unsat_core_tags s in
+  Alcotest.(check bool) "contains chain" true
+    (List.mem 0 tags && List.mem 1 tags && List.mem 2 tags);
+  Alcotest.(check bool) "excludes junk" true
+    (not (List.mem 3 tags) && not (List.mem 4 tags))
+
+let test_unsat_core_under_assumptions () =
+  let s = Solver.create () in
+  Solver.ensure_vars s 4;
+  Solver.add_clause s ~tag:10 [ lit 0 false; lit 1 true ];
+  Solver.add_clause s ~tag:11 [ lit 1 false; lit 2 true ];
+  Solver.add_clause s ~tag:12 [ lit 2 false ];
+  Solver.add_clause s ~tag:13 [ lit 3 true ];
+  let r = Solver.solve ~assumptions:[ lit 0 true ] s in
+  Alcotest.(check bool) "unsat" true (r = Solver.Unsat);
+  let tags = Solver.unsat_core_tags s in
+  Alcotest.(check bool) "implication chain in core" true
+    (List.mem 10 tags && List.mem 11 tags && List.mem 12 tags);
+  Alcotest.(check bool) "irrelevant unit excluded" true (not (List.mem 13 tags))
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let p = Dimacs.parse_string text in
+  Alcotest.(check int) "vars" 3 p.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length p.Dimacs.clauses);
+  let p2 = Dimacs.parse_string (Dimacs.to_string p) in
+  Alcotest.(check bool) "roundtrip" true (p.Dimacs.clauses = p2.Dimacs.clauses);
+  let s = Solver.create () in
+  Dimacs.load_into s p;
+  Alcotest.(check bool) "sat" true (Solver.solve s = Solver.Sat)
+
+(* {2 Refutation checking (independent RUP validation)} *)
+
+let test_checker_validates_pigeonhole () =
+  let clauses = pigeonhole_clauses 5 4 in
+  let s = Solver.create () in
+  Solver.set_proof_logging s true;
+  let nv =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+      0 clauses
+  in
+  Solver.ensure_vars s nv;
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  Alcotest.(check bool) "refutation validates" true
+    (Checker.verify ~num_vars:nv ~original:clauses ~derivation:(Solver.proof_log s))
+
+let test_checker_rejects_bogus_derivation () =
+  (* A clause that is not implied must fail the RUP check. *)
+  let clauses = [ [ lit 0 true; lit 1 true ] ] in
+  Alcotest.(check bool) "non-implied clause rejected" false
+    (Checker.clause_is_rup ~num_vars:2 clauses [ lit 0 true ]);
+  Alcotest.(check bool) "implied clause accepted" true
+    (Checker.clause_is_rup ~num_vars:2
+       [ [ lit 0 true ]; [ lit 0 false; lit 1 true ] ]
+       [ lit 1 true ])
+
+let test_checker_rejects_sat_set () =
+  Alcotest.(check bool) "satisfiable set does not verify" false
+    (Checker.verify ~num_vars:2 ~original:[ [ lit 0 true ] ] ~derivation:[])
+
+let prop_checker_validates_random_unsat =
+  let gen =
+    QCheck2.Gen.(
+      let gen_lit = map2 (fun v s -> lit v s) (int_bound 6) bool in
+      list_size (int_range 5 40) (list_size (int_range 1 3) gen_lit))
+  in
+  QCheck2.Test.make ~count:150 ~name:"refutations of random UNSAT instances validate"
+    gen
+    (fun clauses ->
+      let s = Solver.create () in
+      Solver.set_proof_logging s true;
+      Solver.ensure_vars s 7;
+      List.iter (Solver.add_clause s) clauses;
+      match Solver.solve s with
+      | Solver.Sat -> true
+      | Solver.Unsat ->
+        Checker.verify ~num_vars:7 ~original:clauses ~derivation:(Solver.proof_log s))
+
+(* {2 Property tests} *)
+
+let gen_clauses num_vars =
+  QCheck2.Gen.(
+    let gen_lit = map2 (fun v s -> lit v s) (int_bound (num_vars - 1)) bool in
+    let gen_clause = list_size (int_range 1 3) gen_lit in
+    list_size (int_range 1 40) gen_clause)
+
+let prop_agrees_with_brute_force =
+  QCheck2.Test.make ~count:300 ~name:"solver agrees with truth table"
+    (gen_clauses 8)
+    (fun clauses ->
+      let s, r = solve_clauses ~num_vars:8 clauses in
+      let expected = brute_force_sat 8 clauses in
+      match r with
+      | Solver.Sat ->
+        expected && List.for_all (List.exists (Solver.value s)) clauses
+      | Solver.Unsat -> not expected)
+
+let prop_core_is_unsat =
+  QCheck2.Test.make ~count:200 ~name:"unsat core is itself unsat"
+    (gen_clauses 7)
+    (fun clauses ->
+      let arr = Array.of_list clauses in
+      let s = Solver.create () in
+      Solver.ensure_vars s 7;
+      Array.iteri (fun i c -> Solver.add_clause s ~tag:i c) arr;
+      match Solver.solve s with
+      | Solver.Sat -> true
+      | Solver.Unsat ->
+        let core_clauses =
+          List.map (fun t -> arr.(t)) (Solver.unsat_core_tags s)
+        in
+        not (brute_force_sat 7 core_clauses))
+
+let prop_assumption_core =
+  QCheck2.Test.make ~count:200 ~name:"core + failed assumptions are unsat"
+    QCheck2.Gen.(pair (gen_clauses 7) (list_size (int_range 1 3) (int_bound 6)))
+    (fun (clauses, assumed_vars) ->
+      let assumptions = List.sort_uniq compare (List.map (fun v -> lit v true) assumed_vars) in
+      let arr = Array.of_list clauses in
+      let s = Solver.create () in
+      Solver.ensure_vars s 7;
+      Array.iteri (fun i c -> Solver.add_clause s ~tag:i c) arr;
+      match Solver.solve ~assumptions s with
+      | Solver.Sat -> List.for_all (Solver.value s) assumptions
+      | Solver.Unsat ->
+        let core_clauses =
+          List.map (fun t -> arr.(t)) (Solver.unsat_core_tags s)
+        in
+        let failed = Solver.failed_assumptions s in
+        let as_units = List.map (fun l -> [ l ]) failed in
+        List.for_all (fun l -> List.mem l assumptions) failed
+        && not (brute_force_sat 7 (as_units @ core_clauses)))
+
+let prop_incremental_consistent =
+  QCheck2.Test.make ~count:100 ~name:"incremental solving matches fresh solver"
+    QCheck2.Gen.(pair (gen_clauses 7) (gen_clauses 7))
+    (fun (first, second) ->
+      let s = Solver.create () in
+      Solver.ensure_vars s 7;
+      List.iter (Solver.add_clause s) first;
+      let _ = Solver.solve s in
+      List.iter (Solver.add_clause s) second;
+      let incremental = Solver.solve s in
+      let _, fresh = solve_clauses ~num_vars:7 (first @ second) in
+      incremental = fresh)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_agrees_with_brute_force;
+        prop_core_is_unsat;
+        prop_assumption_core;
+        prop_incremental_consistent;
+        prop_checker_validates_random_unsat;
+      ]
+  in
+  Alcotest.run "satsolver"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "empty formula" `Quick test_empty_formula;
+          Alcotest.test_case "tautology dropped" `Quick test_tautology_dropped;
+          Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+          Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+          Alcotest.test_case "assumptions basic" `Quick test_assumptions_basic;
+          Alcotest.test_case "assumptions conflicting" `Quick test_assumptions_conflicting;
+          Alcotest.test_case "incremental reuse" `Quick test_incremental_reuse;
+          Alcotest.test_case "unsat core subset" `Quick test_unsat_core_subset;
+          Alcotest.test_case "unsat core under assumptions" `Quick
+            test_unsat_core_under_assumptions;
+          Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "checker validates pigeonhole" `Quick
+            test_checker_validates_pigeonhole;
+          Alcotest.test_case "checker rejects bogus derivation" `Quick
+            test_checker_rejects_bogus_derivation;
+          Alcotest.test_case "checker rejects satisfiable set" `Quick
+            test_checker_rejects_sat_set;
+        ] );
+      ("property", qsuite);
+    ]

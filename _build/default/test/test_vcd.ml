@@ -1,0 +1,93 @@
+(* VCD export tests: structure of the emitted file and consistency with the
+   trace being dumped. *)
+
+let buggy_fifo_trace () =
+  let net = Designs.Fifo.build ~buggy:true Designs.Fifo.default_config in
+  let config = { Bmc.Engine.default_config with max_depth = 10; proof_checks = false } in
+  let result, _ = Emm.check ~config net ~property:"fifo_data" in
+  match result.Bmc.Engine.verdict with
+  | Bmc.Engine.Counterexample t -> (net, t)
+  | _ -> Alcotest.fail "expected counterexample"
+
+let vcd_text () =
+  let net, trace = buggy_fifo_trace () in
+  let buf = Buffer.create 1024 in
+  let path = Filename.temp_file "trace" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Bmc.Vcd.write_file net trace path;
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      Buffer.add_string buf (really_input_string ic n);
+      close_in ic);
+  (net, trace, Buffer.contents buf)
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let test_header_sections () =
+  let _, _, text = vcd_text () in
+  List.iter
+    (fun section ->
+      Alcotest.(check bool) ("contains " ^ section) true (contains text section))
+    [ "$timescale"; "$scope"; "$enddefinitions"; "$dumpvars"; "$var wire 1" ]
+
+let test_declares_design_signals () =
+  let _, _, text = vcd_text () in
+  List.iter
+    (fun name -> Alcotest.(check bool) ("declares " ^ name) true (contains text name))
+    [ "push"; "pop"; "data_in[0]"; "wr_ptr[0]"; "prop.fifo_data"; "out.read_data[0]" ]
+
+let test_one_timestep_per_frame () =
+  let _, trace, text = vcd_text () in
+  let count = ref 0 in
+  String.split_on_char '\n' text
+  |> List.iter (fun line -> if String.length line > 1 && line.[0] = '#' then incr count);
+  (* depth+1 frames plus the closing timestamp *)
+  Alcotest.(check int) "timestamps" (trace.Bmc.Trace.depth + 2) !count
+
+let test_property_drops_at_failure () =
+  (* The dumped property value must be 1 on all frames but fall to 0 at the
+     failure frame. *)
+  let net, trace, text = vcd_text () in
+  ignore net;
+  (* Find the identifier code assigned to prop.fifo_data. *)
+  let code = ref None in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         match String.split_on_char ' ' line with
+         | [ "$var"; "wire"; "1"; c; name; "$end" ] when name = "prop.fifo_data" ->
+           code := Some c
+         | _ -> ());
+  let code = Option.get !code in
+  (* Track its value changes across timestamps. *)
+  let value = ref None in
+  let at_failure = ref None in
+  let current_time = ref (-1) in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if String.length line > 1 && line.[0] = '#' then
+           current_time := int_of_string (String.sub line 1 (String.length line - 1))
+         else if String.length line > 1 && String.sub line 1 (String.length line - 1) = code
+         then begin
+           value := Some (line.[0] = '1');
+           if !current_time = trace.Bmc.Trace.depth * 10 then at_failure := !value
+         end);
+  Alcotest.(check (option bool)) "property false at failure frame" (Some false)
+    (if !at_failure = None then !value else !at_failure)
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "header sections" `Quick test_header_sections;
+          Alcotest.test_case "declares design signals" `Quick test_declares_design_signals;
+          Alcotest.test_case "one timestep per frame" `Quick test_one_timestep_per_frame;
+          Alcotest.test_case "property drops at failure" `Quick
+            test_property_drops_at_failure;
+        ] );
+    ]
