@@ -421,6 +421,115 @@ let micro () =
         results)
     tests
 
+(* {2 solver-json — machine-readable CDCL telemetry for the perf trajectory} *)
+
+(* The fixed design/property/method matrix recorded in BENCH_solver.json;
+   depths chosen so the whole run stays under about a minute. *)
+let solver_matrix =
+  [
+    ("quicksort-n3", "P1", Emmver.Emm_bmc, 60);
+    ("quicksort-buggy-n3", "P1", Emmver.Emm_falsify, 100);
+    ("multiport", "mem_quiet", Emmver.Emm_bmc, 100);
+    ("multiport", "hit0", Emmver.Emm_falsify, 40);
+    ("fifo", "fifo_data", Emmver.Emm_bmc, 12);
+    ("cache", "coherent", Emmver.Emm_bmc, 14);
+    ("memcpy", "copied", Emmver.Emm_bmc, 100);
+    ("memcpy", "copied", Emmver.Explicit_bmc, 100);
+    ("bubblesort-n4", "sorted", Emmver.Emm_bmc, 100);
+    ("regfile", "read_consistent", Emmver.Emm_bmc, 100);
+    ("regfile", "read_consistent", Emmver.Explicit_bmc, 100);
+  ]
+
+let pigeonhole_clauses pigeons holes =
+  (* var p*holes + h <-> pigeon p sits in hole h *)
+  let v p h = Satsolver.Lit.of_var ((p * holes) + h) true in
+  let at_least_one =
+    List.init pigeons (fun p -> List.init holes (fun h -> v p h))
+  in
+  let at_most_one =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun q ->
+                if q > p then
+                  Some [ Satsolver.Lit.negate (v p h); Satsolver.Lit.negate (v q h) ]
+                else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  (pigeons * holes, at_least_one @ at_most_one)
+
+let json_row ~design ~property ~method_ ~verdict ~time_s ~solve_time_s
+    (s : Satsolver.Solver.stats) =
+  Printf.sprintf
+    {|    {"design": %S, "property": %S, "method": %S, "verdict": %S,
+     "time_s": %.3f, "solve_time_s": %.3f, "conflicts": %d, "decisions": %d,
+     "propagations": %d, "restarts": %d, "learnt": %d, "deleted": %d,
+     "minimised_lits": %d, "avg_lbd": %.2f}|}
+    design property method_ verdict time_s solve_time_s s.Satsolver.Solver.conflicts
+    s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
+    s.minimised_lits s.avg_lbd
+
+let solver_json () =
+  hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
+  let rows = ref [] in
+  let add_row r = rows := r :: !rows in
+  Format.printf "%-20s %-16s %-12s %-24s %8s %10s %12s@." "design" "property"
+    "method" "verdict" "time" "conflicts" "props";
+  List.iter
+    (fun (design, property, method_, max_depth) ->
+      let net = (Designs.Registry.find design).Designs.Registry.build () in
+      let options =
+        { Emmver.default_options with max_depth; timeout_s = Some !timeout }
+      in
+      let o, time_s = time (fun () -> Emmver.verify ~options ~method_ net ~property) in
+      let verdict = Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion in
+      let verdict =
+        (* keep only the headline, not the explanation *)
+        match String.index_opt verdict ':' with
+        | Some i -> String.sub verdict 0 i
+        | None -> verdict
+      in
+      let s =
+        Option.value o.Emmver.solver_stats ~default:Satsolver.Solver.empty_stats
+      in
+      Format.printf "%-20s %-16s %-12s %-24s %7.2fs %10d %12d@." design property
+        (Emmver.method_to_string method_)
+        verdict time_s s.Satsolver.Solver.conflicts s.Satsolver.Solver.propagations;
+      add_row
+        (json_row ~design ~property ~method_:(Emmver.method_to_string method_)
+           ~verdict ~time_s ~solve_time_s:o.Emmver.solve_time_s s))
+    solver_matrix;
+  (* Raw SAT rows: pigeonhole refutations exercise the learning machinery
+     without any BMC structure on top. *)
+  List.iter
+    (fun (pigeons, holes) ->
+      let design = Printf.sprintf "php-%d-%d" pigeons holes in
+      let solver = Satsolver.Solver.create () in
+      let nvars, clauses = pigeonhole_clauses pigeons holes in
+      Satsolver.Solver.ensure_vars solver nvars;
+      List.iter (Satsolver.Solver.add_clause solver) clauses;
+      let result, time_s = time (fun () -> Satsolver.Solver.solve solver) in
+      let verdict =
+        match result with Satsolver.Solver.Sat -> "sat" | Satsolver.Solver.Unsat -> "unsat"
+      in
+      let s = Satsolver.Solver.stats solver in
+      Format.printf "%-20s %-16s %-12s %-24s %7.2fs %10d %12d@." design "-" "raw-sat"
+        verdict time_s s.Satsolver.Solver.conflicts s.Satsolver.Solver.propagations;
+      add_row
+        (json_row ~design ~property:"-" ~method_:"raw-sat" ~verdict ~time_s
+           ~solve_time_s:s.Satsolver.Solver.solve_time_s s))
+    [ (7, 6); (8, 7); (9, 8) ];
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc "{\n  \"rows\": [\n";
+  output_string oc (String.concat ",\n" (List.rev !rows));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Format.printf "wrote BENCH_solver.json (%d rows)@." (List.length !rows)
+
 (* {2 Driver} *)
 
 let () =
@@ -444,6 +553,7 @@ let () =
     | "growth" -> growth ()
     | "ablation" -> ablation ()
     | "micro" -> micro ()
+    | "solver-json" -> solver_json ()
     | "all" ->
       growth ();
       ablation ();
@@ -454,7 +564,7 @@ let () =
       micro ()
     | other ->
       Format.eprintf
-        "unknown bench %S (expected table1|table2|case1|case2|growth|ablation|micro|all)@."
+        "unknown bench %S (expected table1|table2|case1|case2|growth|ablation|micro|solver-json|all)@."
         other;
       exit 2
   in

@@ -20,6 +20,7 @@ type stats = {
   latch_reasons : Netlist.signal list;
   memory_reasons : int list;
   reasons_last_changed : int;
+  solver_stats : Solver.stats;
 }
 
 type result = { verdict : verdict; stats : stats }
@@ -218,6 +219,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       memory_reasons =
         List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
       reasons_last_changed = run.reasons_last_changed;
+      solver_stats = Solver.stats solver;
     }
   in
   { verdict; stats }
@@ -336,6 +338,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       memory_reasons =
         List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
       reasons_last_changed = run.reasons_last_changed;
+      solver_stats = Solver.stats solver;
     }
   in
   let results =

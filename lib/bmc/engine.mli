@@ -40,6 +40,9 @@ type stats = {
   memory_reasons : int list;
       (** ids of memories whose EMM constraints appeared in some refutation *)
   reasons_last_changed : int;  (** depth at which either reason set last grew *)
+  solver_stats : Satsolver.Solver.stats;
+      (** cumulative CDCL telemetry for the run's solver (restarts, learnt /
+          deleted clauses, average LBD, minimised literals, ...) *)
 }
 
 type result = { verdict : verdict; stats : stats }

@@ -52,6 +52,8 @@ type outcome = {
   model_clauses : int;
   emm_counts : Emm.counts option;
   abstraction : Pba.abstraction option;
+  solver_stats : Satsolver.Solver.stats option;
+      (* None for the BDD method, which involves no SAT solver *)
 }
 
 let deadline_of opts =
@@ -97,6 +99,7 @@ let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
     model_clauses = stats.Bmc.Engine.num_clauses;
     emm_counts;
     abstraction;
+    solver_stats = Some stats.Bmc.Engine.solver_stats;
   }
 
 let num_latches net = List.length (Netlist.latches net)
@@ -152,6 +155,7 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       model_clauses = 0;
       emm_counts = None;
       abstraction = None;
+      solver_stats = None;
     }
 
 and verify_pba ~options ~use_emm net ~property ~t0 =
@@ -175,6 +179,7 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
             latch_reasons = [];
             memory_reasons = [];
             reasons_last_changed = 0;
+            solver_stats = Satsolver.Solver.empty_stats;
           };
       }
     in
@@ -204,4 +209,12 @@ let pp_conclusion ppf = function
 let pp_outcome ppf o =
   Format.fprintf ppf "@[<v>%a@,time %.2fs (solver %.2fs), %.1f MB, model: %d latches, %d vars, %d clauses@]"
     pp_conclusion o.conclusion o.time_s o.solve_time_s o.memory_mb o.model_latches
-    o.model_vars o.model_clauses
+    o.model_vars o.model_clauses;
+  match o.solver_stats with
+  | None -> ()
+  | Some s ->
+    Format.fprintf ppf
+      "@,solver: conflicts=%d decisions=%d props=%d restarts=%d learnt=%d \
+       deleted=%d minimised=%d avg-lbd=%.2f"
+      s.Satsolver.Solver.conflicts s.decisions s.propagations s.restarts
+      s.learnt_clauses s.deleted_clauses s.minimised_lits s.avg_lbd

@@ -59,6 +59,8 @@ type outcome = {
   model_clauses : int;
   emm_counts : Emm.counts option;
   abstraction : Pba.abstraction option;
+  solver_stats : Satsolver.Solver.stats option;
+      (** CDCL telemetry of the underlying run; [None] for the BDD method *)
 }
 
 val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string -> outcome

@@ -120,10 +120,13 @@ let expand old_net =
             ports
         in
         for b = 0 to dw - 1 do
+          (* Later ports wrap earlier ones, so on a same-address collision
+             the last-listed port wins — matching the simulator, which
+             applies the sampled writes in port order. *)
           let next =
-            List.fold_right
-              (fun (hit, data) acc -> Netlist.mux net hit data.(b) acc)
-              hits words.(a).(b)
+            List.fold_left
+              (fun acc (hit, data) -> Netlist.mux net hit data.(b) acc)
+              words.(a).(b) hits
           in
           Netlist.set_next net words.(a).(b) next
         done

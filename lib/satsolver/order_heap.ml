@@ -18,34 +18,54 @@ let ensure t v =
 let in_heap t v = v < Array.length t.index && t.index.(v) >= 0
 let is_empty t = Vec.is_empty t.heap
 
-let swap t i j =
-  let vi = Vec.get t.heap i and vj = Vec.get t.heap j in
-  Vec.set t.heap i vj;
-  Vec.set t.heap j vi;
-  t.index.(vi) <- j;
-  t.index.(vj) <- i
+(* The sift loops move a hole up/down and drop the element in once, rather
+   than swapping at every level; the moving element's activity is computed a
+   single time per sift. *)
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if t.activity (Vec.get t.heap i) > t.activity (Vec.get t.heap parent) then begin
-      swap t i parent;
-      sift_up t parent
+let sift_up t i =
+  let v = Vec.get t.heap i in
+  let a = t.activity v in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pv = Vec.get t.heap parent in
+    if a > t.activity pv then begin
+      Vec.set t.heap !i pv;
+      t.index.(pv) <- !i;
+      i := parent
     end
-  end
+    else continue_ := false
+  done;
+  Vec.set t.heap !i v;
+  t.index.(v) <- !i
 
-let rec sift_down t i =
+let sift_down t i =
   let n = Vec.size t.heap in
-  let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let best = ref i in
-  if left < n && t.activity (Vec.get t.heap left) > t.activity (Vec.get t.heap !best)
-  then best := left;
-  if right < n && t.activity (Vec.get t.heap right) > t.activity (Vec.get t.heap !best)
-  then best := right;
-  if !best <> i then begin
-    swap t i !best;
-    sift_down t !best
-  end
+  let v = Vec.get t.heap i in
+  let a = t.activity v in
+  let i = ref i in
+  let continue_ = ref true in
+  while !continue_ do
+    let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+    if left >= n then continue_ := false
+    else begin
+      let child =
+        if right < n && t.activity (Vec.get t.heap right) > t.activity (Vec.get t.heap left)
+        then right
+        else left
+      in
+      let cv = Vec.get t.heap child in
+      if t.activity cv > a then begin
+        Vec.set t.heap !i cv;
+        t.index.(cv) <- !i;
+        i := child
+      end
+      else continue_ := false
+    end
+  done;
+  Vec.set t.heap !i v;
+  t.index.(v) <- !i
 
 let insert t v =
   ensure t v;
@@ -58,11 +78,13 @@ let insert t v =
 let remove_max t =
   if is_empty t then raise Not_found;
   let v = Vec.get t.heap 0 in
-  let n = Vec.size t.heap in
-  swap t 0 (n - 1);
-  ignore (Vec.pop t.heap);
+  let last = Vec.pop t.heap in
   t.index.(v) <- -1;
-  if not (is_empty t) then sift_down t 0;
+  if not (is_empty t) then begin
+    Vec.set t.heap 0 last;
+    t.index.(last) <- 0;
+    sift_down t 0
+  end;
   v
 
 let update t v =

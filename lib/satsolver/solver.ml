@@ -5,6 +5,7 @@ type clause = {
   lits : int array; (* watched literals at positions 0 and 1 *)
   learnt : bool;
   mutable activity : float;
+  mutable lbd : int; (* glue (distinct decision levels); 0 for originals *)
   mutable removed : bool;
 }
 
@@ -16,18 +17,58 @@ type clause = {
    core-extraction time). *)
 type cid_info = Original of int | Learnt_from of int array
 
-let dummy_clause = { cid = -1; lits = [||]; learnt = false; activity = 0.; removed = true }
+let dummy_clause =
+  { cid = -1; lits = [||]; learnt = false; activity = 0.; lbd = 0; removed = true }
+
+(* One watch-list entry.  [blocker] is a literal of the clause other than the
+   watched one: when it is already true the clause is satisfied and the
+   clause cells are never touched, which is where most propagation cache
+   misses used to come from.  For binary clauses the blocker is exactly the
+   other literal, so propagation resolves them entirely from the watcher. *)
+type watcher = { mutable blocker : int; wcl : clause }
+
+let dummy_watcher = { blocker = 0; wcl = dummy_clause }
+
+(* Cumulative search statistics, cheap enough to keep always-on. *)
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;  (* total clauses ever learnt *)
+  deleted_clauses : int;  (* learnt clauses dropped by DB reduction *)
+  db_reductions : int;
+  minimised_lits : int;  (* literals removed by conflict-clause minimisation *)
+  avg_lbd : float;  (* mean LBD over all learnt clauses *)
+  solve_time_s : float;  (* wall time spent inside [solve] *)
+}
+
+let empty_stats =
+  {
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    restarts = 0;
+    learnt_clauses = 0;
+    deleted_clauses = 0;
+    db_reductions = 0;
+    minimised_lits = 0;
+    avg_lbd = 0.0;
+    solve_time_s = 0.0;
+  }
 
 type t = {
   mutable nvars : int;
   clauses : clause Vec.t;
   learnts : clause Vec.t;
-  mutable watches : clause Vec.t array; (* indexed by literal *)
+  mutable watches : watcher Vec.t array; (* indexed by literal *)
   mutable assign : int array; (* var -> -1 undef / 0 false / 1 true *)
   mutable level : int array;
   mutable reason : clause option array;
   mutable phase : bool array;
-  mutable seen : bool array;
+  mutable seen : int array; (* 0 unseen / 1 in-clause / 2 removable / 3 failed *)
+  mutable level_stamp : int array; (* level -> stamp, for LBD counting *)
+  mutable stamp : int;
   trail : int Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
@@ -45,6 +86,13 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
+  mutable learnt_total : int;
+  mutable lbd_sum : int;
+  mutable deleted_total : int;
+  mutable db_reductions : int;
+  mutable minimised_lits : int;
+  mutable solve_time : float;
   mutable max_learnts : float;
   mutable deadline : float option;
   mutable proof_log : Lit.t list list; (* learnt clauses, newest first *)
@@ -63,12 +111,14 @@ let create () =
     nvars = 0;
     clauses = Vec.create ~dummy:dummy_clause ();
     learnts = Vec.create ~dummy:dummy_clause ();
-    watches = Array.init 128 (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_clause ());
+    watches = Array.init 128 (fun _ -> Vec.create ~capacity:4 ~dummy:dummy_watcher ());
     assign = Array.make 64 (-1);
     level = Array.make 64 (-1);
     reason = Array.make 64 None;
     phase = Array.make 64 false;
-    seen = Array.make 64 false;
+    seen = Array.make 64 0;
+    level_stamp = Array.make 65 0;
+    stamp = 0;
     trail = Vec.create ~dummy:0 ();
     trail_lim = Vec.create ~dummy:0 ();
     qhead = 0;
@@ -86,6 +136,13 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
+    learnt_total = 0;
+    lbd_sum = 0;
+    deleted_total = 0;
+    db_reductions = 0;
+    minimised_lits = 0;
+    solve_time = 0.0;
     max_learnts = 0.0;
     deadline = None;
     proof_log = [];
@@ -104,6 +161,22 @@ let num_decisions t = t.decisions
 let num_propagations t = t.propagations
 let okay t = t.ok
 
+let stats t =
+  {
+    conflicts = t.conflicts;
+    decisions = t.decisions;
+    propagations = t.propagations;
+    restarts = t.restarts;
+    learnt_clauses = t.learnt_total;
+    deleted_clauses = t.deleted_total;
+    db_reductions = t.db_reductions;
+    minimised_lits = t.minimised_lits;
+    avg_lbd =
+      (if t.learnt_total = 0 then 0.0
+       else float_of_int t.lbd_sum /. float_of_int t.learnt_total);
+    solve_time_s = t.solve_time;
+  }
+
 let grow_arrays t n =
   let old = Array.length t.assign in
   if n > old then begin
@@ -115,15 +188,16 @@ let grow_arrays t n =
     in
     t.assign <- grow_int t.assign (-1);
     t.level <- grow_int t.level (-1);
+    t.seen <- grow_int t.seen 0;
+    (let b = Array.make (cap + 1) 0 in
+     Array.blit t.level_stamp 0 b 0 (Array.length t.level_stamp);
+     t.level_stamp <- b);
     (let b = Array.make cap None in
      Array.blit t.reason 0 b 0 old;
      t.reason <- b);
     (let b = Array.make cap false in
      Array.blit t.phase 0 b 0 old;
      t.phase <- b);
-    (let b = Array.make cap false in
-     Array.blit t.seen 0 b 0 old;
-     t.seen <- b);
     let acts = Array.make cap 0.0 in
     Array.blit !(t.activity) 0 acts 0 old;
     t.activity := acts
@@ -132,7 +206,8 @@ let grow_arrays t n =
   if 2 * n > oldw then begin
     let cap = max (2 * oldw) (2 * n) in
     let w = Array.init cap (fun i ->
-        if i < oldw then t.watches.(i) else Vec.create ~capacity:4 ~dummy:dummy_clause ())
+        if i < oldw then t.watches.(i)
+        else Vec.create ~capacity:4 ~dummy:dummy_watcher ())
     in
     t.watches <- w
   end
@@ -174,6 +249,38 @@ let bump_clause t (c : clause) =
     t.cla_inc <- t.cla_inc *. 1e-20
   end
 
+(* LBD (literal block distance) of a set of literals: the number of distinct
+   non-root decision levels, counted with a stamped per-level scratch array
+   (Audemard & Simon's "glue").  Only meaningful while the literals are
+   assigned. *)
+let lits_lbd t lits =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let n = ref 0 in
+  List.iter
+    (fun l ->
+      let lv = t.level.(Lit.var l) in
+      if lv > 0 && t.level_stamp.(lv) <> stamp then begin
+        t.level_stamp.(lv) <- stamp;
+        incr n
+      end)
+    lits;
+  !n
+
+let clause_lbd t (c : clause) =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let lv = t.level.(Lit.var l) in
+      if lv > 0 && t.level_stamp.(lv) <> stamp then begin
+        t.level_stamp.(lv) <- stamp;
+        incr n
+      end)
+    c.lits;
+  !n
+
 let enqueue t l reason =
   let v = Lit.var l in
   t.assign.(v) <- (if Lit.sign l then 1 else 0);
@@ -200,8 +307,9 @@ let cancel_until t lvl =
     t.qhead <- Vec.size t.trail
   end
 
-(* Two-watched-literal Boolean constraint propagation.  Returns the
-   conflicting clause, if any. *)
+(* Two-watched-literal Boolean constraint propagation with blocking literals
+   and inlined binary-clause handling.  Returns the conflicting clause, if
+   any. *)
 let propagate t =
   let confl = ref None in
   while !confl = None && t.qhead < Vec.size t.trail do
@@ -214,47 +322,80 @@ let propagate t =
     let j = ref 0 in
     let i = ref 0 in
     while !i < n do
-      let c = Vec.get ws !i in
+      let w = Vec.unsafe_get ws !i in
       incr i;
+      let c = w.wcl in
       if not c.removed then begin
-        (* Normalise: the falsified watch sits at position 1. *)
-        if c.lits.(0) = false_lit then begin
-          c.lits.(0) <- c.lits.(1);
-          c.lits.(1) <- false_lit
-        end;
-        let first = c.lits.(0) in
-        if lit_value t first = 1 then begin
-          (* Clause already satisfied; keep the watch. *)
-          Vec.set ws !j c;
+        if lit_value t w.blocker = 1 then begin
+          (* Blocker satisfies the clause; the clause itself stays cold. *)
+          Vec.unsafe_set ws !j w;
           incr j
         end
+        else if Array.length c.lits = 2 then begin
+          (* Binary: the blocker is the other literal, so the watcher alone
+             decides between unit propagation and conflict. *)
+          Vec.unsafe_set ws !j w;
+          incr j;
+          let other = w.blocker in
+          (* Keep the reason invariant: position 0 holds the implied
+             literal. *)
+          if c.lits.(0) <> other then begin
+            c.lits.(0) <- other;
+            c.lits.(1) <- false_lit
+          end;
+          if lit_value t other = 0 then begin
+            confl := Some c;
+            t.qhead <- Vec.size t.trail;
+            while !i < n do
+              Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+              incr i;
+              incr j
+            done
+          end
+          else enqueue t other (Some c)
+        end
         else begin
-          (* Look for a replacement watch. *)
-          let len = Array.length c.lits in
-          let k = ref 2 in
-          while !k < len && lit_value t c.lits.(!k) = 0 do
-            incr k
-          done;
-          if !k < len then begin
-            c.lits.(1) <- c.lits.(!k);
-            c.lits.(!k) <- false_lit;
-            Vec.push t.watches.(c.lits.(1)) c
+          (* Normalise: the falsified watch sits at position 1. *)
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          let first = c.lits.(0) in
+          if first <> w.blocker && lit_value t first = 1 then begin
+            (* Clause already satisfied; refresh the blocker in place. *)
+            w.blocker <- first;
+            Vec.unsafe_set ws !j w;
+            incr j
           end
           else begin
-            (* Unit or conflicting. *)
-            Vec.set ws !j c;
-            incr j;
-            if lit_value t first = 0 then begin
-              confl := Some c;
-              t.qhead <- Vec.size t.trail;
-              (* Keep the remaining watches. *)
-              while !i < n do
-                Vec.set ws !j (Vec.get ws !i);
-                incr i;
-                incr j
-              done
+            (* Look for a replacement watch. *)
+            let len = Array.length c.lits in
+            let k = ref 2 in
+            while !k < len && lit_value t c.lits.(!k) = 0 do
+              incr k
+            done;
+            if !k < len then begin
+              c.lits.(1) <- c.lits.(!k);
+              c.lits.(!k) <- false_lit;
+              Vec.push t.watches.(c.lits.(1)) { blocker = first; wcl = c }
             end
-            else enqueue t first (Some c)
+            else begin
+              (* Unit or conflicting. *)
+              w.blocker <- first;
+              Vec.unsafe_set ws !j w;
+              incr j;
+              if lit_value t first = 0 then begin
+                confl := Some c;
+                t.qhead <- Vec.size t.trail;
+                (* Keep the remaining watches. *)
+                while !i < n do
+                  Vec.unsafe_set ws !j (Vec.unsafe_get ws !i);
+                  incr i;
+                  incr j
+                done
+              end
+              else enqueue t first (Some c)
+            end
           end
         end
       end
@@ -304,8 +445,119 @@ let collect_refutation t seeds =
   done;
   (List.sort_uniq compare !originals, !failed)
 
+(* Recursive (MiniSat 2.2 [litRedundant]-style) redundancy check used by
+   conflict-clause minimisation: a candidate literal is redundant when every
+   path through its reason chain terminates in a literal of the learnt
+   clause (seen = 1), an already-proved-removable literal (seen = 2) or the
+   root level.  The traversal is an explicit-stack DFS with memoisation in
+   [t.seen] (2 = removable, 3 = failed).
+
+   Every reason clause consulted on a successful derivation participates in
+   the implicit resolution, so its id — and markers for its root-level
+   literals — must join [premises] to keep refutations reconstructible.
+   Premises of sub-derivations that concluded "removable" are committed at
+   marking time even if the top-level check later fails: a later check may
+   reuse the cached mark, and an over-approximated premise set only makes
+   the extracted core larger, never wrong. *)
+let abstract_level t v = 1 lsl (t.level.(v) land 31)
+
+let commit_removable_premises t premises v =
+  match t.reason.(v) with
+  | None -> ()
+  | Some r ->
+    premises := r.cid :: !premises;
+    Array.iter
+      (fun l ->
+        let w = Lit.var l in
+        if w <> v && t.level.(w) = 0 then premises := var_marker w :: !premises)
+      r.lits
+
+(* On BMC unrollings reason chains run thousands of assignments deep, so an
+   unbounded walk can dwarf the savings; past the budget the literal is
+   conservatively kept. *)
+let redundancy_budget = 512
+
+let lit_redundant t abstract_levels premises to_clear q =
+  match t.reason.(Lit.var q) with
+  | None -> false
+  | Some c0 ->
+    let stack = ref [] in (* (resume index, literal) continuations *)
+    let p = ref q in
+    let c = ref c0 in
+    let i = ref 1 in
+    let ok = ref true in
+    let running = ref true in
+    let budget = ref redundancy_budget in
+    while !running do
+      if !i < Array.length !c.lits then begin
+        let l = !c.lits.(!i) in
+        incr i;
+        let v = Lit.var l in
+        decr budget;
+        if !budget < 0 then begin
+          (* Out of budget: give up on the whole derivation. *)
+          List.iter
+            (fun (_, pl) ->
+              let w = Lit.var pl in
+              if t.seen.(w) = 0 then begin
+                t.seen.(w) <- 3;
+                to_clear := w :: !to_clear
+              end)
+            ((0, !p) :: !stack);
+          ok := false;
+          running := false
+        end
+        else if t.level.(v) = 0 || t.seen.(v) = 1 || t.seen.(v) = 2 then ()
+        else if
+          t.reason.(v) = None || t.seen.(v) = 3
+          || abstract_level t v land abstract_levels = 0
+        then begin
+          (* Dead end: everything on the DFS path fails with it. *)
+          List.iter
+            (fun (_, pl) ->
+              let w = Lit.var pl in
+              if t.seen.(w) = 0 then begin
+                t.seen.(w) <- 3;
+                to_clear := w :: !to_clear
+              end)
+            ((0, !p) :: !stack);
+          if t.seen.(v) = 0 then begin
+            t.seen.(v) <- 3;
+            to_clear := v :: !to_clear
+          end;
+          ok := false;
+          running := false
+        end
+        else begin
+          (* Descend into [l]'s reason. *)
+          stack := (!i, !p) :: !stack;
+          p := l;
+          c := (match t.reason.(v) with Some r -> r | None -> assert false);
+          i := 1
+        end
+      end
+      else begin
+        (* All parents of [p] proved redundant. *)
+        let v = Lit.var !p in
+        if t.seen.(v) = 0 then begin
+          t.seen.(v) <- 2;
+          to_clear := v :: !to_clear;
+          commit_removable_premises t premises v
+        end;
+        match !stack with
+        | [] -> running := false
+        | (si, sp) :: rest ->
+          stack := rest;
+          p := sp;
+          c := (match t.reason.(Lit.var sp) with Some r -> r | None -> assert false);
+          i := si
+      end
+    done;
+    !ok
+
 (* First-UIP conflict analysis.  Returns the learnt clause (asserting literal
-   first), the backjump level, and the premises resolved on the way. *)
+   first), its LBD, the backjump level, and the premises resolved on the
+   way. *)
 let analyze t confl =
   let learnt_tail = ref [] in
   let premises = ref [] in
@@ -318,16 +570,24 @@ let analyze t confl =
   let continue = ref true in
   while !continue do
     premises := !c.cid :: !premises;
-    if !c.learnt then bump_clause t !c;
+    if !c.learnt then begin
+      bump_clause t !c;
+      (* Glucose-style dynamic LBD update: clauses that turn out to have a
+         lower glue than when they were learnt are promoted. *)
+      if !c.lbd > 2 then begin
+        let d = clause_lbd t !c in
+        if d < !c.lbd then !c.lbd <- d
+      end
+    end;
     let lits = !c.lits in
     let start = if !p = -1 then 0 else 1 in
     for idx = start to Array.length lits - 1 do
       let q = lits.(idx) in
       let v = Lit.var q in
-      if not t.seen.(v) then begin
-        t.seen.(v) <- true;
-        to_clear := v :: !to_clear;
+      if t.seen.(v) = 0 then begin
         if t.level.(v) > 0 then begin
+          t.seen.(v) <- 1;
+          to_clear := v :: !to_clear;
           bump_var t v;
           if t.level.(v) >= conflict_level then incr path_c
           else learnt_tail := q :: !learnt_tail
@@ -339,12 +599,12 @@ let analyze t confl =
       end
     done;
     (* Select the next literal to resolve on. *)
-    while not t.seen.(Lit.var (Vec.get t.trail !index)) do
+    while t.seen.(Lit.var (Vec.get t.trail !index)) = 0 do
       decr index
     done;
     p := Vec.get t.trail !index;
     decr index;
-    t.seen.(Lit.var !p) <- false;
+    t.seen.(Lit.var !p) <- 0;
     decr path_c;
     if !path_c <= 0 then continue := false
     else
@@ -352,48 +612,48 @@ let analyze t confl =
       | Some r -> c := r
       | None -> continue := false (* decision reached; cannot precede the UIP *)
   done;
-  (* Basic clause minimisation: a non-asserting literal is redundant when its
-     reason clause only contains literals already in the learnt clause (or at
-     the root level).  The reason participates in the implicit resolution, so
-     it joins the premises. *)
+  (* Conflict-clause minimisation: drop every non-asserting literal whose
+     reason chain is fully covered by the remaining clause (recursively, not
+     just one level deep).  Each dropped literal's reason joins the
+     premises. *)
+  let abstract_levels =
+    List.fold_left (fun m q -> m lor abstract_level t (Lit.var q)) 0 !learnt_tail
+  in
   let minimised =
     List.filter
       (fun q ->
         let v = Lit.var q in
         match t.reason.(v) with
         | None -> true
-        | Some c ->
-          let redundant =
-            Array.for_all
-              (fun l ->
-                let w = Lit.var l in
-                w = v || t.seen.(w) || t.level.(w) = 0)
-              c.lits
-          in
-          if redundant then begin
-            premises := c.cid :: !premises;
+        | Some r ->
+          if lit_redundant t abstract_levels premises to_clear q then begin
+            premises := r.cid :: !premises;
             Array.iter
               (fun l ->
                 let w = Lit.var l in
-                if w <> v && (not t.seen.(w)) && t.level.(w) = 0 then
-                  premises := var_marker w :: !premises)
-              c.lits
-          end;
-          not redundant)
+                if w <> v && t.level.(w) = 0 then premises := var_marker w :: !premises)
+              r.lits;
+            t.minimised_lits <- t.minimised_lits + 1;
+            false
+          end
+          else true)
       !learnt_tail
   in
   let learnt = Lit.negate !p :: minimised in
-  List.iter (fun v -> t.seen.(v) <- false) !to_clear;
+  (* LBD must be computed before backjumping unassigns the asserting
+     literal. *)
+  let lbd = lits_lbd t learnt in
+  List.iter (fun v -> t.seen.(v) <- 0) !to_clear;
   let bj =
     List.fold_left
       (fun acc q -> if q = Lit.negate !p then acc else max acc t.level.(Lit.var q))
       0 learnt
   in
-  (learnt, bj, Array.of_list !premises)
+  (learnt, lbd, bj, Array.of_list !premises)
 
 let attach_clause t c =
-  Vec.push t.watches.(c.lits.(0)) c;
-  Vec.push t.watches.(c.lits.(1)) c
+  Vec.push t.watches.(c.lits.(0)) { blocker = c.lits.(1); wcl = c };
+  Vec.push t.watches.(c.lits.(1)) { blocker = c.lits.(0); wcl = c }
 
 let record_refutation t seeds =
   let core, failed = collect_refutation t seeds in
@@ -425,7 +685,9 @@ let add_clause ?(tag = -1) t lits =
       t.next_cid <- cid + 1;
       Hashtbl.replace t.cid_info cid (Original tag);
       let arr = Array.of_list lits in
-      let c = { cid; lits = arr; learnt = false; activity = 0.0; removed = false } in
+      let c =
+        { cid; lits = arr; learnt = false; activity = 0.0; lbd = 0; removed = false }
+      in
       Vec.push t.clauses c;
       let n = Array.length arr in
       (* Move up to two non-false literals into the watch positions; the
@@ -457,13 +719,15 @@ let add_clause ?(tag = -1) t lits =
     end
   end
 
-let learn_clause t lits premises =
+let learn_clause t lits lbd premises =
   if t.proof_logging then t.proof_log <- lits :: t.proof_log;
   let cid = t.next_cid in
   t.next_cid <- cid + 1;
   Hashtbl.replace t.cid_info cid (Learnt_from premises);
   let arr = Array.of_list lits in
-  let c = { cid; lits = arr; learnt = true; activity = 0.0; removed = false } in
+  let c = { cid; lits = arr; learnt = true; activity = 0.0; lbd; removed = false } in
+  t.learnt_total <- t.learnt_total + 1;
+  t.lbd_sum <- t.lbd_sum + lbd;
   if Array.length arr > 1 then begin
     (* Position 1 must hold the highest-level non-asserting literal so the
        watch invariant survives the backjump. *)
@@ -487,20 +751,34 @@ let locked t c =
   let v = Lit.var c.lits.(0) in
   (match t.reason.(v) with Some r -> r == c | None -> false)
 
+(* Learnt-clause database reduction, LBD-first (Glucose): the half of the
+   database with the worst (highest) glue goes, ties broken by activity.
+   Glue clauses (LBD <= 2), binary clauses and clauses currently locked as
+   reasons are protected regardless of their rank. *)
 let reduce_db t =
+  t.db_reductions <- t.db_reductions + 1;
   let learnts = Vec.fold (fun acc c -> if c.removed then acc else c :: acc) [] t.learnts in
   let arr = Array.of_list learnts in
-  Array.sort (fun (a : clause) (b : clause) -> compare a.activity b.activity) arr;
+  Array.sort
+    (fun (a : clause) (b : clause) ->
+      if a.lbd <> b.lbd then compare b.lbd a.lbd else compare a.activity b.activity)
+    arr;
   let n = Array.length arr in
-  let limit = t.cla_inc /. float_of_int (max n 1) in
+  let deleted = ref 0 in
   Array.iteri
     (fun i c ->
-      if Array.length c.lits > 2 && (not (locked t c)) && (i < n / 2 || c.activity < limit)
-      then c.removed <- true)
+      if
+        i < n / 2 && Array.length c.lits > 2 && c.lbd > 2 && not (locked t c)
+      then begin
+        c.removed <- true;
+        incr deleted
+      end)
     arr;
-  let keep = Vec.fold (fun acc c -> if c.removed then acc else c :: acc) [] t.learnts in
-  Vec.clear t.learnts;
-  List.iter (Vec.push t.learnts) (List.rev keep)
+  t.deleted_total <- t.deleted_total + !deleted;
+  Vec.filter_in_place (fun (c : clause) -> not c.removed) t.learnts;
+  (* If protection kept most of the database, allow it to grow so reduction
+     does not retrigger on every conflict. *)
+  t.max_learnts <- t.max_learnts *. 1.1
 
 let luby y x =
   let rec find_size size seq =
@@ -552,9 +830,9 @@ let search t conflict_budget =
         raise (Found Unsat)
       end
       else begin
-        let learnt, bj, premises = analyze t confl in
+        let learnt, lbd, bj, premises = analyze t confl in
         cancel_until t (max bj 0);
-        let c = learn_clause t learnt premises in
+        let c = learn_clause t learnt lbd premises in
         (match learnt with
         | asserting :: _ -> enqueue t asserting (Some c)
         | [] -> ());
@@ -599,32 +877,36 @@ let solve ?(assumptions = []) t =
     Unsat
   end
   else begin
-    cancel_until t 0;
-    t.assumptions <- Array.of_list assumptions;
-    Array.iter
-      (fun l ->
-        if Lit.var l >= t.nvars then invalid_arg "Solver.solve: undeclared assumption")
-      t.assumptions;
-    t.max_learnts <- max 1000.0 (float_of_int (Vec.size t.clauses) /. 3.0);
-    let restarts = ref 0 in
-    let answer = ref None in
-    while !answer = None do
-      let budget = int_of_float (luby 2.0 !restarts *. 100.0) in
-      incr restarts;
-      match search t budget with
-      | exception Restart -> ()
-      | exception Found r -> answer := Some r
-      | () -> ()
-    done;
-    (match !answer with
-    | Some Sat ->
-      t.model <- Array.sub t.assign 0 t.nvars;
-      (* Unassigned variables default to false in the model. *)
-      Array.iteri (fun i v -> if v < 0 then t.model.(i) <- 0) t.model
-    | Some Unsat | None -> ());
-    cancel_until t 0;
-    t.assumptions <- [||];
-    match !answer with Some r -> r | None -> assert false
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> t.solve_time <- t.solve_time +. Unix.gettimeofday () -. t0)
+      (fun () ->
+        cancel_until t 0;
+        t.assumptions <- Array.of_list assumptions;
+        Array.iter
+          (fun l ->
+            if Lit.var l >= t.nvars then invalid_arg "Solver.solve: undeclared assumption")
+          t.assumptions;
+        t.max_learnts <- max 1000.0 (float_of_int (Vec.size t.clauses) /. 3.0);
+        let restarts = ref 0 in
+        let answer = ref None in
+        while !answer = None do
+          let budget = int_of_float (luby 2.0 !restarts *. 100.0) in
+          incr restarts;
+          match search t budget with
+          | exception Restart -> t.restarts <- t.restarts + 1
+          | exception Found r -> answer := Some r
+          | () -> ()
+        done;
+        (match !answer with
+        | Some Sat ->
+          t.model <- Array.sub t.assign 0 t.nvars;
+          (* Unassigned variables default to false in the model. *)
+          Array.iteri (fun i v -> if v < 0 then t.model.(i) <- 0) t.model
+        | Some Unsat | None -> ());
+        cancel_until t 0;
+        t.assumptions <- [||];
+        match !answer with Some r -> r | None -> assert false)
   end
 
 let value_var t v = v < Array.length t.model && t.model.(v) = 1
@@ -648,6 +930,9 @@ let unsat_core_tags t =
 let failed_assumptions t = t.last_failed
 
 let pp_stats ppf t =
-  Format.fprintf ppf "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d"
-    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) t.conflicts t.decisions
-    t.propagations
+  let s = stats t in
+  Format.fprintf ppf
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d props=%d restarts=%d \
+     deleted=%d minimised=%d avg-lbd=%.2f"
+    t.nvars (Vec.size t.clauses) (Vec.size t.learnts) s.conflicts s.decisions
+    s.propagations s.restarts s.deleted_clauses s.minimised_lits s.avg_lbd

@@ -1,11 +1,13 @@
 (** Incremental CDCL SAT solver with UNSAT-core extraction.
 
     The solver implements the standard conflict-driven clause-learning loop
-    (two-watched-literal propagation, first-UIP learning, VSIDS decision
-    ordering with phase saving, Luby restarts, activity-based learnt-clause
-    deletion) together with resolution-trace bookkeeping: every learnt clause
-    records the clauses it was resolved from, so that after an UNSAT answer
-    the set of {e original} clauses participating in the refutation can be
+    (two-watched-literal propagation with blocking literals and inlined
+    binary-clause handling, first-UIP learning with recursive conflict-clause
+    minimisation, VSIDS decision ordering with phase saving, Luby restarts,
+    LBD-aware learnt-clause deletion with glue-clause protection) together
+    with resolution-trace bookkeeping: every learnt clause records the
+    clauses it was resolved from, so that after an UNSAT answer the set of
+    {e original} clauses participating in the refutation can be
     reconstructed.  This is the [SAT_Get_Refutation] primitive of the paper
     (Fig. 1 line 10), which proof-based abstraction consumes.
 
@@ -83,5 +85,26 @@ val num_learnts : t -> int
 val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
+
+type stats = {
+  conflicts : int;
+  decisions : int;
+  propagations : int;
+  restarts : int;
+  learnt_clauses : int;  (** total clauses ever learnt *)
+  deleted_clauses : int;  (** learnt clauses dropped by DB reduction *)
+  db_reductions : int;
+  minimised_lits : int;
+      (** literals removed by recursive conflict-clause minimisation *)
+  avg_lbd : float;  (** mean LBD (glue) over all learnt clauses *)
+  solve_time_s : float;  (** cumulative wall time spent inside {!solve} *)
+}
+(** Cumulative search telemetry; all counters are monotone over the
+    solver's lifetime. *)
+
+val stats : t -> stats
+
+val empty_stats : stats
+(** All-zero record, for call sites that report stats without a solver. *)
 
 val pp_stats : Format.formatter -> t -> unit

@@ -15,6 +15,9 @@ let set v i x =
   if i < 0 || i >= v.size then invalid_arg "Vec.set";
   Array.unsafe_set v.data i x
 
+let unsafe_get v i = Array.unsafe_get v.data i
+let unsafe_set v i x = Array.unsafe_set v.data i x
+
 let grow v =
   let capacity = 2 * Array.length v.data in
   let data = Array.make capacity v.dummy in
@@ -73,6 +76,18 @@ let of_list ~dummy xs =
   let v = create ~capacity:(max 1 (List.length xs)) ~dummy () in
   List.iter (push v) xs;
   v
+
+let filter_in_place p v =
+  let j = ref 0 in
+  for i = 0 to v.size - 1 do
+    let x = Array.unsafe_get v.data i in
+    if p x then begin
+      Array.unsafe_set v.data !j x;
+      incr j
+    end
+  done;
+  Array.fill v.data !j (v.size - !j) v.dummy;
+  v.size <- !j
 
 let swap_remove v i =
   if i < 0 || i >= v.size then invalid_arg "Vec.swap_remove";

@@ -12,6 +12,12 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 val get : 'a t -> int -> 'a
 val set : 'a t -> int -> 'a -> unit
+
+val unsafe_get : 'a t -> int -> 'a
+(** Unchecked {!get} for hot loops whose index is already bounded by
+    {!size}; out-of-range access is undefined behaviour. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> unit
 val pop : 'a t -> 'a
 (** Removes and returns the last element.  Raises [Invalid_argument] when
@@ -28,6 +34,10 @@ val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
 val exists : ('a -> bool) -> 'a t -> bool
 val to_list : 'a t -> 'a list
 val of_list : dummy:'a -> 'a list -> 'a t
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only the elements satisfying the predicate, preserving order;
+    single left-to-right compaction pass, no allocation. *)
+
 val swap_remove : 'a t -> int -> unit
 (** [swap_remove v i] removes index [i] by moving the last element into it;
     O(1), does not preserve order. *)

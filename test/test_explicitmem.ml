@@ -1,0 +1,222 @@
+(* Dedicated tests for the explicit memory expansion (BMC-1's model): each
+   memory becomes 2^AW x DW latches with mux-tree reads and per-word write
+   muxes.  The reference for every behaviour is the cycle-accurate
+   [Simulator] running the *original* netlist, which implements the paper's
+   semantics directly: reads observe the pre-write contents of the cycle,
+   writes become visible one cycle later. *)
+
+let depth_bound = 8
+
+let falsify_config =
+  { Bmc.Engine.default_config with max_depth = depth_bound; proof_checks = false }
+
+(* First frame at which property [p] of the closed design fails under
+   default (all-zero) initial state, simulator convention: frame k is
+   evaluated after k+1 steps. *)
+let sim_first_failure net =
+  let sim = Simulator.create net in
+  let p = Netlist.find_property net "p" in
+  let rec go k =
+    if k > depth_bound then None
+    else begin
+      Simulator.step sim ~inputs:(fun _ -> false);
+      if not (Simulator.value sim p) then Some k else go (k + 1)
+    end
+  in
+  go 0
+
+let cex_depth = function
+  | Bmc.Engine.Counterexample t -> Some t.Bmc.Trace.depth
+  | Bmc.Engine.Bounded_safe _ -> None
+  | v -> Alcotest.failf "unexpected verdict %s" (Format.asprintf "%a" Bmc.Engine.pp_verdict v)
+
+(* A closed single-port design: write [wdata(cnt)] to a fixed address when
+   [we(cnt)], read the same address continuously. *)
+let fixed_addr_design ~enable_from ~data ~target =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:3 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  let enable = enable_from ctx cnt in
+  Hdl.write_port ctx mem ~addr:(Hdl.const ~width:2 1) ~data:(Hdl.const ~width:3 data)
+    ~enable;
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.const ~width:2 1) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd target));
+  Hdl.netlist ctx
+
+let test_read_after_write () =
+  (* Always-enabled write of 5: the read sees 0 at frame 0 and 5 from frame 1
+     on, in the expansion exactly as in the simulator. *)
+  let net = fixed_addr_design ~enable_from:(fun _ _ -> Netlist.true_) ~data:5 ~target:5 in
+  Alcotest.(check (option int)) "simulator: visible at frame 1" (Some 1)
+    (sim_first_failure net);
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion: visible at frame 1" (Some 1)
+    (cex_depth r.Bmc.Engine.verdict);
+  match r.Bmc.Engine.verdict with
+  | Bmc.Engine.Counterexample t ->
+    Alcotest.(check bool) "trace replays on the expansion" true
+      (Bmc.Trace.replay expanded t);
+    Alcotest.(check bool) "trace replays on the original" true (Bmc.Trace.replay net t)
+  | _ -> Alcotest.fail "expected counterexample"
+
+let test_write_enable_gating () =
+  (* Enable = bit 1 of the counter: first enabled write happens at cycle 2,
+     so the read first returns the data at frame 3. *)
+  let net =
+    fixed_addr_design ~enable_from:(fun _ cnt -> Hdl.bit_of cnt 1) ~data:6 ~target:6
+  in
+  Alcotest.(check (option int)) "simulator: gated write lands at frame 3" (Some 3)
+    (sim_first_failure net);
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion: gated write lands at frame 3" (Some 3)
+    (cex_depth r.Bmc.Engine.verdict)
+
+let test_write_enable_tied_off () =
+  (* Enable tied to false: the memory never changes, the property is safe for
+     the whole bound. *)
+  let net =
+    fixed_addr_design
+      ~enable_from:(fun _ _ -> Netlist.not_ Netlist.true_)
+      ~data:5 ~target:5
+  in
+  Alcotest.(check (option int)) "simulator: never fails" None (sim_first_failure net);
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion: never fails" None
+    (cex_depth r.Bmc.Engine.verdict)
+
+let test_disabled_read_drives_zero () =
+  (* Paper contract: a read port whose enable is low drives 0, in the
+     simulator and in the expansion alike. *)
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:3 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  Hdl.write_port ctx mem ~addr:(Hdl.const ~width:2 1) ~data:(Hdl.const ~width:3 7)
+    ~enable:Netlist.true_;
+  let re = Hdl.bit_of cnt 0 in
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.const ~width:2 1) ~enable:re in
+  (* rd = 7 requires the enable: fails first at the first odd frame after the
+     write, i.e. frame 1. *)
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 7));
+  let net = Hdl.netlist ctx in
+  Alcotest.(check (option int)) "simulator" (Some 1) (sim_first_failure net);
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion" (Some 1) (cex_depth r.Bmc.Engine.verdict)
+
+(* {2 Initial-state expansion} *)
+
+let test_structure_and_init () =
+  (* 2^AW x DW latches, named m<addr>[bit], inheriting the memory's initial
+     state: Zeros memories expand to initialised latches, Arbitrary to
+     arbitrary-init latches. *)
+  let build init =
+    let ctx = Hdl.create () in
+    let mem = Hdl.memory ctx ~name:"m" ~addr_width:3 ~data_width:4 ~init in
+    let a = Hdl.input ctx "a" ~width:3 in
+    ignore (Hdl.read_port ctx mem ~addr:a ~enable:Netlist.true_);
+    Hdl.assert_always ctx "p" Netlist.true_;
+    Hdl.netlist ctx
+  in
+  let count_latches init =
+    let expanded = Explicitmem.expand (build init) in
+    List.length (Netlist.latches expanded)
+  in
+  Alcotest.(check int) "2^3 x 4 latches (zeros)" 32 (count_latches Netlist.Zeros);
+  Alcotest.(check int) "2^3 x 4 latches (arbitrary)" 32 (count_latches Netlist.Arbitrary)
+
+let test_arbitrary_init_expansion () =
+  (* With arbitrary initial contents the expansion must let the solver pick
+     any initial word: "rd <> 6" is falsifiable at frame 0, and the trace
+     replays on the expansion (which carries the chosen latch values). *)
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Arbitrary in
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.zero ~width:2) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 6));
+  let net = Hdl.netlist ctx in
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  match r.Bmc.Engine.verdict with
+  | Bmc.Engine.Counterexample t ->
+    Alcotest.(check int) "found at frame 0" 0 t.Bmc.Trace.depth;
+    Alcotest.(check bool) "replays with the chosen initial state" true
+      (Bmc.Trace.replay expanded t)
+  | v ->
+    Alcotest.failf "expected counterexample, got %s"
+      (Format.asprintf "%a" Bmc.Engine.pp_verdict v)
+
+let test_zeros_init_expansion () =
+  (* The same design with zero-initialised contents is safe: no initial
+     state can make the never-written location non-zero. *)
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Zeros in
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.zero ~width:2) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 6));
+  let net = Hdl.netlist ctx in
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "safe" None (cex_depth r.Bmc.Engine.verdict)
+
+let test_words_init_expansion () =
+  (* Concrete initial words are supported by the expansion (unlike EMM,
+     which rejects them): the read observes the initialised word at frame
+     0. *)
+  let ctx = Hdl.create () in
+  let mem =
+    Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3
+      ~init:(Netlist.Words [| 4; 1; 2; 7 |])
+  in
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.const ~width:2 3) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 7));
+  let net = Hdl.netlist ctx in
+  Alcotest.(check (option int)) "simulator observes word 7 at frame 0" (Some 0)
+    (sim_first_failure net);
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion observes word 7 at frame 0" (Some 0)
+    (cex_depth r.Bmc.Engine.verdict)
+
+(* {2 Port-order write resolution}
+
+   The expansion folds write ports in order, the later-listed port's mux
+   wrapping the earlier one — matching the simulator's resolution when two
+   enabled writes hit the same address. *)
+let test_same_address_write_priority () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:2 ~data_width:3 ~init:Netlist.Zeros in
+  Hdl.write_port ctx mem ~addr:(Hdl.zero ~width:2) ~data:(Hdl.const ~width:3 3)
+    ~enable:Netlist.true_;
+  Hdl.write_port ctx mem ~addr:(Hdl.zero ~width:2) ~data:(Hdl.const ~width:3 5)
+    ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.zero ~width:2) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 5));
+  let net = Hdl.netlist ctx in
+  let sim_verdict = sim_first_failure net in
+  let expanded = Explicitmem.expand net in
+  let r = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
+  Alcotest.(check (option int)) "expansion resolves the race like the simulator"
+    sim_verdict
+    (cex_depth r.Bmc.Engine.verdict)
+
+let () =
+  Alcotest.run "explicitmem"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "read-after-write timing" `Quick test_read_after_write;
+          Alcotest.test_case "write-enable gating" `Quick test_write_enable_gating;
+          Alcotest.test_case "write enable tied off" `Quick test_write_enable_tied_off;
+          Alcotest.test_case "disabled read drives zero" `Quick
+            test_disabled_read_drives_zero;
+          Alcotest.test_case "expansion structure and init" `Quick test_structure_and_init;
+          Alcotest.test_case "arbitrary initial state" `Quick test_arbitrary_init_expansion;
+          Alcotest.test_case "zeros initial state" `Quick test_zeros_init_expansion;
+          Alcotest.test_case "concrete words initial state" `Quick test_words_init_expansion;
+          Alcotest.test_case "same-address write priority" `Quick
+            test_same_address_write_priority;
+        ] );
+    ]

@@ -226,6 +226,156 @@ let prop_checker_validates_random_unsat =
       | Solver.Unsat ->
         Checker.verify ~num_vars:7 ~original:clauses ~derivation:(Solver.proof_log s))
 
+(* Core re-verification: for known UNSAT instances, the extracted core —
+   taken alone — must itself admit a solver refutation that passes the RUP
+   checker.  Guards the premise bookkeeping through the LBD / recursive-
+   minimisation machinery: an unsound core would either be satisfiable or
+   fail verification. *)
+let core_reverifies clauses =
+  let arr = Array.of_list clauses in
+  let s = Solver.create () in
+  let nv =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+      0 clauses
+  in
+  Solver.ensure_vars s nv;
+  Array.iteri (fun i c -> Solver.add_clause s ~tag:i c) arr;
+  match Solver.solve s with
+  | Solver.Sat -> Alcotest.fail "expected UNSAT instance"
+  | Solver.Unsat ->
+    let core = List.map (fun t -> arr.(t)) (Solver.unsat_core_tags s) in
+    let s2 = Solver.create () in
+    Solver.set_proof_logging s2 true;
+    Solver.ensure_vars s2 nv;
+    List.iter (Solver.add_clause s2) core;
+    Alcotest.(check bool) "core is unsat" true (Solver.solve s2 = Solver.Unsat);
+    Alcotest.(check bool) "core refutation passes the checker" true
+      (Checker.verify ~num_vars:nv ~original:core ~derivation:(Solver.proof_log s2))
+
+let test_known_unsat_cores_verify () =
+  core_reverifies (pigeonhole_clauses 5 4);
+  core_reverifies (pigeonhole_clauses 6 5);
+  (* XOR chain contradiction: x0, x0->x1, x1->x2, x2->~x0-ish cycle. *)
+  core_reverifies
+    [
+      [ lit 0 true ];
+      [ lit 0 false; lit 1 true ];
+      [ lit 1 false; lit 2 true ];
+      [ lit 2 false; lit 0 false ];
+      (* irrelevant satisfiable padding that must not break the core *)
+      [ lit 3 true; lit 4 true ];
+      [ lit 4 false; lit 5 true ];
+    ];
+  (* Forces both minimisation and root-level resolution: units plus chains. *)
+  core_reverifies
+    [
+      [ lit 0 true; lit 1 true; lit 2 true ];
+      [ lit 0 false; lit 3 true ];
+      [ lit 1 false; lit 3 true ];
+      [ lit 2 false; lit 3 true ];
+      [ lit 3 false; lit 4 true ];
+      [ lit 3 false; lit 4 false ];
+    ]
+
+let test_dimacs_file_roundtrip () =
+  let p = Dimacs.parse_string "p cnf 4 3\n1 -2 0\n2 3 -4 0\n4 0\n" in
+  let path = Filename.temp_file "emmver_test" ".cnf" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (Dimacs.to_string p);
+      close_out oc;
+      let p2 = Dimacs.parse_file path in
+      Alcotest.(check int) "vars survive the file" p.Dimacs.num_vars p2.Dimacs.num_vars;
+      Alcotest.(check bool) "clauses survive the file" true
+        (p.Dimacs.clauses = p2.Dimacs.clauses);
+      let s = Solver.create () in
+      Dimacs.load_into s p2;
+      Alcotest.(check bool) "solvable" true (Solver.solve s = Solver.Sat))
+
+(* Naive DPLL oracle: unit propagation + first-unassigned-variable split.
+   Deliberately simple — shares no code or heuristics with the CDCL path. *)
+let rec dpll clauses =
+  if List.exists (( = ) []) clauses then false
+  else
+    match clauses with
+    | [] -> true
+    | _ ->
+      let unit_lit = List.find_map (function [ l ] -> Some l | _ -> None) clauses in
+      let branch l =
+        let neg = Lit.negate l in
+        dpll
+          (List.filter_map
+             (fun c ->
+               if List.mem l c then None
+               else Some (List.filter (fun x -> x <> neg) c))
+             clauses)
+      in
+      (match unit_lit with
+      | Some l -> branch l
+      | None ->
+        let l = List.hd (List.hd clauses) in
+        branch l || branch (Lit.negate l))
+
+let test_random_3sat_vs_dpll () =
+  (* Seeded random 3-SAT around the phase-transition ratio, up to 20 vars:
+     the CDCL answer must match the DPLL oracle on every instance. *)
+  for seed = 0 to 39 do
+    let st = Random.State.make [| 0xacc1; seed |] in
+    let num_vars = 5 + Random.State.int st 16 in
+    let num_clauses = int_of_float (4.2 *. float_of_int num_vars) in
+    let clauses =
+      List.init num_clauses (fun _ ->
+          (* three distinct variables per clause *)
+          let rec pick acc =
+            if List.length acc = 3 then acc
+            else
+              let v = Random.State.int st num_vars in
+              if List.mem v acc then pick acc else pick (v :: acc)
+          in
+          List.map (fun v -> lit v (Random.State.bool st)) (pick []))
+    in
+    let s, r = solve_clauses ~num_vars clauses in
+    let expected = dpll clauses in
+    (match r with
+    | Solver.Sat ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: oracle agrees (sat)" seed)
+        true expected;
+      check_model s clauses
+    | Solver.Unsat ->
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: oracle agrees (unsat)" seed)
+        false expected)
+  done
+
+let test_stats_sanity () =
+  let s = Solver.create () in
+  let zero = Solver.stats s in
+  Alcotest.(check int) "fresh solver: no conflicts" 0 zero.Solver.conflicts;
+  Alcotest.(check (float 0.0)) "empty_stats avg lbd" 0.0 Solver.empty_stats.Solver.avg_lbd;
+  List.iter (Solver.add_clause s)
+    (let nv =
+       List.fold_left
+         (fun acc c -> List.fold_left (fun acc l -> max acc (Lit.var l + 1)) acc c)
+         0 (pigeonhole_clauses 6 5)
+     in
+     Solver.ensure_vars s nv;
+     pigeonhole_clauses 6 5);
+  Alcotest.(check bool) "unsat" true (Solver.solve s = Solver.Unsat);
+  let st = Solver.stats s in
+  Alcotest.(check bool) "conflicts counted" true (st.Solver.conflicts > 0);
+  Alcotest.(check bool) "propagations counted" true (st.Solver.propagations > 0);
+  Alcotest.(check bool) "learnt clauses counted" true (st.Solver.learnt_clauses > 0);
+  Alcotest.(check bool) "avg lbd positive" true (st.Solver.avg_lbd > 0.0);
+  Alcotest.(check bool) "solve time accumulated" true (st.Solver.solve_time_s >= 0.0);
+  Alcotest.(check bool) "counters monotone across solves" true
+    (let before = st.Solver.conflicts in
+     ignore (Solver.solve s);
+     (Solver.stats s).Solver.conflicts >= before)
+
 (* {2 Property tests} *)
 
 let gen_clauses num_vars =
@@ -329,6 +479,12 @@ let () =
             test_checker_rejects_bogus_derivation;
           Alcotest.test_case "checker rejects satisfiable set" `Quick
             test_checker_rejects_sat_set;
+          Alcotest.test_case "known unsat cores re-verify" `Quick
+            test_known_unsat_cores_verify;
+          Alcotest.test_case "dimacs file roundtrip" `Quick test_dimacs_file_roundtrip;
+          Alcotest.test_case "random 3-sat vs dpll oracle" `Quick
+            test_random_3sat_vs_dpll;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
         ] );
       ("property", qsuite);
     ]
