@@ -268,8 +268,10 @@ let growth () =
       Hdl.assert_always ctx "true" Netlist.true_;
       let net = Hdl.netlist ctx in
       let solver = Satsolver.Solver.create () in
-      let unr = Cnf.create solver net in
-      let emm = Emm.create ~init_consistency:false unr in
+      (* Plain paper-faithful encoding: the §4.1 size formulas only hold
+         there; simplify mode is measured by solver-json instead. *)
+      let unr = Cnf.create ~simplify:false solver net in
+      let emm = Emm.create ~init_consistency:false ~simplify:false unr in
       let cumulative = ref 0 in
       let next = ref 0 in
       List.iter
@@ -463,20 +465,116 @@ let pigeonhole_clauses pigeons holes =
   (pigeons * holes, at_least_one @ at_most_one)
 
 let json_row ~design ~property ~method_ ~verdict ~time_s ~solve_time_s
+    ~encode_time_s ~num_vars ~num_clauses ~vars_saved ~clauses_saved
     (s : Satsolver.Solver.stats) =
   Printf.sprintf
     {|    {"design": %S, "property": %S, "method": %S, "verdict": %S,
-     "time_s": %.3f, "solve_time_s": %.3f, "conflicts": %d, "decisions": %d,
+     "time_s": %.3f, "solve_time_s": %.3f, "encode_time_s": %.3f,
+     "num_vars": %d, "num_clauses": %d, "vars_saved": %d, "clauses_saved": %d,
+     "conflicts": %d, "decisions": %d,
      "propagations": %d, "restarts": %d, "learnt": %d, "deleted": %d,
      "minimised_lits": %d, "avg_lbd": %.2f}|}
-    design property method_ verdict time_s solve_time_s s.Satsolver.Solver.conflicts
+    design property method_ verdict time_s solve_time_s encode_time_s num_vars
+    num_clauses vars_saved clauses_saved s.Satsolver.Solver.conflicts
     s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
     s.minimised_lits s.avg_lbd
 
+(* {2 Baseline comparison (--baseline FILE)}
+
+   A hand-rolled reader for the BENCH_solver.json format written below: we
+   only need the (design, property, method) -> verdict map, and we wrote the
+   file ourselves, so substring scanning is enough. *)
+
+let find_sub s pat from =
+  let n = String.length s and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = pat then Some i
+    else go (i + 1)
+  in
+  go from
+
+let json_string_field chunk name =
+  let pat = Printf.sprintf "\"%s\": \"" name in
+  match find_sub chunk pat 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length pat in
+    String.index_from_opt chunk start '"'
+    |> Option.map (fun stop -> String.sub chunk start (stop - start))
+
+let verdict_class v =
+  if String.length v >= 6 && String.sub v 0 6 = "proved" then `Proved
+  else if String.length v >= 9 && String.sub v 0 9 = "falsified" then `Falsified
+  else `Inconclusive
+
+let baseline_verdicts file =
+  let ic = open_in file in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  (* Split the row array on the opening brace of each object. *)
+  let rec chunks from acc =
+    match String.index_from_opt s from '{' with
+    | None -> List.rev acc
+    | Some i ->
+      let stop =
+        match String.index_from_opt s (i + 1) '}' with
+        | Some j -> j
+        | None -> String.length s - 1
+      in
+      chunks (stop + 1) (String.sub s i (stop - i + 1) :: acc)
+  in
+  List.filter_map
+    (fun chunk ->
+      match
+        ( json_string_field chunk "design",
+          json_string_field chunk "property",
+          json_string_field chunk "method",
+          json_string_field chunk "verdict" )
+      with
+      | Some d, Some p, Some m, Some v -> Some ((d, p, m), v)
+      | _ -> None)
+    (chunks 0 [])
+
+(* Fail (exit 3) if any design/property/method row that was conclusive in
+   the baseline file became inconclusive — the CI regression gate. *)
+let check_against_baseline ~name ~old rows =
+  let regressions =
+    List.filter_map
+      (fun ((key : string * string * string), v) ->
+        match List.assoc_opt key old with
+        | Some old_v
+          when verdict_class old_v <> `Inconclusive
+               && verdict_class v = `Inconclusive ->
+          Some (key, old_v, v)
+        | _ -> None)
+      rows
+  in
+  match regressions with
+  | [] ->
+    Format.printf "baseline check against %s: OK (%d rows compared)@." name
+      (List.length old)
+  | _ ->
+    List.iter
+      (fun (((d, p, m) : string * string * string), old_v, v) ->
+        Format.eprintf "REGRESSION %s/%s/%s: %S -> %S@." d p m old_v v)
+      regressions;
+    exit 3
+
+let baseline = ref None
+
 let solver_json () =
   hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
+  (* Read the baseline before the run: it may be the very file we are about
+     to overwrite. *)
+  let old = Option.map (fun f -> (f, baseline_verdicts f)) !baseline in
   let rows = ref [] in
-  let add_row r = rows := r :: !rows in
+  let verdicts = ref [] in
+  let add_row ?key r =
+    rows := r :: !rows;
+    match key with Some kv -> verdicts := kv :: !verdicts | None -> ()
+  in
   Format.printf "%-20s %-16s %-12s %-24s %8s %10s %12s@." "design" "property"
     "method" "verdict" "time" "conflicts" "props";
   List.iter
@@ -499,9 +597,14 @@ let solver_json () =
       Format.printf "%-20s %-16s %-12s %-24s %7.2fs %10d %12d@." design property
         (Emmver.method_to_string method_)
         verdict time_s s.Satsolver.Solver.conflicts s.Satsolver.Solver.propagations;
+      let method_ = Emmver.method_to_string method_ in
       add_row
-        (json_row ~design ~property ~method_:(Emmver.method_to_string method_)
-           ~verdict ~time_s ~solve_time_s:o.Emmver.solve_time_s s))
+        ~key:((design, property, method_), verdict)
+        (json_row ~design ~property ~method_ ~verdict ~time_s
+           ~solve_time_s:o.Emmver.solve_time_s
+           ~encode_time_s:o.Emmver.encode_time_s ~num_vars:o.Emmver.model_vars
+           ~num_clauses:o.Emmver.model_clauses ~vars_saved:o.Emmver.vars_saved
+           ~clauses_saved:o.Emmver.clauses_saved s))
     solver_matrix;
   (* Raw SAT rows: pigeonhole refutations exercise the learning machinery
      without any BMC structure on top. *)
@@ -521,14 +624,19 @@ let solver_json () =
         verdict time_s s.Satsolver.Solver.conflicts s.Satsolver.Solver.propagations;
       add_row
         (json_row ~design ~property:"-" ~method_:"raw-sat" ~verdict ~time_s
-           ~solve_time_s:s.Satsolver.Solver.solve_time_s s))
+           ~solve_time_s:s.Satsolver.Solver.solve_time_s ~encode_time_s:0.0
+           ~num_vars:nvars ~num_clauses:(List.length clauses) ~vars_saved:0
+           ~clauses_saved:0 s))
     [ (7, 6); (8, 7); (9, 8) ];
   let oc = open_out "BENCH_solver.json" in
   output_string oc "{\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
   output_string oc "\n  ]\n}\n";
   close_out oc;
-  Format.printf "wrote BENCH_solver.json (%d rows)@." (List.length !rows)
+  Format.printf "wrote BENCH_solver.json (%d rows)@." (List.length !rows);
+  match old with
+  | Some (name, old) -> check_against_baseline ~name ~old !verdicts
+  | None -> ()
 
 (* {2 Driver} *)
 
@@ -539,9 +647,10 @@ let () =
       if i > 0 then
         match arg with
         | "--full" -> full := true
-        | "--timeout" -> () (* value consumed below *)
+        | "--timeout" | "--baseline" -> () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
+          else if i > 1 && Sys.argv.(i - 1) = "--baseline" then baseline := Some arg
           else cmds := arg :: !cmds)
     Sys.argv;
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in

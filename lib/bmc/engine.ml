@@ -13,9 +13,12 @@ type verdict =
 type stats = {
   depths_completed : int;
   solve_time : float;
+  encode_time : float;
   num_vars : int;
   num_clauses : int;
   num_conflicts : int;
+  vars_saved : int;
+  clauses_saved : int;
   peak_memory_mb : float;
   latch_reasons : Netlist.signal list;
   memory_reasons : int list;
@@ -32,6 +35,7 @@ type config = {
   collect_reasons : bool;
   stop_on_stable : int option;
   free_latches : Netlist.signal -> bool;
+  simplify : bool;
 }
 
 let default_config =
@@ -42,7 +46,20 @@ let default_config =
     collect_reasons = false;
     stop_on_stable = None;
     free_latches = (fun _ -> false);
+    simplify = true;
   }
+
+(* The unroller configuration implied by an engine configuration.  Latch
+   aliasing and frame-0 init folding are both gated on [collect_reasons]:
+   reason extraction needs the tagged latch clauses.  Init folding further
+   requires pure falsification mode ([proof_checks = false]), where every
+   solver query assumes [act_init]. *)
+let make_unroller config solver net =
+  Cnf.create ~free_latches:config.free_latches ~simplify:config.simplify
+    ~track_reasons:config.collect_reasons
+    ~fold_init:
+      (config.simplify && (not config.proof_checks) && not config.collect_reasons)
+    solver net
 
 type hooks = {
   on_unroll : Cnf.t -> int -> unit;
@@ -67,6 +84,7 @@ type run = {
   mem_reasons : (int, unit) Hashtbl.t;
   mutable reasons_last_changed : int;
   mutable solve_time : float;
+  mutable encode_time : float;
 }
 
 let timed_solve run assumptions =
@@ -74,6 +92,12 @@ let timed_solve run assumptions =
   Fun.protect
     ~finally:(fun () -> run.solve_time <- run.solve_time +. Unix.gettimeofday () -. t0)
     (fun () -> Solver.solve ~assumptions run.solver)
+
+let timed_encode run f =
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () -> run.encode_time <- run.encode_time +. Unix.gettimeofday () -. t0)
+    f
 
 (* Loop-free-path constraints: for the new frame [i], require state [i] to
    differ from every earlier state, guarded by [act_lfp]. *)
@@ -140,7 +164,7 @@ exception Done of verdict
 let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
   let solver = Solver.create () in
   Solver.set_deadline solver config.deadline;
-  let unr = Cnf.create ~free_latches:config.free_latches solver net in
+  let unr = make_unroller config solver net in
   let run =
     {
       cfg = config;
@@ -158,9 +182,15 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       mem_reasons = Hashtbl.create 4;
       reasons_last_changed = 0;
       solve_time = 0.0;
+      encode_time = 0.0;
     }
   in
   let act_init = Cnf.act_init unr in
+  (* In pure falsification mode the property literal only ever appears under
+     negation (the [~p_i] assumption), so the polarity-aware encoder can
+     drop the downward implications of its cone.  The proof checks also use
+     it positively (CP clauses). *)
+  let prop_pol = if config.proof_checks then Cnf.Both else Cnf.Neg in
   let deadline_passed () =
     match config.deadline with
     | Some d -> Unix.gettimeofday () > d
@@ -171,10 +201,15 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     try
       for i = 0 to config.max_depth do
         if deadline_passed () then raise (Done (Timed_out !completed));
-        hooks.on_unroll unr i;
-        let p_i = Cnf.lit unr ~frame:i run.prop in
-        (* Loop-free-path constraints only serve the termination checks. *)
-        if config.proof_checks then add_lfp_pairs run i;
+        let p_i =
+          timed_encode run (fun () ->
+              hooks.on_unroll unr i;
+              let p_i = Cnf.lit ~pol:prop_pol unr ~frame:i run.prop in
+              (* Loop-free-path constraints only serve the termination
+                 checks. *)
+              if config.proof_checks then add_lfp_pairs run i;
+              p_i)
+        in
         if config.proof_checks then begin
           (* Forward termination: no loop-free path of length i from I. *)
           if timed_solve run [ act_init; run.act_lfp ] = Solver.Unsat then
@@ -194,8 +229,9 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
             then run.reasons_last_changed <- i
           end);
         completed := i;
-        (* CP_{i+1} = CP_i /\ P_i *)
-        Cnf.add_clause unr [ Lit.negate run.act_cp; p_i ];
+        (* CP_{i+1} = CP_i /\ P_i — only the proof checks assume [act_cp],
+           so in pure falsification mode the clause is dead weight. *)
+        if config.proof_checks then Cnf.add_clause unr [ Lit.negate run.act_cp; p_i ];
         match config.stop_on_stable with
         | Some s when config.collect_reasons && i - run.reasons_last_changed >= s ->
           raise (Done (Reasons_stable i))
@@ -207,13 +243,17 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     | Solver.Timeout -> Timed_out !completed
   in
   let gc = Gc.quick_stat () in
+  let cnf_stats = Cnf.stats unr in
   let stats =
     {
       depths_completed = !completed + 1;
       solve_time = run.solve_time;
+      encode_time = run.encode_time;
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
       num_conflicts = Solver.num_conflicts solver;
+      vars_saved = cnf_stats.Cnf.vars_saved;
+      clauses_saved = cnf_stats.Cnf.clauses_saved;
       peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
       latch_reasons = Hashtbl.fold (fun l () acc -> l :: acc) run.reasons [];
       memory_reasons =
@@ -237,7 +277,7 @@ type prop_state = {
 let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   let solver = Solver.create () in
   Solver.set_deadline solver config.deadline;
-  let unr = Cnf.create ~free_latches:config.free_latches solver net in
+  let unr = make_unroller config solver net in
   let run =
     {
       cfg = config;
@@ -255,9 +295,11 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       mem_reasons = Hashtbl.create 4;
       reasons_last_changed = 0;
       solve_time = 0.0;
+      encode_time = 0.0;
     }
   in
   let act_init = Cnf.act_init unr in
+  let prop_pol = if config.proof_checks then Cnf.Both else Cnf.Neg in
   let props =
     List.map
       (fun name ->
@@ -280,8 +322,9 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
      let i = ref 0 in
      while !i <= config.max_depth && undecided () <> [] do
        if deadline_passed () then raise Exit;
-       hooks.on_unroll unr !i;
-       if config.proof_checks then add_lfp_pairs run !i;
+       timed_encode run (fun () ->
+           hooks.on_unroll unr !i;
+           if config.proof_checks then add_lfp_pairs run !i);
        let pending = undecided () in
        if config.proof_checks then begin
          (* Forward diameter: settles every remaining property at once. *)
@@ -305,34 +348,60 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
        List.iter
          (fun p ->
            if p.ps_verdict = None then begin
-             let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
+             let p_i =
+               timed_encode run (fun () ->
+                   Cnf.lit ~pol:prop_pol unr ~frame:!i p.ps_signal)
+             in
              match timed_solve run [ act_init; Lit.negate p_i ] with
              | Solver.Sat ->
                let run_p = { run with prop = p.ps_signal; prop_name = p.ps_name } in
                p.ps_verdict <- Some (Counterexample (extract_trace run_p !i))
              | Solver.Unsat ->
-               if config.collect_reasons then collect_reasons_from_core run
+               (* Parity with [check]: record when the reason set last grew,
+                  so [stop_on_stable] works in multi-property mode too. *)
+               if config.collect_reasons then begin
+                 let before =
+                   Hashtbl.length run.reasons + Hashtbl.length run.mem_reasons
+                 in
+                 collect_reasons_from_core run;
+                 if Hashtbl.length run.reasons + Hashtbl.length run.mem_reasons <> before
+                 then run.reasons_last_changed <- !i
+               end
            end)
          pending;
-       (* CP updates for the survivors. *)
-       List.iter
-         (fun p ->
-           if p.ps_verdict = None then
-             let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
-             Cnf.add_clause unr [ Lit.negate p.ps_act_cp; p_i ])
-         pending;
+       (* CP updates for the survivors — only the proof checks assume the
+          per-property [act_cp]. *)
+       if config.proof_checks then
+         List.iter
+           (fun p ->
+             if p.ps_verdict = None then
+               let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
+               Cnf.add_clause unr [ Lit.negate p.ps_act_cp; p_i ])
+           pending;
        completed := !i;
+       (match config.stop_on_stable with
+       | Some s when config.collect_reasons && !i - run.reasons_last_changed >= s ->
+         List.iter
+           (fun p ->
+             if p.ps_verdict = None then p.ps_verdict <- Some (Reasons_stable !i))
+           props;
+         raise Exit
+       | Some _ | None -> ());
        incr i
      done
    with Exit | Solver.Timeout -> ());
   let gc = Gc.quick_stat () in
+  let cnf_stats = Cnf.stats unr in
   let stats =
     {
       depths_completed = !completed + 1;
       solve_time = run.solve_time;
+      encode_time = run.encode_time;
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
       num_conflicts = Solver.num_conflicts solver;
+      vars_saved = cnf_stats.Cnf.vars_saved;
+      clauses_saved = cnf_stats.Cnf.clauses_saved;
       peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
       latch_reasons = Hashtbl.fold (fun l () acc -> l :: acc) run.reasons [];
       memory_reasons =

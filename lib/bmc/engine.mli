@@ -31,9 +31,16 @@ type verdict =
 type stats = {
   depths_completed : int;
   solve_time : float;  (** seconds spent inside the SAT solver *)
+  encode_time : float;
+      (** seconds spent building the formula: unrolling, memory-modeling
+          hooks and loop-free-path constraints *)
   num_vars : int;
   num_clauses : int;
   num_conflicts : int;
+  vars_saved : int;
+      (** unroller variables avoided by the simplifying encoder vs. the
+          plain per-frame Tseitin baseline (0 when [simplify = false]) *)
+  clauses_saved : int;  (** unroller clauses avoided, same baseline *)
   peak_memory_mb : float;
   latch_reasons : Netlist.signal list;
       (** union of latch reasons over all analysed depths *)
@@ -56,10 +63,15 @@ type config = {
       (** stop once latch reasons are unchanged for this many depths *)
   free_latches : Netlist.signal -> bool;
       (** abstracted latches become pseudo-primary inputs *)
+  simplify : bool;
+      (** use the simplifying unroller (constant folding, structural
+          hashing, polarity-aware emission — see {!Cnf.create});
+          [false] selects the plain paper-faithful encoding *)
 }
 
 val default_config : config
-(** [max_depth = 100], no deadline, proof checks on, no PBA collection. *)
+(** [max_depth = 100], no deadline, proof checks on, no PBA collection,
+    simplification on. *)
 
 type hooks = {
   on_unroll : Cnf.t -> int -> unit;
@@ -88,6 +100,9 @@ val check_all :
     forward-diameter check, when it fires, settles every survivor at once,
     and per-property backward-induction checks run against per-property
     assumption literals.  Returns the per-property results plus the shared
-    run statistics.  [stop_on_stable] is ignored in this mode. *)
+    run statistics.  With [collect_reasons] and [stop_on_stable] set, the
+    run stops once the shared reason set has been stable for the requested
+    number of depths, and every still-undecided property is reported as
+    [Reasons_stable] — the same contract as {!check}. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

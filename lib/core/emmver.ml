@@ -46,10 +46,13 @@ type outcome = {
   conclusion : conclusion;
   time_s : float;
   solve_time_s : float;
+  encode_time_s : float;
   memory_mb : float;
   model_latches : int;
   model_vars : int;
   model_clauses : int;
+  vars_saved : int;
+  clauses_saved : int;
   emm_counts : Emm.counts option;
   abstraction : Pba.abstraction option;
   solver_stats : Satsolver.Solver.stats option;
@@ -89,14 +92,22 @@ let conclusion_of_result replay_net (result : Bmc.Engine.result) =
 let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
     (result : Bmc.Engine.result) =
   let stats = result.Bmc.Engine.stats in
+  let emm_saved_v, emm_saved_c, emm_encode =
+    match emm_counts with
+    | Some c -> (c.Emm.saved_vars, c.Emm.saved_clauses, c.Emm.encode_time_s)
+    | None -> (0, 0, 0.0)
+  in
   {
     conclusion = conclusion_of_result replay_net result;
     time_s;
     solve_time_s = stats.Bmc.Engine.solve_time;
+    encode_time_s = stats.Bmc.Engine.encode_time +. emm_encode;
     memory_mb = stats.Bmc.Engine.peak_memory_mb;
     model_latches;
     model_vars = stats.Bmc.Engine.num_vars;
     model_clauses = stats.Bmc.Engine.num_clauses;
+    vars_saved = stats.Bmc.Engine.vars_saved + emm_saved_v;
+    clauses_saved = stats.Bmc.Engine.clauses_saved + emm_saved_c;
     emm_counts;
     abstraction;
     solver_stats = Some stats.Bmc.Engine.solver_stats;
@@ -149,10 +160,13 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       conclusion;
       time_s = elapsed ();
       solve_time_s = r.Bddmc.time;
+      encode_time_s = 0.0;
       memory_mb = float_of_int (r.Bddmc.peak_nodes * 40) /. 1e6;
       model_latches = num_latches expanded;
       model_vars = 2 * num_latches expanded;
       model_clauses = 0;
+      vars_saved = 0;
+      clauses_saved = 0;
       emm_counts = None;
       abstraction = None;
       solver_stats = None;
@@ -172,9 +186,12 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
           {
             Bmc.Engine.depths_completed = 0;
             solve_time = 0.0;
+            encode_time = 0.0;
             num_vars = 0;
             num_clauses = 0;
             num_conflicts = 0;
+            vars_saved = 0;
+            clauses_saved = 0;
             peak_memory_mb = 0.0;
             latch_reasons = [];
             memory_reasons = [];
@@ -207,9 +224,11 @@ let pp_conclusion ppf = function
   | Inconclusive msg -> Format.fprintf ppf "inconclusive: %s" msg
 
 let pp_outcome ppf o =
-  Format.fprintf ppf "@[<v>%a@,time %.2fs (solver %.2fs), %.1f MB, model: %d latches, %d vars, %d clauses@]"
-    pp_conclusion o.conclusion o.time_s o.solve_time_s o.memory_mb o.model_latches
-    o.model_vars o.model_clauses;
+  Format.fprintf ppf
+    "@[<v>%a@,time %.2fs (solver %.2fs, encode %.2fs), %.1f MB, model: %d latches, \
+     %d vars, %d clauses (saved %d vars, %d clauses)@]"
+    pp_conclusion o.conclusion o.time_s o.solve_time_s o.encode_time_s o.memory_mb
+    o.model_latches o.model_vars o.model_clauses o.vars_saved o.clauses_saved;
   match o.solver_stats with
   | None -> ()
   | Some s ->

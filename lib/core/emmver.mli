@@ -53,10 +53,17 @@ type outcome = {
   conclusion : conclusion;
   time_s : float;
   solve_time_s : float;
+  encode_time_s : float;
+      (** seconds spent building the formula: unrolling, EMM constraint
+          generation and loop-free-path constraints *)
   memory_mb : float;
   model_latches : int;  (** latches of the model actually checked *)
   model_vars : int;
   model_clauses : int;
+  vars_saved : int;
+      (** solver variables avoided by the simplifying encoder (unroller and
+          EMM layer combined) vs. the plain paper-faithful encoding *)
+  clauses_saved : int;  (** clauses avoided, same baseline *)
   emm_counts : Emm.counts option;
   abstraction : Pba.abstraction option;
   solver_stats : Satsolver.Solver.stats option;

@@ -8,6 +8,9 @@ type counts = {
   init_clauses : int;
   init_pairs : int;
   aux_vars : int;
+  saved_vars : int;
+  saved_clauses : int;
+  encode_time_s : float;
 }
 
 let zero_counts =
@@ -18,6 +21,9 @@ let zero_counts =
     init_clauses = 0;
     init_pairs = 0;
     aux_vars = 0;
+    saved_vars = 0;
+    saved_clauses = 0;
+    encode_time_s = 0.0;
   }
 
 let add_counts a b =
@@ -28,16 +34,23 @@ let add_counts a b =
     init_clauses = a.init_clauses + b.init_clauses;
     init_pairs = a.init_pairs + b.init_pairs;
     aux_vars = a.aux_vars + b.aux_vars;
+    saved_vars = a.saved_vars + b.saved_vars;
+    saved_clauses = a.saved_clauses + b.saved_clauses;
+    encode_time_s = a.encode_time_s +. b.encode_time_s;
   }
 
 let pp_counts ppf c =
   Format.fprintf ppf
-    "addr-clauses=%d excl-gates=%d data-clauses=%d init-clauses=%d init-pairs=%d aux-vars=%d"
+    "addr-clauses=%d excl-gates=%d data-clauses=%d init-clauses=%d init-pairs=%d \
+     aux-vars=%d saved-vars=%d saved-clauses=%d encode=%.3fs"
     c.addr_clauses c.excl_gates c.data_clauses c.init_clauses c.init_pairs c.aux_vars
+    c.saved_vars c.saved_clauses c.encode_time_s
 
 (* One read access: frame, read port, its "never written" chain head N, the
-   fresh initial-data word V, and the read-address literals (for equation (6)
-   pairing and for initial-state extraction). *)
+   initial-data word V, and the read-address literals (for equation (6)
+   pairing and for initial-state extraction).  In simplify mode V is the
+   read-data bus itself: when N holds the read observes the initial word, so
+   no separate V variables are needed. *)
 type access = {
   a_frame : int;
   a_port : int;
@@ -56,13 +69,25 @@ type t = {
   unr : Cnf.t;
   mems : mem_state list;
   init_consistency : bool;
+  simplify : bool;
+  (* Shared equality terms, live for the whole unrolling (simplify mode):
+     per-bit equality variables, full address-equality variables and merged
+     select networks, each keyed on the literal tuple (plus the memory tag,
+     so UNSAT-core attribution stays per-memory). *)
+  e_memo : (int * Lit.t * Lit.t, Lit.t) Hashtbl.t;
+  eq_memo : (int * Lit.t array * Lit.t array, Lit.t) Hashtbl.t;
+  s_memo : (int * Lit.t array * Lit.t array * Lit.t, Lit.t) Hashtbl.t;
   mutable next_depth : int;
+  mutable emitted : int; (* clauses actually emitted by this layer *)
   per_depth : (int, counts) Hashtbl.t;
   mutable current : counts; (* accumulator for the depth being generated *)
 }
 
-let create ?memories ?(init_consistency = true) unr =
+let create ?memories ?(init_consistency = true) ?simplify unr =
   let net = Cnf.net unr in
+  let simplify =
+    match simplify with Some s -> s | None -> Cnf.simplify_enabled unr
+  in
   let mems = match memories with Some ms -> ms | None -> Netlist.memories net in
   let mems =
     List.map
@@ -81,7 +106,12 @@ let create ?memories ?(init_consistency = true) unr =
     unr;
     mems;
     init_consistency;
+    simplify;
+    e_memo = Hashtbl.create 256;
+    eq_memo = Hashtbl.create 64;
+    s_memo = Hashtbl.create 256;
     next_depth = 0;
+    emitted = 0;
     per_depth = Hashtbl.create 64;
     current = zero_counts;
   }
@@ -96,21 +126,39 @@ let bump_init t n = t.current <- { t.current with init_clauses = t.current.init_
 let bump_pairs t n = t.current <- { t.current with init_pairs = t.current.init_pairs + n }
 let bump_gates t n = t.current <- { t.current with excl_gates = t.current.excl_gates + n }
 
+let bump_saved t v c =
+  t.current <-
+    {
+      t.current with
+      saved_vars = t.current.saved_vars + v;
+      saved_clauses = t.current.saved_clauses + c;
+    }
+
+(* Emission wrapper tracking the clauses this layer actually produced. *)
+let emitc ?tag t lits =
+  t.emitted <- t.emitted + 1;
+  Cnf.add_clause ?tag t.unr lits
+
+let lfalse t = Cnf.false_lit t.unr
+let ltrue t = Lit.negate (Cnf.false_lit t.unr)
+let is_f t l = l = lfalse t
+let is_t t l = l = Lit.negate (lfalse t)
+
 (* A 2-input AND "gate" in the hybrid representation: fresh variable plus the
    three defining clauses.  Counted as one exclusivity gate, per the paper's
    accounting, unless [counted] is false (eq. (6) helper gates are reported
-   through [init_pairs] instead). *)
+   through [init_pairs] instead).  Plain-mode encoding. *)
 let and_gate ?(counted = true) t ~tag a b =
   let v = fresh t in
-  Cnf.add_clause ~tag t.unr [ Lit.negate v; a ];
-  Cnf.add_clause ~tag t.unr [ Lit.negate v; b ];
-  Cnf.add_clause ~tag t.unr [ v; Lit.negate a; Lit.negate b ];
+  emitc ~tag t [ Lit.negate v; a ];
+  emitc ~tag t [ Lit.negate v; b ];
+  emitc ~tag t [ v; Lit.negate a; Lit.negate b ];
   if counted then bump_gates t 1;
   v
 
 (* Address-equality variable over two literal buses, with the paper's 4m+1
    clause encoding: per bit, (E -> (a=b)) and ((a=b) -> e); finally
-   (/\ e -> E). *)
+   (/\ e -> E).  Plain-mode encoding. *)
 let addr_equal t ~tag ~bump a_bus b_bus =
   let m = Array.length a_bus in
   let e_vars = Array.make m (Lit.pos 0) in
@@ -120,22 +168,171 @@ let addr_equal t ~tag ~bump a_bus b_bus =
     let e = fresh t in
     e_vars.(i) <- e;
     (* E -> (a = b) *)
-    Cnf.add_clause ~tag t.unr [ Lit.negate eq; Lit.negate a; b ];
-    Cnf.add_clause ~tag t.unr [ Lit.negate eq; a; Lit.negate b ];
+    emitc ~tag t [ Lit.negate eq; Lit.negate a; b ];
+    emitc ~tag t [ Lit.negate eq; a; Lit.negate b ];
     (* (a = b) -> e *)
-    Cnf.add_clause ~tag t.unr [ Lit.negate a; Lit.negate b; e ];
-    Cnf.add_clause ~tag t.unr [ a; b; e ]
+    emitc ~tag t [ Lit.negate a; Lit.negate b; e ];
+    emitc ~tag t [ a; b; e ]
   done;
   (* (/\ e) -> E *)
-  Cnf.add_clause ~tag t.unr
-    (eq :: Array.to_list (Array.map Lit.negate e_vars));
+  emitc ~tag t (eq :: Array.to_list (Array.map Lit.negate e_vars));
   bump t ((4 * m) + 1);
   eq
 
+(* {2 Simplify-mode equality networks}
+
+   Bits of a bus pair are classified once: syntactically equal (dropped),
+   complementary (the equality is constantly false), one side constant (the
+   bit-equality {e is} the other literal, no clauses), or general (a shared
+   one-directional equality variable e with (a=b) -> e, two clauses, memoized
+   per memory tag).  The e variables only ever occur as premises, so the
+   missing direction is never needed. *)
+
+type bit_class =
+  | Bit_conflict (* a = ~b: never equal *)
+  | Bit_exact of Lit.t (* equality reduces to this literal, both directions *)
+  | Bit_e of Lit.t * Lit.t * Lit.t (* (a, b, e): e one-directional premise *)
+
+let classify_bit t ~tag a b =
+  if a = b then Bit_exact (ltrue t)
+  else if a = Lit.negate b then Bit_conflict
+  else if is_t t a then Bit_exact b
+  else if is_f t a then Bit_exact (Lit.negate b)
+  else if is_t t b then Bit_exact a
+  else if is_f t b then Bit_exact (Lit.negate a)
+  else
+    let key = (tag, min a b, max a b) in
+    let e =
+      match Hashtbl.find_opt t.e_memo key with
+      | Some e -> e
+      | None ->
+        let e = fresh t in
+        (* (a = b) -> e *)
+        emitc ~tag t [ Lit.negate a; Lit.negate b; e ];
+        emitc ~tag t [ a; b; e ];
+        Hashtbl.replace t.e_memo key e;
+        e
+    in
+    Bit_e (a, b, e)
+
+let classify_bus t ~tag a_bus b_bus =
+  let m = Array.length a_bus in
+  let rec go i acc =
+    if i >= m then Some (List.rev acc)
+    else
+      match classify_bit t ~tag a_bus.(i) b_bus.(i) with
+      | Bit_conflict -> None
+      | Bit_exact e when is_t t e -> go (i + 1) acc
+      | c -> go (i + 1) (c :: acc)
+  in
+  go 0 []
+
+(* Full address-equality literal (simplify mode): constant-folded, memoized
+   on the bus pair, down-clauses direct on the bits, up-clause through the
+   shared e premises. *)
+let eq_lit t ~tag a_bus b_bus =
+  let a_bus, b_bus = if a_bus <= b_bus then (a_bus, b_bus) else (b_bus, a_bus) in
+  let key = (tag, a_bus, b_bus) in
+  match Hashtbl.find_opt t.eq_memo key with
+  | Some l -> l
+  | None ->
+    let l =
+      match classify_bus t ~tag a_bus b_bus with
+      | None -> lfalse t
+      | Some [] -> ltrue t
+      | Some [ Bit_exact e ] -> e
+      | Some bits ->
+        let eq = fresh t in
+        let premises =
+          List.map
+            (fun c ->
+              match c with
+              | Bit_conflict -> assert false
+              | Bit_exact e ->
+                emitc ~tag t [ Lit.negate eq; e ];
+                e
+              | Bit_e (a, b, e) ->
+                (* eq -> (a = b) *)
+                emitc ~tag t [ Lit.negate eq; Lit.negate a; b ];
+                emitc ~tag t [ Lit.negate eq; a; Lit.negate b ];
+                e)
+            bits
+        in
+        (* (/\ e) -> eq *)
+        emitc ~tag t (eq :: List.map Lit.negate premises);
+        eq
+    in
+    Hashtbl.replace t.eq_memo key l;
+    l
+
+(* Merged select network (simplify mode): s <-> (wa = ra) /\ we in 4m+2
+   clauses, skipping the standalone E variable, memoized on the literal
+   tuple so identical (write bus, read bus, enable) combinations share one
+   network across ports and depths. *)
+let s_net t ~tag wa ra we =
+  let wa, ra = if wa <= ra then (wa, ra) else (ra, wa) in
+  let key = (tag, wa, ra, we) in
+  match Hashtbl.find_opt t.s_memo key with
+  | Some s -> s
+  | None ->
+    let s =
+      if is_f t we then lfalse t
+      else
+        match classify_bus t ~tag wa ra with
+        | None -> lfalse t
+        | Some [] -> we (* addresses always equal: s = we *)
+        | Some [ Bit_exact e ] when is_t t we -> e
+        | Some bits ->
+          let s = fresh t in
+          let premises =
+            List.map
+              (fun c ->
+                match c with
+                | Bit_conflict -> assert false
+                | Bit_exact e ->
+                  emitc ~tag t [ Lit.negate s; e ];
+                  e
+                | Bit_e (a, b, e) ->
+                  (* s -> (a = b) *)
+                  emitc ~tag t [ Lit.negate s; Lit.negate a; b ];
+                  emitc ~tag t [ Lit.negate s; a; Lit.negate b ];
+                  e)
+              bits
+          in
+          let premises = if is_t t we then premises else we :: premises in
+          if not (is_t t we) then emitc ~tag t [ Lit.negate s; we ];
+          (* (/\ e /\ we) -> s *)
+          emitc ~tag t (s :: List.map Lit.negate premises);
+          s
+    in
+    Hashtbl.replace t.s_memo key s;
+    s
+
+(* One exclusivity chain step (simplify mode): S = s /\ ps', PS = ~s /\ ps'
+   jointly in five clauses instead of two 3-clause gates, with constant
+   folding at both inputs. *)
+let chain_pair t ~tag s ps' =
+  if is_t t s then (ps', lfalse t)
+  else if is_f t s then (lfalse t, ps')
+  else if is_f t ps' then (lfalse t, lfalse t)
+  else if is_t t ps' then (s, Lit.negate s)
+  else begin
+    let sel = fresh t in
+    let ps = fresh t in
+    emitc ~tag t [ Lit.negate sel; s ];
+    emitc ~tag t [ Lit.negate sel; ps' ];
+    emitc ~tag t [ Lit.negate ps; Lit.negate s ];
+    emitc ~tag t [ Lit.negate ps; ps' ];
+    emitc ~tag t [ Lit.negate ps'; sel; ps ];
+    bump_gates t 2;
+    (sel, ps)
+  end
+
 let lits_of_bus t ~frame bus = Array.map (fun s -> Cnf.lit t.unr ~frame s) bus
 
-(* Generate all constraints for read port [r] of memory [ms] at depth [k]. *)
-let constrain_read t ms k r =
+(* Generate all constraints for read port [r] of memory [ms] at depth [k] —
+   the paper-faithful plain encoding. *)
+let constrain_read_plain t ms k r =
   let unr = t.unr in
   let tag = ms.tag in
   let mem = ms.mem in
@@ -178,8 +375,8 @@ let constrain_read t ms k r =
       let _, wd, _ = write_lits i p in
       let sel = s_sel.(i).(p) in
       for b = 0 to n_bits - 1 do
-        Cnf.add_clause ~tag unr [ Lit.negate sel; Lit.negate rd.(b); wd.(b) ];
-        Cnf.add_clause ~tag unr [ Lit.negate sel; rd.(b); Lit.negate wd.(b) ]
+        emitc ~tag t [ Lit.negate sel; Lit.negate rd.(b); wd.(b) ];
+        emitc ~tag t [ Lit.negate sel; rd.(b); Lit.negate wd.(b) ]
       done;
       bump_data t (2 * n_bits)
     done
@@ -187,8 +384,8 @@ let constrain_read t ms k r =
   (* Arbitrary initial word V: N -> RD = V. *)
   let v_lits = Array.init n_bits (fun _ -> fresh t) in
   for b = 0 to n_bits - 1 do
-    Cnf.add_clause ~tag unr [ Lit.negate n_never; Lit.negate rd.(b); v_lits.(b) ];
-    Cnf.add_clause ~tag unr [ Lit.negate n_never; rd.(b); Lit.negate v_lits.(b) ]
+    emitc ~tag t [ Lit.negate n_never; Lit.negate rd.(b); v_lits.(b) ];
+    emitc ~tag t [ Lit.negate n_never; rd.(b); Lit.negate v_lits.(b) ]
   done;
   bump_data t (2 * n_bits);
   (* Read-validity clause: RE -> (\/ S \/ N).  Implied by the chain but added
@@ -198,7 +395,7 @@ let constrain_read t ms k r =
       (fun i -> List.map (fun p -> s_sel.(i).(p)) (List.init w_count Fun.id))
       (List.init k Fun.id)
   in
-  Cnf.add_clause ~tag unr (Lit.negate re :: n_never :: sels);
+  emitc ~tag t (Lit.negate re :: n_never :: sels);
   bump_data t 1;
   (* Reset contents: a memory initialised to zero reads 0 from unwritten
      locations — but only on paths starting at the initial state. *)
@@ -206,7 +403,7 @@ let constrain_read t ms k r =
   | Netlist.Zeros ->
     let act = Cnf.act_init unr in
     for b = 0 to n_bits - 1 do
-      Cnf.add_clause ~tag unr [ Lit.negate act; Lit.negate n_never; Lit.negate rd.(b) ]
+      emitc ~tag t [ Lit.negate act; Lit.negate n_never; Lit.negate rd.(b) ]
     done;
     bump_init t n_bits
   | Netlist.Arbitrary -> ()
@@ -222,14 +419,172 @@ let constrain_read t ms k r =
             (and_gate ~counted:false t ~tag n_never other.n_lit)
         in
         for b = 0 to n_bits - 1 do
-          Cnf.add_clause ~tag unr
-            [ Lit.negate u; Lit.negate v_lits.(b); other.v_lits.(b) ];
-          Cnf.add_clause ~tag unr
-            [ Lit.negate u; v_lits.(b); Lit.negate other.v_lits.(b) ]
+          emitc ~tag t [ Lit.negate u; Lit.negate v_lits.(b); other.v_lits.(b) ];
+          emitc ~tag t [ Lit.negate u; v_lits.(b); Lit.negate other.v_lits.(b) ]
         done;
         bump_pairs t 1)
       ms.accesses;
   ms.accesses <- this :: ms.accesses
+
+(* The simplifying counterpart: merged select networks, joint chain steps,
+   the V word merged into the read-data bus, polarity-reduced eq. (6) and
+   constant folding everywhere.  [saved_vars]/[saved_clauses] record the
+   difference against what the plain encoding above would have emitted for
+   the same port and depth. *)
+let constrain_read_simpl t ms k r =
+  let unr = t.unr in
+  let tag = ms.tag in
+  let mem = ms.mem in
+  let n_bits = Netlist.memory_data_width mem in
+  let m_bits = Netlist.memory_addr_width mem in
+  let w_count = Netlist.num_write_ports mem in
+  let vars0 = t.current.aux_vars and emitted0 = t.emitted in
+  let plain_vars = ref 0 and plain_clauses = ref 0 in
+  let plain v c =
+    plain_vars := !plain_vars + v;
+    plain_clauses := !plain_clauses + c
+  in
+  let addr_bus, enable, out = Netlist.read_port mem r in
+  let ra = lits_of_bus t ~frame:k addr_bus in
+  let re = Cnf.lit unr ~frame:k enable in
+  let rd = lits_of_bus t ~frame:k out in
+  let write_lits j w =
+    let wa, wd, we = Netlist.write_port mem w in
+    (lits_of_bus t ~frame:j wa, lits_of_bus t ~frame:j wd, Cnf.lit unr ~frame:j we)
+  in
+  (* s(j,w) = (WA(j,w) = RA) /\ WE(j,w), merged and memoized. *)
+  let s_of =
+    Array.init k (fun j ->
+        Array.init w_count (fun w ->
+            let wa, _, we = write_lits j w in
+            plain (m_bits + 4) ((4 * m_bits) + 10);
+            let before = t.emitted in
+            let s = s_net t ~tag wa ra we in
+            bump_addr t (t.emitted - before);
+            s))
+  in
+  (* Exclusivity chains (eq. 4), folded. *)
+  let s_sel = Array.make_matrix (max k 1) (max w_count 1) (Lit.pos 0) in
+  let ps = ref re in
+  for i = k - 1 downto 0 do
+    for p = w_count - 1 downto 0 do
+      let sel, ps' = chain_pair t ~tag s_of.(i).(p) !ps in
+      s_sel.(i).(p) <- sel;
+      ps := ps'
+    done
+  done;
+  let n_never = !ps in
+  (* Read-data constraints (eq. 5): S(i,p) -> RD = WD(i,p). *)
+  for i = 0 to k - 1 do
+    for p = 0 to w_count - 1 do
+      plain 0 (2 * n_bits);
+      let sel = s_sel.(i).(p) in
+      if not (is_f t sel) then begin
+        let _, wd, _ = write_lits i p in
+        let prefix = if is_t t sel then [] else [ Lit.negate sel ] in
+        let emitted = ref 0 in
+        for b = 0 to n_bits - 1 do
+          if rd.(b) <> wd.(b) then begin
+            emitc ~tag t (prefix @ [ Lit.negate rd.(b); wd.(b) ]);
+            emitc ~tag t (prefix @ [ rd.(b); Lit.negate wd.(b) ]);
+            emitted := !emitted + 2
+          end
+        done;
+        bump_data t !emitted
+      end
+    done
+  done;
+  (* The initial word V is the read-data bus itself when N holds: no fresh
+     variables and no linking clauses needed. *)
+  plain n_bits (2 * n_bits);
+  let v_lits = rd in
+  (* Read-validity clause: RE -> (\/ S \/ N). *)
+  plain 0 1;
+  if not (is_f t re) then begin
+    let sels =
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun p -> if is_f t s_sel.(i).(p) then None else Some s_sel.(i).(p))
+            (List.init w_count Fun.id))
+        (List.init k Fun.id)
+    in
+    let tauto = is_t t n_never || List.exists (is_t t) sels in
+    if not tauto then begin
+      let head = if is_f t n_never then [] else [ n_never ] in
+      emitc ~tag t ((Lit.negate re :: head) @ sels);
+      bump_data t 1
+    end
+  end;
+  (* Reset contents: a memory initialised to zero reads 0 from unwritten
+     locations — but only on paths starting at the initial state. *)
+  (match Netlist.memory_init mem with
+  | Netlist.Zeros ->
+    plain 0 n_bits;
+    if not (is_f t n_never) then begin
+      let act = Cnf.act_init unr in
+      let guard =
+        if is_t t n_never then [ Lit.negate act ]
+        else [ Lit.negate act; Lit.negate n_never ]
+      in
+      for b = 0 to n_bits - 1 do
+        emitc ~tag t (guard @ [ Lit.negate rd.(b) ])
+      done;
+      bump_init t n_bits
+    end
+  | Netlist.Arbitrary -> ()
+  | Netlist.Words _ -> assert false);
+  (* Equation (6): pairwise consistency with every earlier read access,
+     polarity-reduced — the pair variable u only needs (premises -> u) and
+     (u -> V = V'), 2m+1+2n clauses instead of 4m+7+2n. *)
+  let this = { a_frame = k; a_port = r; n_lit = n_never; v_lits; ra_lits = ra } in
+  if t.init_consistency then
+    List.iter
+      (fun other ->
+        plain (m_bits + 3) ((4 * m_bits) + 7 + (2 * n_bits));
+        if not (is_f t n_never || is_f t other.n_lit) then begin
+          match classify_bus t ~tag other.ra_lits ra with
+          | None -> bump_pairs t 1 (* addresses provably differ: no constraint *)
+          | Some bits ->
+            let e_of = function
+              | Bit_conflict -> assert false
+              | Bit_exact e | Bit_e (_, _, e) -> e
+            in
+            let premises =
+              List.filter (fun l -> not (is_t t l)) (List.map e_of bits)
+            in
+            let premises =
+              premises
+              @ List.filter (fun l -> not (is_t t l)) [ n_never; other.n_lit ]
+            in
+            let u =
+              match premises with
+              | [] -> ltrue t
+              | [ l ] -> l
+              | _ ->
+                let u = fresh t in
+                (* premises -> u *)
+                emitc ~tag t (u :: List.map Lit.negate premises);
+                u
+            in
+            let prefix = if is_t t u then [] else [ Lit.negate u ] in
+            for b = 0 to n_bits - 1 do
+              if v_lits.(b) <> other.v_lits.(b) then begin
+                emitc ~tag t (prefix @ [ Lit.negate v_lits.(b); other.v_lits.(b) ]);
+                emitc ~tag t (prefix @ [ v_lits.(b); Lit.negate other.v_lits.(b) ])
+              end
+            done;
+            bump_pairs t 1
+        end
+        else bump_pairs t 1)
+      ms.accesses;
+  ms.accesses <- this :: ms.accesses;
+  bump_saved t
+    (!plain_vars - (t.current.aux_vars - vars0))
+    (!plain_clauses - (t.emitted - emitted0))
+
+let constrain_read t ms k r =
+  if t.simplify then constrain_read_simpl t ms k r else constrain_read_plain t ms k r
 
 let add_constraints t k =
   if k <> t.next_depth then
@@ -237,12 +592,14 @@ let add_constraints t k =
       (Printf.sprintf "Emm.add_constraints: expected depth %d, got %d" t.next_depth k);
   t.next_depth <- k + 1;
   t.current <- zero_counts;
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun ms ->
       List.iter
         (fun r -> constrain_read t ms k r)
         (List.init (Netlist.num_read_ports ms.mem) Fun.id))
     t.mems;
+  t.current <- { t.current with encode_time_s = Unix.gettimeofday () -. t0 };
   Hashtbl.replace t.per_depth k t.current
 
 let counts_at t k =
@@ -264,20 +621,24 @@ let mem_init_of_model t =
       | Netlist.Zeros -> None (* defaults already match *)
       | Netlist.Words _ -> None
       | Netlist.Arbitrary ->
+        (* First (most recent) access per address wins; a hash table keyed on
+           the address keeps the dedup linear in the number of accesses. *)
+        let seen = Hashtbl.create 16 in
         let words =
           List.filter_map
             (fun a ->
-              if Solver.value solver a.n_lit then
-                Some (word_of_lits solver a.ra_lits, word_of_lits solver a.v_lits)
+              if Solver.value solver a.n_lit then begin
+                let addr = word_of_lits solver a.ra_lits in
+                if Hashtbl.mem seen addr then None
+                else begin
+                  Hashtbl.add seen addr ();
+                  Some (addr, word_of_lits solver a.v_lits)
+                end
+              end
               else None)
             ms.accesses
         in
-        let dedup =
-          List.fold_left
-            (fun acc (addr, w) -> if List.mem_assoc addr acc then acc else (addr, w) :: acc)
-            [] words
-        in
-        Some (Netlist.memory_name ms.mem, dedup))
+        Some (Netlist.memory_name ms.mem, words))
     t.mems
 
 let predicted_clauses ~aw ~dw ~k ~writes ~reads =
@@ -327,7 +688,9 @@ let trace_of_model t ~depth ~label =
 let find_data_race ?(max_depth = 50) ?deadline net =
   let solver = Solver.create () in
   Solver.set_deadline solver deadline;
-  let unr = Cnf.create solver net in
+  (* Every query below assumes [act_init], so frame-0 latch values can be
+     folded to constants; no reason extraction happens here. *)
+  let unr = Cnf.create ~fold_init:true ~track_reasons:false solver net in
   let t = create unr in
   let act_init = Cnf.act_init unr in
   let deadline_passed () =
@@ -346,10 +709,11 @@ let find_data_race ?(max_depth = 50) ?deadline net =
              for w2 = w1 + 1 to w - 1 do
                let a1, _, e1 = Netlist.write_port mem w1 in
                let a2, _, e2 = Netlist.write_port mem w2 in
+               let l1 = lits_of_bus t ~frame:k a1 in
+               let l2 = lits_of_bus t ~frame:k a2 in
                let eq =
-                 addr_equal t ~tag:ms.tag
-                   ~bump:(fun _ _ -> ())
-                   (lits_of_bus t ~frame:k a1) (lits_of_bus t ~frame:k a2)
+                 if t.simplify then eq_lit t ~tag:ms.tag l1 l2
+                 else addr_equal t ~tag:ms.tag ~bump:(fun _ _ -> ()) l1 l2
                in
                let assumptions =
                  [
@@ -380,14 +744,14 @@ let find_data_race ?(max_depth = 50) ?deadline net =
    with Exit | Solver.Timeout -> ());
   !result
 
-let hooks ?memories ?init_consistency net =
+let hooks ?memories ?init_consistency ?simplify net =
   ignore net;
   let state = ref None in
   let get unr =
     match !state with
     | Some s -> s
     | None ->
-      let s = create ?memories ?init_consistency unr in
+      let s = create ?memories ?init_consistency ?simplify unr in
       state := Some s;
       s
   in
@@ -403,12 +767,12 @@ let hooks ?memories ?init_consistency net =
   let get_counts () = match !state with Some s -> counts_total s | None -> zero_counts in
   (hooks, get_counts)
 
-let check ?config ?memories ?init_consistency net ~property =
-  let hks, get_counts = hooks ?memories ?init_consistency net in
+let check ?config ?memories ?init_consistency ?simplify net ~property =
+  let hks, get_counts = hooks ?memories ?init_consistency ?simplify net in
   let result = Bmc.Engine.check ?config ~hooks:hks net ~property in
   (result, get_counts ())
 
-let check_many ?config ?memories ?init_consistency net ~properties =
-  let hks, get_counts = hooks ?memories ?init_consistency net in
+let check_many ?config ?memories ?init_consistency ?simplify net ~properties =
+  let hks, get_counts = hooks ?memories ?init_consistency ?simplify net in
   let results, stats = Bmc.Engine.check_all ?config ~hooks:hks net ~properties in
   (results, stats, get_counts ())

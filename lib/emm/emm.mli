@@ -28,7 +28,30 @@
       still see an arbitrary start state.
 
     All EMM clauses are tagged with the memory module, so UNSAT cores reveal
-    which memories a proof actually depends on. *)
+    which memories a proof actually depends on.
+
+    {b Simplify mode.}  On top of the paper-faithful encoding above, the
+    layer has a simplifying mode (enabled by default whenever the underlying
+    unroller was created with [simplify = true], see {!Cnf.create}) that is
+    logically equivalent under the activation-literal discipline but
+    considerably smaller:
+
+    - the standalone equality variable [E] and the AND gate of [s = E /\ WE]
+      merge into one network [s <-> (WA = RA) /\ WE] ([4m+2] clauses);
+    - per-bit equality terms are {e shared} across the whole unrolling
+      through a structural hash keyed on the literal pair, so equation (3)
+      select networks and equation (6) pairwise constraints reuse the same
+      equality sub-terms instead of re-encoding them per use;
+    - each exclusivity chain step emits [S = s /\ PS'] and [PS = ~s /\ PS']
+      jointly in 5 clauses instead of two 3-clause gates;
+    - the arbitrary initial word [V] of §4.2 is represented by the read-data
+      bus itself (when [N] holds the read observes the initial word), saving
+      [n] variables and [2n] clauses per access;
+    - equation (6) pair variables are polarity-reduced: only
+      [(premises -> u)] and [(u -> V = V')] are emitted;
+    - constants (e.g. hard-wired addresses or enables after frame-0 constant
+      folding) propagate through all of the above, deleting clauses and
+      entire select networks. *)
 
 type counts = {
   addr_clauses : int;  (** address-comparison CNF clauses *)
@@ -37,6 +60,11 @@ type counts = {
   init_clauses : int;  (** arbitrary/zero initial-state clauses (§4.2) *)
   init_pairs : int;  (** equation (6) pairwise consistency constraints *)
   aux_vars : int;  (** auxiliary solver variables introduced *)
+  saved_vars : int;
+      (** variables avoided by simplify mode vs. the plain encoding of the
+          same ports and depths (0 in plain mode) *)
+  saved_clauses : int;  (** clauses avoided, same baseline *)
+  encode_time_s : float;  (** wall time spent generating EMM constraints *)
 }
 
 val zero_counts : counts
@@ -45,15 +73,24 @@ val pp_counts : Format.formatter -> counts -> unit
 
 type t
 
-val create : ?memories:Netlist.memory list -> ?init_consistency:bool -> Cnf.t -> t
+val create :
+  ?memories:Netlist.memory list ->
+  ?init_consistency:bool ->
+  ?simplify:bool ->
+  Cnf.t ->
+  t
 (** Prepare EMM generation over the given unroller.  [memories] restricts
     modeling to a subset (PBA memory abstraction, §4.3); defaults to all
     memories of the netlist.  [init_consistency] (default [true]) controls
     the equation (6) pairwise constraints — disabling them reproduces the
     imprecise arbitrary-initial-state modeling the paper warns about, and is
-    used by the ablation benchmarks.  Raises [Invalid_argument] on a memory
-    with concrete [Words] initial contents — EMM supports [Zeros] and
-    [Arbitrary], as in the paper. *)
+    used by the ablation benchmarks.  [simplify] selects the simplifying
+    encoding described above; it defaults to [Cnf.simplify_enabled] of the
+    unroller, and [false] always selects the paper-faithful plain encoding
+    (the {!predicted_clauses}/{!predicted_gates} formulas only apply to
+    plain mode).  Raises [Invalid_argument] on a memory with concrete
+    [Words] initial contents — EMM supports [Zeros] and [Arbitrary], as in
+    the paper. *)
 
 val add_constraints : t -> int -> unit
 (** [add_constraints t k] is the procedure [EMM_Constraints(k)] of Fig. 2:
@@ -105,6 +142,7 @@ val find_data_race :
 val hooks :
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
+  ?simplify:bool ->
   Netlist.t ->
   Bmc.Engine.hooks * (unit -> counts)
 (** Engine hooks implementing BMC-2/BMC-3: constraint injection per depth and
@@ -115,6 +153,7 @@ val check :
   ?config:Bmc.Engine.config ->
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
+  ?simplify:bool ->
   Netlist.t ->
   property:string ->
   Bmc.Engine.result * counts
@@ -125,6 +164,7 @@ val check_many :
   ?config:Bmc.Engine.config ->
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
+  ?simplify:bool ->
   Netlist.t ->
   properties:string list ->
   (string * Bmc.Engine.result) list * Bmc.Engine.stats * counts

@@ -53,6 +53,7 @@ let discover ?(max_depth = 200) ?(stability = 10) ?deadline ?(use_emm = true) ?w
       collect_reasons = true;
       stop_on_stable = Some stability;
       free_latches;
+      simplify = true;
     }
   in
   let t0 = Unix.gettimeofday () in

@@ -1,0 +1,227 @@
+(* Tests for the simplifying unroller: structural-hash idempotence,
+   constant folding soundness, polarity-aware emission, latch aliasing, and
+   the savings telemetry — all against the plain paper-faithful encoding
+   and the cycle-accurate simulator. *)
+
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+
+(* The latch-and-logic design of test_cnf, memory-free. *)
+let build_design () =
+  let ctx = Hdl.create () in
+  let d = Hdl.input ctx "d" ~width:4 in
+  let en = Hdl.input_bit ctx "en" in
+  let acc = Hdl.reg ctx "acc" ~width:4 in
+  let cnt = Hdl.reg ctx "cnt" ~width:4 in
+  Hdl.connect ctx acc (Hdl.mux2 ctx en (Hdl.add ctx acc d) acc);
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  let probe = Hdl.xor_v ctx acc cnt in
+  Hdl.output ctx "probe" probe;
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx probe 15));
+  (Hdl.netlist ctx, probe)
+
+let all_signals net =
+  List.concat
+    [
+      Netlist.latches net;
+      List.map snd (Netlist.properties net);
+      List.map snd (Netlist.outputs net);
+    ]
+
+(* Re-encoding a frame that has already been elaborated must be free: every
+   literal is found in the frame map or the structural hash, so no variable
+   and no clause is added. *)
+let test_reencoding_is_free () =
+  let net, probe = build_design () in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  for frame = 0 to 3 do
+    List.iter (fun s -> ignore (Cnf.lit unr ~frame s)) (all_signals net);
+    Array.iter (fun s -> ignore (Cnf.lit unr ~frame s)) probe
+  done;
+  let vars = Solver.num_vars solver in
+  let clauses = Cnf.clauses_added unr in
+  let lits_before =
+    List.init 4 (fun frame -> List.map (Cnf.lit unr ~frame) (all_signals net))
+  in
+  (* Second pass over the same frames and signals. *)
+  for frame = 0 to 3 do
+    List.iter (fun s -> ignore (Cnf.lit unr ~frame s)) (all_signals net);
+    Array.iter (fun s -> ignore (Cnf.lit unr ~frame s)) probe
+  done;
+  Alcotest.(check int) "no new variables" vars (Solver.num_vars solver);
+  Alcotest.(check int) "no new clauses" clauses (Cnf.clauses_added unr);
+  let lits_after =
+    List.init 4 (fun frame -> List.map (Cnf.lit unr ~frame) (all_signals net))
+  in
+  Alcotest.(check bool) "identical literals" true (lits_before = lits_after)
+
+(* The same holds for and_lit: the structural hash returns the same literal
+   for the same (sorted) leaf set, without re-encoding. *)
+let test_and_lit_hashed () =
+  let net, _ = build_design () in
+  let solver = Solver.create () in
+  let unr = Cnf.create solver net in
+  let a = Cnf.fresh_lit unr and b = Cnf.fresh_lit unr and c = Cnf.fresh_lit unr in
+  let v1 = Cnf.and_lit unr [ a; b; c ] in
+  let vars = Solver.num_vars solver in
+  let clauses = Cnf.clauses_added unr in
+  let v2 = Cnf.and_lit unr [ c; a; b ] in
+  Alcotest.(check bool) "same literal for permuted leaves" true (v1 = v2);
+  Alcotest.(check int) "no new variables" vars (Solver.num_vars solver);
+  Alcotest.(check int) "no new clauses" clauses (Cnf.clauses_added unr);
+  (* Folding: true drops, duplicate drops, complement cancels. *)
+  Alcotest.(check bool) "unit conjunction is the literal" true
+    (Cnf.and_lit unr [ a ] = a);
+  Alcotest.(check bool) "duplicates collapse" true (Cnf.and_lit unr [ a; a ] = a);
+  let f = Cnf.and_lit unr [ a; Lit.negate a ] in
+  Alcotest.(check bool) "complement pair is false" true
+    (Solver.solve ~assumptions:[ f ] solver = Solver.Unsat);
+  let t = Cnf.and_lit unr [] in
+  Alcotest.(check bool) "empty conjunction is true" true
+    (Solver.solve ~assumptions:[ Lit.negate t ] solver = Solver.Unsat)
+
+(* Folded latch-init constants: with [fold_init] the frame-0 value of an
+   initialised latch is a constant literal, and the model stays sound. *)
+let test_fold_init_sound () =
+  let ctx = Hdl.create () in
+  let r = Hdl.reg ctx ~init:(Some 5) "r" ~width:3 in
+  Hdl.connect ctx r (Hdl.incr ctx r);
+  Hdl.assert_always ctx "p" Netlist.true_;
+  let net = Hdl.netlist ctx in
+  let solver = Solver.create () in
+  let unr = Cnf.create ~fold_init:true ~track_reasons:false solver net in
+  let latches = Netlist.latches net in
+  let bit0 = Cnf.lit unr ~frame:0 (List.nth latches 0) in
+  let bit1 = Cnf.lit unr ~frame:0 (List.nth latches 1) in
+  (* r = 5 = 101b: folded unconditionally, act_init not even needed. *)
+  Alcotest.(check bool) "bit0 constant true" true
+    (Solver.solve ~assumptions:[ Lit.negate bit0 ] solver = Solver.Unsat);
+  Alcotest.(check bool) "bit1 constant false" true
+    (Solver.solve ~assumptions:[ bit1 ] solver = Solver.Unsat);
+  (* The folded constants feed the next-state logic: r = 6 at frame 1. *)
+  let v frame =
+    match Solver.solve ~assumptions:[ Cnf.act_init unr ] solver with
+    | Solver.Unsat -> Alcotest.fail "unexpected UNSAT"
+    | Solver.Sat ->
+      List.fold_left
+        (fun acc (i, s) ->
+          if Solver.value solver (Cnf.lit unr ~frame s) then acc lor (1 lsl i) else acc)
+        0
+        (List.mapi (fun i s -> (i, s)) latches)
+  in
+  ignore (Cnf.lit unr ~frame:1 (List.hd latches));
+  Alcotest.(check int) "frame 1 value" 6 (v 1);
+  Alcotest.(check int) "frame 3 value" 0 (v 3)
+
+(* Full-machine equivalence under the falsification-mode encoder (folding,
+   aliasing, polarity): every probe bit at every frame must match the
+   simulator, exactly like the plain encoder does in test_cnf. *)
+let prop_simplify_matches_simulator =
+  QCheck2.Test.make ~count:60 ~name:"simplifying CNF = simulator"
+    QCheck2.Gen.(list_size (int_range 1 6) (pair (int_bound 15) bool))
+    (fun stimulus ->
+      let net, probe = build_design () in
+      let solver = Solver.create () in
+      let unr = Cnf.create ~fold_init:true ~track_reasons:false solver net in
+      let assumptions = ref [ Cnf.act_init unr ] in
+      List.iteri
+        (fun frame (d, en) ->
+          List.iter
+            (fun s ->
+              match Netlist.node net (Netlist.node_of s) with
+              | Netlist.Input name ->
+                let value =
+                  match String.index_opt name '[' with
+                  | None -> en
+                  | Some br ->
+                    let idx =
+                      int_of_string
+                        (String.sub name (br + 1) (String.length name - br - 2))
+                    in
+                    (d lsr idx) land 1 = 1
+                in
+                let l = Cnf.lit unr ~frame s in
+                assumptions := (if value then l else Lit.negate l) :: !assumptions
+              | _ -> ())
+            (Netlist.inputs net))
+        stimulus;
+      let frames = List.length stimulus in
+      let probe_lits =
+        List.init frames (fun frame -> Array.map (Cnf.lit unr ~frame) probe)
+      in
+      match Solver.solve ~assumptions:!assumptions solver with
+      | Solver.Unsat -> false
+      | Solver.Sat ->
+        let sim = Simulator.create net in
+        List.for_all2
+          (fun (d, en) lits ->
+            Simulator.step sim ~inputs:(fun name ->
+                match String.index_opt name '[' with
+                | None -> en
+                | Some br ->
+                  let idx =
+                    int_of_string
+                      (String.sub name (br + 1) (String.length name - br - 2))
+                  in
+                  (d lsr idx) land 1 = 1);
+            Array.for_all2
+              (fun s l -> Simulator.value sim s = Solver.value solver l)
+              probe lits)
+          stimulus probe_lits)
+
+(* The savings telemetry: on a real design the simplifying encoder must be
+   strictly smaller than the plain baseline it accounts against, and the
+   engine must thread the numbers through to its stats. *)
+let test_savings_reported () =
+  let net = Designs.Quicksort.build (Designs.Quicksort.default_config ~n:3) in
+  let config =
+    { Bmc.Engine.default_config with max_depth = 6; proof_checks = false }
+  in
+  let result, counts = Emm.check ~config net ~property:"P1" in
+  let stats = result.Bmc.Engine.stats in
+  Alcotest.(check bool) "unroller saves variables" true (stats.Bmc.Engine.vars_saved > 0);
+  Alcotest.(check bool) "unroller saves clauses" true
+    (stats.Bmc.Engine.clauses_saved > 0);
+  Alcotest.(check bool) "EMM layer saves variables" true (counts.Emm.saved_vars > 0);
+  Alcotest.(check bool) "EMM layer saves clauses" true (counts.Emm.saved_clauses > 0);
+  Alcotest.(check bool) "encode time measured" true (stats.Bmc.Engine.encode_time >= 0.0);
+  (* Plain mode reports zero savings. *)
+  let plain = { config with Bmc.Engine.simplify = false } in
+  let result, counts = Emm.check ~config:plain net ~property:"P1" in
+  Alcotest.(check int) "plain unroller saves nothing" 0
+    result.Bmc.Engine.stats.Bmc.Engine.vars_saved;
+  Alcotest.(check int) "plain EMM saves nothing" 0 counts.Emm.saved_clauses
+
+(* Both encoders must agree on proofs as well as counterexamples; quicksort
+   P1 is an induction proof in the seed suite. *)
+let test_proof_parity () =
+  let net = Designs.Quicksort.build (Designs.Quicksort.default_config ~n:3) in
+  let config = { Bmc.Engine.default_config with max_depth = 40 } in
+  let verdict cfg =
+    let result, _ = Emm.check ~config:cfg net ~property:"P1" in
+    match result.Bmc.Engine.verdict with
+    | Bmc.Engine.Proof _ -> "proof"
+    | Bmc.Engine.Counterexample _ -> "cex"
+    | _ -> "inconclusive"
+  in
+  Alcotest.(check string) "simplify proves" "proof" (verdict config);
+  Alcotest.(check string) "plain proves" "proof"
+    (verdict { config with Bmc.Engine.simplify = false })
+
+let () =
+  Alcotest.run "cnf-simplify"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "re-encoding a frame is free" `Quick
+            test_reencoding_is_free;
+          Alcotest.test_case "and_lit hashed and folded" `Quick test_and_lit_hashed;
+          Alcotest.test_case "fold_init constants sound" `Quick test_fold_init_sound;
+          Alcotest.test_case "savings telemetry" `Quick test_savings_reported;
+          Alcotest.test_case "proof parity with plain encoder" `Quick
+            test_proof_parity;
+        ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest prop_simplify_matches_simulator ] );
+    ]

@@ -1,9 +1,11 @@
 (* Differential test net: seeded random closed designs with one memory are
-   checked three ways — EMM-BMC, explicit-expansion BMC, and cycle-accurate
-   simulation — and the verdicts (including counterexample depths up to 8)
-   must agree.  This is the safety net for rewrites of the solver hot path
-   and the EMM constraint generator: any divergence in memory semantics
-   between the models shows up as a verdict or depth mismatch here. *)
+   checked four ways — EMM-BMC with the simplifying encoder, EMM-BMC with
+   the plain paper-faithful encoder, explicit-expansion BMC, and
+   cycle-accurate simulation — and the verdicts (including counterexample
+   depths up to 8) must agree.  This is the safety net for rewrites of the
+   solver hot path, the unroller and the EMM constraint generator: any
+   divergence in memory semantics between the models shows up as a verdict
+   or depth mismatch here. *)
 
 let depth_bound = 8
 
@@ -99,6 +101,10 @@ let sim_first_failure net =
 let falsify_config =
   { Bmc.Engine.default_config with max_depth = depth_bound; proof_checks = false }
 
+(* Same run with every simplification switched off: the paper-faithful
+   Tseitin unrolling and EMM encoding. *)
+let plain_config = { falsify_config with Bmc.Engine.simplify = false }
+
 let signature = function
   | Bmc.Engine.Counterexample t -> Printf.sprintf "cex@%d" t.Bmc.Trace.depth
   | Bmc.Engine.Proof { depth; _ } -> Printf.sprintf "proof@%d" depth
@@ -110,6 +116,7 @@ let check_design cfg =
   let net = build cfg in
   let label fmt = Printf.ksprintf (fun s -> Printf.sprintf "design %d: %s" cfg.id s) fmt in
   let emm_result, _ = Emm.check ~config:falsify_config net ~property:"p" in
+  let plain_result, _ = Emm.check ~config:plain_config net ~property:"p" in
   let expanded = Explicitmem.expand net in
   let exp_result = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
   (* EMM and the explicit expansion must agree exactly, arbitrary init
@@ -118,6 +125,17 @@ let check_design cfg =
     (label "EMM verdict = explicit verdict")
     (signature exp_result.Bmc.Engine.verdict)
     (signature emm_result.Bmc.Engine.verdict);
+  (* The simplifying and plain encoders are different CNFs of the same
+     model, so their verdicts must match exactly as well. *)
+  Alcotest.(check string)
+    (label "simplifying encoder verdict = plain encoder verdict")
+    (signature plain_result.Bmc.Engine.verdict)
+    (signature emm_result.Bmc.Engine.verdict);
+  (match plain_result.Bmc.Engine.verdict with
+  | Bmc.Engine.Counterexample t ->
+    Alcotest.(check bool) (label "plain-encoder trace replays on simulator") true
+      (Bmc.Trace.replay net t)
+  | _ -> ());
   (* Every counterexample must replay on the concrete design ([Trace.replay]
      supplies the initial memory words and arbitrary-init latches the solver
      chose). *)

@@ -210,9 +210,11 @@ let test_constraint_counts () =
   let aw = 3 and dw = 4 and wports = 2 and rports = 3 in
   let h = harness ~aw ~dw ~wports ~rports ~init:Netlist.Zeros in
   let solver = Solver.create () in
-  let unr = Cnf.create solver h.net in
+  (* Plain mode: the §4.1 size formulas describe the paper-faithful
+     encoding, not the simplifying one. *)
+  let unr = Cnf.create ~simplify:false solver h.net in
   (* Disable eq-6 pairing so the §4.1 counts are isolated. *)
-  let emm = Emm.create ~init_consistency:false unr in
+  let emm = Emm.create ~init_consistency:false ~simplify:false unr in
   for k = 0 to 5 do
     Emm.add_constraints emm k;
     let c = Emm.counts_at emm k in
@@ -230,8 +232,8 @@ let test_counts_quadratic_growth () =
      linear in k. *)
   let h = harness ~aw:2 ~dw:2 ~wports:1 ~rports:1 ~init:Netlist.Zeros in
   let solver = Solver.create () in
-  let unr = Cnf.create solver h.net in
-  let emm = Emm.create ~init_consistency:false unr in
+  let unr = Cnf.create ~simplify:false solver h.net in
+  let emm = Emm.create ~init_consistency:false ~simplify:false unr in
   let increments =
     List.map
       (fun k ->
@@ -257,8 +259,8 @@ let test_model_size_scaling () =
   let emm_clauses aw =
     let h = harness ~aw ~dw:8 ~wports:1 ~rports:1 ~init:Netlist.Zeros in
     let solver = Solver.create () in
-    let unr = Cnf.create solver h.net in
-    let emm = Emm.create ~init_consistency:false unr in
+    let unr = Cnf.create ~simplify:false solver h.net in
+    let emm = Emm.create ~init_consistency:false ~simplify:false unr in
     for k = 0 to 5 do
       Emm.add_constraints emm k
     done;
