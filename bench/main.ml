@@ -12,11 +12,26 @@
 
 let full = ref false
 let timeout = ref 120.0
+let jobs = ref 1
 
 (* {2 Small helpers} *)
 
 let hr title =
   Format.printf "@.=== %s ===@." title
+
+(* Run the independent cells of a table, honouring [-j N]: with more than
+   one job the cells execute in forked workers (deterministic order, crash
+   containment — see lib/parallel); a worker that dies is reported through
+   [on_fail] instead of aborting the sweep. *)
+let run_cells ~f ~on_fail cells =
+  if !jobs <= 1 then List.map f cells
+  else
+    Parallel.map ~jobs:!jobs ~f cells
+    |> List.map (function Ok v -> v | Error failure -> on_fail failure)
+
+let failed_outcome (failure : Parallel.failure) =
+  Emmver.killed_outcome ~elapsed_s:failure.Parallel.elapsed_s
+    (Parallel.failure_message failure)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -63,24 +78,44 @@ let table1 () =
   hr "Table 1: performance summary on Quick Sort (forward induction proofs)";
   Format.printf "%-4s %-5s %-4s | %-8s %-6s | %-8s %-6s@." "N" "Prop" "D" "EMM s"
     "MB" "Expl s" "MB";
-  List.iter
-    (fun n ->
-      let cfg = quicksort_config n in
-      let net = Designs.Quicksort.build cfg in
-      List.iter
-        (fun prop ->
-          let emm = Emmver.verify ~options:(options ()) ~method_:Emmver.Emm_bmc net ~property:prop in
-          let exp =
-            Emmver.verify ~options:(options ()) ~method_:Emmver.Explicit_bmc net ~property:prop
-          in
-          Format.printf "%-4d %-5s %-4s | %-8s %-6s | %-8s %-6s@." n prop
-            (depth_cell emm.Emmver.conclusion) (time_cell emm) (mem_cell emm)
-            (time_cell exp) (mem_cell exp))
-        [ "P1"; "P2" ])
-    (table1_sizes ())
+  let pairs =
+    List.concat_map
+      (fun n -> List.map (fun prop -> (n, prop)) [ "P1"; "P2" ])
+      (table1_sizes ())
+  in
+  let cells =
+    List.concat_map
+      (fun (n, prop) -> [ (n, prop, Emmver.Emm_bmc); (n, prop, Emmver.Explicit_bmc) ])
+      pairs
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    run_cells ~on_fail:failed_outcome
+      ~f:(fun (n, prop, method_) ->
+        let net = Designs.Quicksort.build (quicksort_config n) in
+        Emmver.verify ~options:(options ()) ~method_ net ~property:prop)
+      cells
+  in
+  let rec rows pairs outcomes =
+    match (pairs, outcomes) with
+    | (n, prop) :: pairs, emm :: exp :: outcomes ->
+      Format.printf "%-4d %-5s %-4s | %-8s %-6s | %-8s %-6s@." n prop
+        (depth_cell emm.Emmver.conclusion) (time_cell emm) (mem_cell emm)
+        (time_cell exp) (mem_cell exp);
+      rows pairs outcomes
+    | _ -> ()
+  in
+  rows pairs outcomes;
+  Format.printf "table1 wall-clock: %.1fs (-j %d, cpu %.1fs over %d cells)@."
+    (Unix.gettimeofday () -. t0)
+    !jobs
+    (List.fold_left (fun acc o -> acc +. o.Emmver.time_s) 0.0 outcomes)
+    (List.length cells)
 
 (* {2 Table 2 — quicksort P2 with proof-based abstraction} *)
 
+(* One side of a Table-2 row, rendered to a string so the cells can run in
+   forked workers and still print in deterministic order. *)
 let table2_side name ~use_emm net =
   let orig = List.length (Netlist.latches net) in
   match
@@ -89,7 +124,7 @@ let table2_side name ~use_emm net =
           ~deadline:(Unix.gettimeofday () +. !timeout) ~use_emm net ~property:"P2")
   with
   | Either.Right _, t ->
-    Format.printf "  %-14s discovery did not stabilise (%.1fs)@." name t
+    Printf.sprintf "  %-14s discovery did not stabilise (%.1fs)" name t
   | Either.Left a, t_pba ->
     let config =
       {
@@ -106,7 +141,7 @@ let table2_side name ~use_emm net =
       | Bmc.Engine.Proof _ -> Printf.sprintf "%.1f" t_proof
       | _ -> Printf.sprintf ">%.0f" !timeout
     in
-    Format.printf "  %-14s FF %d (%d)  PBA %.1fs  proof %ss  %.0fMB  memories kept: %s@."
+    Printf.sprintf "  %-14s FF %d (%d)  PBA %.1fs  proof %ss  %.0fMB  memories kept: %s"
       name
       (List.length a.Pba.kept_latches)
       orig t_pba proof_cell (mb ())
@@ -116,15 +151,27 @@ let table2_side name ~use_emm net =
 
 let table2 () =
   hr "Table 2: Quick Sort P2 with proof-based abstraction";
-  List.iter
-    (fun n ->
-      Format.printf "N = %d:@." n;
-      let cfg = quicksort_config n in
-      let net = Designs.Quicksort.build cfg in
-      table2_side "EMM+PBA" ~use_emm:true net;
-      let expanded = Explicitmem.expand (Designs.Quicksort.build cfg) in
-      table2_side "Explicit+PBA" ~use_emm:false expanded)
-    (table1_sizes ())
+  let cells =
+    List.concat_map (fun n -> [ (n, true); (n, false) ]) (table1_sizes ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let lines =
+    run_cells
+      ~on_fail:(fun failure -> "  worker killed: " ^ Parallel.failure_message failure)
+      ~f:(fun (n, use_emm) ->
+        let cfg = quicksort_config n in
+        if use_emm then table2_side "EMM+PBA" ~use_emm:true (Designs.Quicksort.build cfg)
+        else
+          table2_side "Explicit+PBA" ~use_emm:false
+            (Explicitmem.expand (Designs.Quicksort.build cfg)))
+      cells
+  in
+  List.iter2
+    (fun (n, use_emm) line ->
+      if use_emm then Format.printf "N = %d:@." n;
+      Format.printf "%s@." line)
+    cells lines;
+  Format.printf "table2 wall-clock: %.1fs (-j %d)@." (Unix.gettimeofday () -. t0) !jobs
 
 (* {2 Case study I — image filter reachability sweep} *)
 
@@ -509,6 +556,10 @@ let verdict_class v =
   else `Inconclusive
 
 let baseline_verdicts file =
+  if not (Sys.file_exists file) then begin
+    Format.eprintf "baseline file %s does not exist@." file;
+    exit 2
+  end;
   let ic = open_in file in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
@@ -577,13 +628,23 @@ let solver_json () =
   in
   Format.printf "%-20s %-16s %-12s %-24s %8s %10s %12s@." "design" "property"
     "method" "verdict" "time" "conflicts" "props";
-  List.iter
-    (fun (design, property, method_, max_depth) ->
-      let net = (Designs.Registry.find design).Designs.Registry.build () in
-      let options =
-        { Emmver.default_options with max_depth; timeout_s = Some !timeout }
-      in
-      let o, time_s = time (fun () -> Emmver.verify ~options ~method_ net ~property) in
+  let matrix_t0 = Unix.gettimeofday () in
+  let matrix_outcomes =
+    run_cells
+      ~on_fail:(fun failure ->
+        let o = failed_outcome failure in
+        (o, o.Emmver.time_s))
+      ~f:(fun (design, property, method_, max_depth) ->
+        let net = (Designs.Registry.find design).Designs.Registry.build () in
+        let options =
+          { Emmver.default_options with max_depth; timeout_s = Some !timeout }
+        in
+        time (fun () -> Emmver.verify ~options ~method_ net ~property))
+      solver_matrix
+  in
+  let matrix_wall_s = Unix.gettimeofday () -. matrix_t0 in
+  List.iter2
+    (fun (design, property, method_, _) (o, time_s) ->
       let verdict = Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion in
       let verdict =
         (* keep only the headline, not the explanation *)
@@ -605,7 +666,14 @@ let solver_json () =
            ~encode_time_s:o.Emmver.encode_time_s ~num_vars:o.Emmver.model_vars
            ~num_clauses:o.Emmver.model_clauses ~vars_saved:o.Emmver.vars_saved
            ~clauses_saved:o.Emmver.clauses_saved s))
-    solver_matrix;
+    solver_matrix matrix_outcomes;
+  let matrix_cpu_s =
+    List.fold_left (fun acc (_, t) -> acc +. t) 0.0 matrix_outcomes
+  in
+  Format.printf "matrix wall-clock: %.1fs, cpu %.1fs, speedup %.2fx (-j %d)@."
+    matrix_wall_s matrix_cpu_s
+    (matrix_cpu_s /. Float.max 1e-9 matrix_wall_s)
+    !jobs;
   (* Raw SAT rows: pigeonhole refutations exercise the learning machinery
      without any BMC structure on top. *)
   List.iter
@@ -631,7 +699,16 @@ let solver_json () =
   let oc = open_out "BENCH_solver.json" in
   output_string oc "{\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
-  output_string oc "\n  ]\n}\n";
+  output_string oc "\n  ],\n";
+  (* Fan-out telemetry for the verification matrix above (the raw-SAT rows
+     always run sequentially): wall vs. summed per-row time is the measured
+     speedup of this run.  The baseline reader skips this object — it has no
+     "design" field. *)
+  output_string oc
+    (Printf.sprintf
+       "  \"parallel\": {\"jobs\": %d, \"matrix_wall_s\": %.3f, \"matrix_cpu_s\": %.3f}\n"
+       !jobs matrix_wall_s matrix_cpu_s);
+  output_string oc "}\n";
   close_out oc;
   Format.printf "wrote BENCH_solver.json (%d rows)@." (List.length !rows);
   match old with
@@ -647,10 +724,12 @@ let () =
       if i > 0 then
         match arg with
         | "--full" -> full := true
-        | "--timeout" | "--baseline" -> () (* value consumed below *)
+        | "--timeout" | "--baseline" | "-j" | "--jobs" -> () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
           else if i > 1 && Sys.argv.(i - 1) = "--baseline" then baseline := Some arg
+          else if i > 1 && (Sys.argv.(i - 1) = "-j" || Sys.argv.(i - 1) = "--jobs") then
+            jobs := max 1 (int_of_string arg)
           else cmds := arg :: !cmds)
     Sys.argv;
   let cmds = if !cmds = [] then [ "all" ] else List.rev !cmds in

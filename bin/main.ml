@@ -86,8 +86,17 @@ let vcd_arg =
   let doc = "Write the counterexample as a VCD waveform to this file." in
   Arg.(value & opt (some string) None & info [ "vcd" ] ~docv:"FILE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Verify properties in parallel over this many forked worker processes \
+     (1 = sequential, in-process). Results are reported in property order \
+     and verdicts do not depend on the job count; a worker that crashes or \
+     overruns its deadline only loses its own property."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let verify_cmd =
-  let run design method_name property max_depth timeout_s show_trace vcd =
+  let run design method_name property max_depth timeout_s show_trace vcd jobs =
     let net = load_design design in
     let method_ =
       match Emmver.method_of_string method_name with
@@ -104,8 +113,7 @@ let verify_cmd =
     in
     let failures = ref 0 in
     List.iter
-      (fun prop ->
-        let outcome = Emmver.verify ~options ~method_ net ~property:prop in
+      (fun (prop, outcome) ->
         Format.printf "@[<v 2>%s [%s]:@,%a@]@." prop
           (Emmver.method_to_string method_)
           Emmver.pp_outcome outcome;
@@ -126,14 +134,74 @@ let verify_cmd =
           | None -> ())
         | Emmver.Falsified _ -> incr failures
         | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
-      props;
+      (Emmver.verify_many ~options ~jobs ~method_ net ~properties:props);
     if !failures > 0 then exit 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify safety properties of a design")
     Term.(
       const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
-      $ show_trace_arg $ vcd_arg)
+      $ show_trace_arg $ vcd_arg $ jobs_arg)
+
+let portfolio_cmd =
+  let methods_arg =
+    let doc =
+      "Comma-separated engines to race (default: emm,explicit,bdd). See \
+       $(b,--method) of $(b,emmver verify) for the names."
+    in
+    Arg.(value & opt (some string) None & info [ "methods" ] ~docv:"M1,M2,..." ~doc)
+  in
+  let run design property max_depth timeout_s methods =
+    let net = load_design design in
+    let methods =
+      match methods with
+      | None -> Emmver.default_portfolio
+      | Some s ->
+        List.map
+          (fun name ->
+            match Emmver.method_of_string (String.trim name) with
+            | Ok m -> m
+            | Error msg ->
+              Format.eprintf "%s@." msg;
+              exit 2)
+          (String.split_on_char ',' s)
+    in
+    let options = { Emmver.default_options with max_depth; timeout_s } in
+    let props =
+      match property with
+      | Some p -> [ p ]
+      | None -> List.map fst (Netlist.properties net)
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun prop ->
+        let (winner, outcome), all =
+          Emmver.portfolio ~options ~methods net ~property:prop
+        in
+        Format.printf "@[<v 2>%s: %a [won by %s, %.2fs]@]@." prop
+          Emmver.pp_conclusion outcome.Emmver.conclusion
+          (Emmver.method_to_string winner)
+          outcome.Emmver.time_s;
+        List.iter
+          (fun (m, o) ->
+            Format.printf "  %-12s %a@."
+              (Emmver.method_to_string m)
+              Emmver.pp_conclusion o.Emmver.conclusion)
+          all;
+        match outcome.Emmver.conclusion with
+        | Emmver.Falsified { genuine = Some false; _ } -> ()
+        | Emmver.Falsified _ -> incr failures
+        | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
+      props;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "portfolio"
+       ~doc:
+         "Race several engines on each property in parallel forked workers; \
+          the first conclusive verdict wins and the losers are killed")
+    Term.(
+      const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg)
 
 let save_cmd =
   let file_arg =
@@ -210,4 +278,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; props_cmd; stats_cmd; verify_cmd; solve_cmd; save_cmd; races_cmd ]))
+          [
+            list_cmd;
+            props_cmd;
+            stats_cmd;
+            verify_cmd;
+            portfolio_cmd;
+            solve_cmd;
+            save_cmd;
+            races_cmd;
+          ]))

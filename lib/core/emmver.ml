@@ -210,6 +210,85 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
       ~model_latches:(List.length abstraction.Pba.kept_latches)
       ~time_s:(elapsed ()) net result
 
+(* {2 Parallel fan-out} *)
+
+(* The slot outcome of a worker that never produced one: crashed, ran out of
+   memory, was SIGKILLed by the job deadline or cancelled by a portfolio
+   winner.  The elapsed wall clock is the worker's partial telemetry. *)
+let killed_outcome ~elapsed_s msg =
+  {
+    conclusion = Inconclusive ("worker killed: " ^ msg);
+    time_s = elapsed_s;
+    solve_time_s = 0.0;
+    encode_time_s = 0.0;
+    memory_mb = 0.0;
+    model_latches = 0;
+    model_vars = 0;
+    model_clauses = 0;
+    vars_saved = 0;
+    clauses_saved = 0;
+    emm_counts = None;
+    abstraction = None;
+    solver_stats = None;
+  }
+
+(* Engines already honour [options.timeout_s] internally and return
+   [Timed_out]; the hard SIGKILL deadline is a backstop for workers stuck
+   outside the solver's periodic deadline checks, so it gets slack. *)
+let hard_deadline options job_timeout_s =
+  match job_timeout_s with
+  | Some _ -> job_timeout_s
+  | None -> Option.map (fun t -> (t *. 1.25) +. 5.0) options.timeout_s
+
+let slot_outcome key = function
+  | Ok o -> (key, o)
+  | Error (f : Parallel.failure) ->
+    (key, killed_outcome ~elapsed_s:f.Parallel.elapsed_s (Parallel.failure_message f))
+
+let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ~method_ net
+    ~properties =
+  if jobs <= 1 then
+    List.map (fun property -> (property, verify ~options ~method_ net ~property)) properties
+  else
+    let pool = Parallel.create ~jobs () in
+    Parallel.run
+      ?job_timeout_s:(hard_deadline options job_timeout_s)
+      pool
+      ~f:(fun property -> verify ~options ~method_ net ~property)
+      properties
+    |> List.map2 slot_outcome properties
+
+(* A conclusive verdict settles the property: a proof, or a counterexample
+   not known to be spurious.  [Inconclusive] and replay-refuted
+   counterexamples (the abstract engine's speciality) leave the race open. *)
+let conclusive o =
+  match o.conclusion with
+  | Proved _ -> true
+  | Falsified { genuine = Some false; _ } -> false
+  | Falsified _ -> true
+  | Inconclusive _ -> false
+
+let default_portfolio = [ Emm_bmc; Explicit_bmc; Bdd_reach ]
+
+let portfolio ?(options = default_options) ?(methods = default_portfolio) ?job_timeout_s
+    net ~property =
+  if methods = [] then invalid_arg "Emmver.portfolio: empty method list";
+  let pool = Parallel.create ~jobs:(List.length methods) () in
+  let winner, results =
+    Parallel.race
+      ?job_timeout_s:(hard_deadline options job_timeout_s)
+      pool
+      ~f:(fun method_ -> verify ~options ~method_ net ~property)
+      ~conclusive methods
+  in
+  let outcomes = List.map2 slot_outcome methods results in
+  let win =
+    match winner with
+    | Some (i, o) -> (List.nth methods i, o)
+    | None -> List.hd outcomes
+  in
+  (win, outcomes)
+
 let pp_conclusion ppf = function
   | Proved { depth; induction } ->
     Format.fprintf ppf "proved (%s at depth %d)"

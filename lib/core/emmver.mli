@@ -75,5 +75,49 @@ val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string
     Counterexample traces are replayed on the given netlist to classify them
     as genuine or spurious. *)
 
+val verify_many :
+  ?options:options ->
+  ?jobs:int ->
+  ?job_timeout_s:float ->
+  method_:method_ ->
+  Netlist.t ->
+  properties:string list ->
+  (string * outcome) list
+(** Check a list of properties, fanning the independent {!verify} calls out
+    over a {!Parallel} worker pool of [jobs] forked processes (default [1],
+    which runs the plain sequential loop in-process).  Results come back in
+    property order whatever the completion order, and — because every worker
+    builds its own solver in its own address space — verdicts are identical
+    for every [jobs] value.  A worker that crashes, runs out of memory or
+    exceeds [job_timeout_s] (default: [options.timeout_s] plus slack, when
+    set) is SIGKILLed and its property reports
+    [Inconclusive "worker killed: ..."] carrying the elapsed wall clock,
+    without disturbing the other properties. *)
+
+val killed_outcome : elapsed_s:float -> string -> outcome
+(** The outcome substituted for a worker that died without producing one:
+    [Inconclusive "worker killed: <msg>"] with [time_s = elapsed_s] and
+    zeroed statistics.  {!verify_many} and {!portfolio} use it internally;
+    it is exposed for layers (CLI, bench) that fan {!verify} calls out over
+    {!Parallel} themselves. *)
+
+val default_portfolio : method_ list
+(** [[Emm_bmc; Explicit_bmc; Bdd_reach]] — the engines raced by
+    {!portfolio}. *)
+
+val portfolio :
+  ?options:options ->
+  ?methods:method_ list ->
+  ?job_timeout_s:float ->
+  Netlist.t ->
+  property:string ->
+  (method_ * outcome) * (method_ * outcome) list
+(** Race several engines on one property in parallel forked workers; the
+    first {e conclusive} verdict — a proof, or a counterexample that is not
+    known to be spurious — wins and the losers are SIGKILLed.  Returns the
+    winner plus the per-method outcomes in [methods] order (losers report
+    [Inconclusive "worker killed: cancelled ..."]).  When no engine
+    concludes, the winner slot falls back to the first engine's outcome. *)
+
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_conclusion : Format.formatter -> conclusion -> unit

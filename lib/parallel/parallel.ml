@@ -1,0 +1,251 @@
+(* Fork-per-job worker pool.  See parallel.mli for the contract.
+
+   Parent-side machinery: one pipe per live worker, a select loop that
+   drains result bytes as they are produced (so a result larger than the
+   pipe buffer cannot deadlock a worker), wall-clock deadlines enforced
+   with SIGKILL, and waitpid-based post-mortems that distinguish clean
+   results from crashes, timeouts and cancellations. *)
+
+type reason =
+  | Crashed of string
+  | Timed_out of float
+  | Cancelled
+  | Protocol of string
+
+type failure = { reason : reason; elapsed_s : float }
+
+let failure_message f =
+  match f.reason with
+  | Crashed why -> Printf.sprintf "%s after %.1fs" why f.elapsed_s
+  | Timed_out d -> Printf.sprintf "killed by %.1fs deadline" d
+  | Cancelled -> "cancelled by portfolio winner"
+  | Protocol why -> Printf.sprintf "unreadable result (%s)" why
+
+type 'a job_result = ('a, failure) result
+
+type t = {
+  max_jobs : int;
+  mutable n_spawned : int;
+  mutable n_completed : int;
+  mutable n_crashed : int;
+  mutable n_timed_out : int;
+  mutable n_cancelled : int;
+}
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+let create ?jobs () =
+  let max_jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  { max_jobs; n_spawned = 0; n_completed = 0; n_crashed = 0; n_timed_out = 0; n_cancelled = 0 }
+
+let jobs t = t.max_jobs
+
+type stats = {
+  spawned : int;
+  completed : int;
+  crashed : int;
+  timed_out : int;
+  cancelled : int;
+}
+
+let stats t =
+  {
+    spawned = t.n_spawned;
+    completed = t.n_completed;
+    crashed = t.n_crashed;
+    timed_out = t.n_timed_out;
+    cancelled = t.n_cancelled;
+  }
+
+(* {2 Worker side} *)
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + retry_eintr (fun () -> Unix.write fd bytes !pos (n - !pos))
+  done
+
+(* The child computes [f x], marshals [Ok v] (or [Error backtrace] when [f]
+   raises) to the write end of its pipe and leaves with [_exit], never
+   returning into the caller's control flow (at_exit handlers, pending
+   alcotest reporters, ... belong to the parent). *)
+let exec_child wfd f x =
+  let result = try Ok (f x) with e -> Error (Printexc.to_string e) in
+  let payload =
+    try Marshal.to_bytes result []
+    with e ->
+      (* the value itself would not marshal (closure, custom block, ...) *)
+      Marshal.to_bytes (Error (Printexc.to_string e) : (_, string) result) []
+  in
+  (try write_all wfd payload with _ -> ());
+  (try Unix.close wfd with _ -> ());
+  Unix._exit 0
+
+(* {2 Parent side} *)
+
+type worker = {
+  idx : int;
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  started : float;
+  kill_at : float option;
+  mutable killed : reason option;  (* set when we SIGKILLed it ourselves *)
+}
+
+let spawn t ~job_timeout_s ~f idx x =
+  (* Anything buffered on the standard channels would be flushed twice —
+     once per process — if it survived the fork. *)
+  flush stdout;
+  flush stderr;
+  let rfd, wfd = Unix.pipe ~cloexec:false () in
+  match Unix.fork () with
+  | 0 ->
+    (try Unix.close rfd with _ -> ());
+    exec_child wfd f x
+  | pid ->
+    Unix.close wfd;
+    t.n_spawned <- t.n_spawned + 1;
+    let now = Unix.gettimeofday () in
+    {
+      idx;
+      pid;
+      fd = rfd;
+      buf = Buffer.create 1024;
+      started = now;
+      kill_at = Option.map (fun d -> now +. d) job_timeout_s;
+      killed = None;
+    }
+
+let kill_worker w reason =
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  w.killed <- Some reason
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "signal %d" s
+
+(* The worker's pipe hit EOF: reap the process and produce its slot's
+   result.  A deadline or cancellation kill takes precedence over whatever
+   the dying worker managed to write. *)
+let post_mortem t w =
+  (try Unix.close w.fd with Unix.Unix_error _ -> ());
+  let _, status = retry_eintr (fun () -> Unix.waitpid [] w.pid) in
+  let elapsed_s = Unix.gettimeofday () -. w.started in
+  let fail reason =
+    (match reason with
+    | Timed_out _ -> t.n_timed_out <- t.n_timed_out + 1
+    | Cancelled -> t.n_cancelled <- t.n_cancelled + 1
+    | Crashed _ | Protocol _ -> t.n_crashed <- t.n_crashed + 1);
+    Error { reason; elapsed_s }
+  in
+  match (w.killed, status) with
+  | Some reason, _ -> fail reason
+  | None, Unix.WEXITED 0 -> (
+    match
+      (try Ok (Marshal.from_bytes (Buffer.to_bytes w.buf) 0)
+       with e -> Error (Printexc.to_string e))
+    with
+    | Ok (Ok v) ->
+      t.n_completed <- t.n_completed + 1;
+      Ok v
+    | Ok (Error exn_text) -> fail (Crashed ("uncaught exception: " ^ exn_text))
+    | Error why -> fail (Protocol why))
+  | None, Unix.WEXITED code -> fail (Crashed (Printf.sprintf "exit %d" code))
+  | None, Unix.WSIGNALED s | None, Unix.WSTOPPED s ->
+    fail (Crashed ("killed by " ^ signal_name s))
+
+(* Core loop shared by [run] and [race].  [on_done idx result] is called as
+   each slot settles and may return [`Stop] to cancel everything still
+   pending or running. *)
+let drive t ~job_timeout_s ~f ~on_done xs =
+  let xs = Array.of_list xs in
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let next = ref 0 in
+  let running = ref [] in
+  let stopped = ref false in
+  let settle w result =
+    results.(w.idx) <- Some result;
+    running := List.filter (fun w' -> w'.pid <> w.pid) !running;
+    match on_done w.idx result with `Stop -> stopped := true | `Continue -> ()
+  in
+  while (not !stopped && !next < n) || !running <> [] do
+    if !stopped then
+      (* Cancel the survivors: kill everyone still running; their EOFs are
+         collected below.  Unstarted jobs settle immediately. *)
+      List.iter
+        (fun w -> if w.killed = None then kill_worker w Cancelled)
+        !running
+    else
+      while !next < n && List.length !running < t.max_jobs do
+        running := spawn t ~job_timeout_s ~f !next xs.(!next) :: !running;
+        incr next
+      done;
+    let now = Unix.gettimeofday () in
+    (* Enforce deadlines, and size the select timeout to the nearest one. *)
+    let wait =
+      List.fold_left
+        (fun wait w ->
+          match w.kill_at with
+          | Some ka when w.killed = None ->
+            if ka <= now then begin
+              kill_worker w
+                (Timed_out (ka -. w.started));
+              wait
+            end
+            else min wait (ka -. now)
+          | _ -> wait)
+        0.5 !running
+    in
+    let fds = List.map (fun w -> w.fd) !running in
+    if fds <> [] then begin
+      let readable, _, _ =
+        retry_eintr (fun () -> Unix.select fds [] [] (max 0.01 wait))
+      in
+      let chunk = Bytes.create 65536 in
+      List.iter
+        (fun w ->
+          if List.mem w.fd readable then
+            let k = retry_eintr (fun () -> Unix.read w.fd chunk 0 (Bytes.length chunk)) in
+            if k = 0 then settle w (post_mortem t w)
+            else Buffer.add_subbytes w.buf chunk 0 k)
+        !running
+    end
+  done;
+  (* Slots never started because a race concluded first. *)
+  for i = 0 to n - 1 do
+    if results.(i) = None then begin
+      t.n_cancelled <- t.n_cancelled + 1;
+      results.(i) <- Some (Error { reason = Cancelled; elapsed_s = 0.0 })
+    end
+  done;
+  Array.to_list (Array.map Option.get results)
+
+let run ?job_timeout_s t ~f xs =
+  drive t ~job_timeout_s ~f ~on_done:(fun _ _ -> `Continue) xs
+
+let map ?jobs ?job_timeout_s ~f xs = run ?job_timeout_s (create ?jobs ()) ~f xs
+
+let race ?job_timeout_s t ~f ~conclusive xs =
+  let winner = ref None in
+  let on_done idx result =
+    match result with
+    | Ok v when !winner = None && conclusive v ->
+      winner := Some (idx, v);
+      `Stop
+    | _ -> `Continue
+  in
+  let results = drive t ~job_timeout_s ~f ~on_done xs in
+  (!winner, results)

@@ -1,0 +1,111 @@
+(** Fork-based worker pool with crash and timeout isolation.
+
+    The verification platform fans out independent SAT-backed obligations —
+    one property per job, or one engine per job when racing a portfolio —
+    across OS processes.  Processes, not domains, are the right isolation
+    unit here: every job builds its own mutable CDCL solver instance, a
+    worker that runs out of memory or dies on a signal must not take the
+    batch down, and a job over budget has to be stopped {e hard}
+    ([SIGKILL]), which no in-process mechanism can guarantee.
+
+    The design is fork-per-job: each job is executed by a fresh child
+    process created with [Unix.fork], so the job closure and all its
+    captured data (netlists, options) are inherited by address-space copy
+    and never serialised.  Only the {e result} travels back to the parent,
+    marshalled over a pipe.  Consequences:
+
+    - the result type must be marshal-safe (no closures, no custom blocks);
+      every verdict/outcome type of this platform qualifies;
+    - mutations a job performs are invisible to the parent and to other
+      jobs — workers cannot race on shared state by construction;
+    - a worker that calls [exit], raises, segfaults, is OOM-killed or
+      exceeds its wall-clock deadline yields an {!failure} for {e its} slot
+      while every other job runs to completion.
+
+    Results are returned in {b job order}, regardless of completion order:
+    [run pool ~f [x0; x1; x2]] always pairs slot [i] with [f xi].  Scheduling
+    order is therefore unobservable and [-j N] cannot change verdicts. *)
+
+type reason =
+  | Crashed of string
+      (** the worker exited non-zero, died on a signal, or raised an
+          exception ([Crashed "uncaught exception: ..."]) *)
+  | Timed_out of float  (** the per-job deadline, in seconds, that expired *)
+  | Cancelled  (** killed (or never started) because a {!race} concluded *)
+  | Protocol of string
+      (** the worker exited 0 but its result could not be read back *)
+
+type failure = {
+  reason : reason;
+  elapsed_s : float;
+      (** wall-clock seconds the worker ran before failing — the partial
+          telemetry surfaced in [Inconclusive "worker killed: ..."]
+          outcomes *)
+}
+
+val failure_message : failure -> string
+(** One-line rendering, e.g. ["killed by deadline after 2.0s"]. *)
+
+type 'a job_result = ('a, failure) result
+
+(** {2 Pools}
+
+    A pool is a concurrency cap plus cumulative counters; it holds no live
+    processes between calls, so one pool can be reused across any number of
+    batches (the counters accumulate). *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] makes a pool running at most [jobs] workers at once
+    (default {!default_jobs}; values [< 1] are clamped to [1]). *)
+
+val jobs : t -> int
+
+val default_jobs : unit -> int
+(** The host's available core count ([Domain.recommended_domain_count]). *)
+
+type stats = {
+  spawned : int;  (** workers forked over the pool's lifetime *)
+  completed : int;  (** workers that returned a result *)
+  crashed : int;
+  timed_out : int;
+  cancelled : int;
+}
+
+val stats : t -> stats
+
+(** {2 Running batches} *)
+
+val run :
+  ?job_timeout_s:float -> t -> f:('a -> 'b) -> 'a list -> 'b job_result list
+(** [run pool ~f xs] executes [f x] for every [x] in a forked worker, at
+    most [jobs pool] at a time, and returns the results in job order.
+    [job_timeout_s] is a hard per-job wall-clock deadline: a worker still
+    alive that long after its own fork is SIGKILLed and its slot reports
+    [Timed_out].  The call only raises on pool-level system errors (e.g.
+    [fork] itself failing); per-job failures are values. *)
+
+val map :
+  ?jobs:int -> ?job_timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b job_result list
+(** One-shot convenience: [map ~jobs ~f xs = run (create ~jobs ()) ~f xs]. *)
+
+(** {2 Racing}
+
+    The portfolio combinator: run all candidates concurrently and stop as
+    soon as one of them produces a result the caller deems conclusive. *)
+
+val race :
+  ?job_timeout_s:float ->
+  t ->
+  f:('a -> 'b) ->
+  conclusive:('b -> bool) ->
+  'a list ->
+  (int * 'b) option * 'b job_result list
+(** [race pool ~f ~conclusive xs] runs every job as {!run} does, but the
+    first completed result [v] with [conclusive v = true] wins: all other
+    workers are SIGKILLed, unstarted jobs are dropped, and both report
+    [Cancelled].  Returns the winner as [(index into xs, value)] — [None]
+    if no job produced a conclusive result — together with the full
+    job-ordered result list (the winner appears in its slot; losers appear
+    as the failures or inconclusive values they produced). *)

@@ -1,0 +1,278 @@
+(* Tests for the fork-based worker pool (lib/parallel) and its Emmver
+   surface: crash containment, deadline SIGKILL, result-order determinism,
+   pool reuse across batches, and a differential check that fanning
+   verification out over forked workers never changes a verdict. *)
+
+let is_infix ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+let ok_exn = function
+  | Ok v -> v
+  | Error (f : Parallel.failure) ->
+    Alcotest.failf "unexpected worker failure: %s" (Parallel.failure_message f)
+
+let reason_label = function
+  | Ok _ -> "ok"
+  | Error { Parallel.reason = Parallel.Crashed _; _ } -> "crashed"
+  | Error { Parallel.reason = Parallel.Timed_out _; _ } -> "timed_out"
+  | Error { Parallel.reason = Parallel.Cancelled; _ } -> "cancelled"
+  | Error { Parallel.reason = Parallel.Protocol _; _ } -> "protocol"
+
+(* {2 Pool mechanics} *)
+
+let test_basic_map () =
+  let results = Parallel.map ~jobs:4 ~f:(fun i -> i * i) [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  Alcotest.(check (list int))
+    "squares in order"
+    [ 0; 1; 4; 9; 16; 25; 36; 49 ]
+    (List.map ok_exn results)
+
+(* A worker that exits, raises, or kills itself loses only its own slot;
+   every other job completes. *)
+let test_crash_containment () =
+  let f i =
+    match i with
+    | 2 -> exit 137
+    | 4 -> failwith "boom"
+    | 5 ->
+      Unix.kill (Unix.getpid ()) Sys.sigsegv;
+      i
+    | _ -> i * 10
+  in
+  let results = Parallel.map ~jobs:3 ~f [ 0; 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check (list string))
+    "crashes contained to their slots"
+    [ "ok"; "ok"; "crashed"; "ok"; "crashed"; "crashed"; "ok" ]
+    (List.map reason_label results);
+  Alcotest.(check (list int))
+    "survivors computed"
+    [ 0; 10; 30; 60 ]
+    (List.filter_map (function Ok v -> Some v | Error _ -> None) results);
+  (* The failure messages identify what happened. *)
+  let msg i =
+    match List.nth results i with
+    | Error f -> Parallel.failure_message f
+    | Ok _ -> Alcotest.failf "slot %d should have failed" i
+  in
+  Alcotest.(check bool) "exit code reported" true
+    (is_infix ~affix:"exit 137" (msg 2));
+  Alcotest.(check bool) "exception text reported" true
+    (is_infix ~affix:"boom" (msg 4));
+  Alcotest.(check bool) "signal reported" true
+    (is_infix ~affix:"SIGSEGV" (msg 5))
+
+(* Deadline enforcement is a hard SIGKILL: a worker stuck in a sleep — no
+   cooperative cancellation point — still dies, within a wall-clock bound
+   far below its sleep. *)
+let test_deadline_sigkill () =
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Parallel.map ~jobs:4 ~job_timeout_s:0.3
+      ~f:(fun i -> if i = 1 then Unix.sleepf 30.0; i)
+      [ 0; 1; 2 ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Alcotest.(check (list string))
+    "only the sleeper dies"
+    [ "ok"; "timed_out"; "ok" ]
+    (List.map reason_label results);
+  Alcotest.(check bool)
+    (Printf.sprintf "batch returned promptly (%.1fs)" wall)
+    true (wall < 10.0);
+  match List.nth results 1 with
+  | Error f -> Alcotest.(check bool) "partial telemetry: elapsed recorded" true (f.Parallel.elapsed_s >= 0.3)
+  | Ok _ -> Alcotest.fail "sleeper should have timed out"
+
+(* Results come back in job order whatever the completion order: give every
+   job a pseudo-random duration and check the slots still line up. *)
+let test_order_determinism () =
+  let n = 16 in
+  let f i =
+    let st = Random.State.make [| 0xfeed; i |] in
+    Unix.sleepf (Random.State.float st 0.15);
+    i
+  in
+  let results = Parallel.map ~jobs:4 ~f (List.init n Fun.id) in
+  Alcotest.(check (list int))
+    "slot i holds f(i)" (List.init n Fun.id)
+    (List.map ok_exn results)
+
+(* One pool across several batches: no leaked state, counters accumulate. *)
+let test_pool_reuse () =
+  let pool = Parallel.create ~jobs:2 () in
+  let batch xs = List.map ok_exn (Parallel.run pool ~f:(fun i -> i + 1) xs) in
+  Alcotest.(check (list int)) "batch 1" [ 1; 2; 3 ] (batch [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "batch 2" [ 11; 21 ] (batch [ 10; 20 ]);
+  let crashes =
+    Parallel.run pool ~f:(fun i -> if i = 0 then exit 7 else i) [ 0; 1 ]
+  in
+  Alcotest.(check (list string))
+    "batch 3 with a crash" [ "crashed"; "ok" ]
+    (List.map reason_label crashes);
+  let s = Parallel.stats pool in
+  Alcotest.(check int) "spawned accumulates over batches" 7 s.Parallel.spawned;
+  Alcotest.(check int) "completed" 6 s.Parallel.completed;
+  Alcotest.(check int) "crashed" 1 s.Parallel.crashed
+
+(* Racing: first conclusive result wins, losers are SIGKILLed. *)
+let test_race () =
+  let pool = Parallel.create ~jobs:3 () in
+  let f = function
+    | `Fast -> "fast"
+    | `Slow ->
+      Unix.sleepf 30.0;
+      "slow"
+    | `Inconclusive -> "inconclusive"
+  in
+  let t0 = Unix.gettimeofday () in
+  let winner, results =
+    Parallel.race pool ~f
+      ~conclusive:(fun v -> v <> "inconclusive")
+      [ `Inconclusive; `Slow; `Fast ]
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  (match winner with
+  | Some (2, "fast") -> ()
+  | Some (i, v) -> Alcotest.failf "wrong winner: slot %d = %s" i v
+  | None -> Alcotest.fail "no winner");
+  Alcotest.(check bool) "slow loser cancelled, not awaited" true (wall < 10.0);
+  Alcotest.(check string) "slow slot reports cancellation" "cancelled"
+    (reason_label (List.nth results 1))
+
+(* {2 Differential: forked fan-out never changes a verdict}
+
+   The 50 seeded random memory designs of test_differential.ml (same
+   generator constants), verified sequentially and through a 4-worker pool:
+   the conclusions must match slot for slot. *)
+
+type cfg = {
+  id : int;
+  aw : int;
+  dw : int;
+  wports : int;
+  rports : int;
+  arbitrary : bool;
+  wconsts : int array;
+  dconsts : int array;
+  rconsts : int array;
+  en_bit : int option;
+  prop_on_acc : bool;
+  target : int;
+}
+
+let random_cfg id =
+  let st = Random.State.make [| 0x3d1f; id |] in
+  let aw = 1 + Random.State.int st 2 in
+  let dw = 1 + Random.State.int st 3 in
+  let wports = 1 + Random.State.int st 2 in
+  let rports = 1 + Random.State.int st 2 in
+  let const8 () = Random.State.int st 8 in
+  {
+    id;
+    aw;
+    dw;
+    wports;
+    rports;
+    arbitrary = Random.State.bool st;
+    wconsts = Array.init wports (fun _ -> const8 ());
+    dconsts = Array.init wports (fun _ -> const8 ());
+    rconsts = Array.init rports (fun _ -> const8 ());
+    en_bit = (if Random.State.bool st then Some (Random.State.int st 3) else None);
+    prop_on_acc = Random.State.bool st;
+    target = Random.State.int st (1 lsl dw);
+  }
+
+let build cfg =
+  let ctx = Hdl.create () in
+  let init = if cfg.arbitrary then Netlist.Arbitrary else Netlist.Zeros in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:cfg.aw ~data_width:cfg.dw ~init in
+  let cnt = Hdl.reg ctx "cnt" ~width:3 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  let addr_of c =
+    Hdl.select (Hdl.xor_v ctx cnt (Hdl.const ~width:3 c)) ~hi:(cfg.aw - 1) ~lo:0
+  in
+  let data_of c = Hdl.uresize (Hdl.xor_v ctx cnt (Hdl.const ~width:3 c)) ~width:cfg.dw in
+  let en0 =
+    match cfg.en_bit with None -> Netlist.true_ | Some b -> Hdl.bit_of cnt b
+  in
+  for w = 0 to cfg.wports - 1 do
+    let enable = if w = 0 then en0 else Netlist.not_ en0 in
+    Hdl.write_port ctx mem ~addr:(addr_of cfg.wconsts.(w)) ~data:(data_of cfg.dconsts.(w))
+      ~enable
+  done;
+  let rds =
+    List.init cfg.rports (fun r ->
+        Hdl.read_port ctx mem ~addr:(addr_of cfg.rconsts.(r)) ~enable:Netlist.true_)
+  in
+  let acc = Hdl.reg ctx "acc" ~width:cfg.dw in
+  Hdl.connect ctx acc (List.fold_left (Hdl.xor_v ctx) acc rds);
+  let watched = if cfg.prop_on_acc then acc else List.hd rds in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx watched cfg.target));
+  Hdl.netlist ctx
+
+let options = { Emmver.default_options with Emmver.max_depth = 8 }
+
+let conclusion_signature o =
+  Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion
+
+let test_differential_fanout () =
+  let ids = List.init 50 Fun.id in
+  let verify_one id =
+    Emmver.verify ~options ~method_:Emmver.Emm_falsify (build (random_cfg id))
+      ~property:"p"
+  in
+  let sequential = List.map (fun id -> conclusion_signature (verify_one id)) ids in
+  let parallel =
+    Parallel.map ~jobs:4 ~f:(fun id -> conclusion_signature (verify_one id)) ids
+  in
+  List.iteri
+    (fun id seq ->
+      Alcotest.(check string)
+        (Printf.sprintf "design %d: -j 4 verdict = sequential verdict" id)
+        seq
+        (ok_exn (List.nth parallel id)))
+    sequential
+
+(* The Emmver surface: verify_many at -j 4 equals the sequential loop on a
+   multi-property design, slot for slot. *)
+let test_verify_many_differential () =
+  let net = Designs.Multiport.build Designs.Multiport.default_config in
+  let properties = List.map fst (Netlist.properties net) in
+  let options = { Emmver.default_options with Emmver.max_depth = 6 } in
+  let sequential =
+    List.map
+      (fun p ->
+        (p, conclusion_signature (Emmver.verify ~options ~method_:Emmver.Emm_bmc net ~property:p)))
+      properties
+  in
+  let parallel =
+    Emmver.verify_many ~options ~jobs:4 ~method_:Emmver.Emm_bmc net ~properties
+    |> List.map (fun (p, o) -> (p, conclusion_signature o))
+  in
+  Alcotest.(check (list (pair string string)))
+    "verify_many -j 4 = sequential loop" sequential parallel
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map returns in order" `Quick test_basic_map;
+          Alcotest.test_case "crash containment (exit/raise/signal)" `Quick
+            test_crash_containment;
+          Alcotest.test_case "deadline enforced by SIGKILL" `Quick test_deadline_sigkill;
+          Alcotest.test_case "order deterministic under random durations" `Quick
+            test_order_determinism;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
+          Alcotest.test_case "race cancels losers" `Quick test_race;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "50 seeded designs: -j 4 = sequential" `Quick
+            test_differential_fanout;
+          Alcotest.test_case "verify_many -j 4 = sequential loop" `Quick
+            test_verify_many_differential;
+        ] );
+    ]
