@@ -13,6 +13,13 @@
 let full = ref false
 let timeout = ref 120.0
 let jobs = ref 1
+let certify = ref false
+let only = ref None
+let out_file = ref "BENCH_solver.json"
+
+(* DRAT derivations land here when [--certify]; the largest one is copied to
+   BENCH_largest.drat as the CI proof artifact. *)
+let proof_dir = "bench_proofs"
 
 (* {2 Small helpers} *)
 
@@ -208,7 +215,7 @@ let case1 () =
           max_d := max !max_d t.Bmc.Trace.depth
         | Bmc.Engine.Proof _ -> incr proofs
         | Bmc.Engine.Bounded_safe _ | Bmc.Engine.Reasons_stable _
-        | Bmc.Engine.Timed_out _ -> incr other)
+        | Bmc.Engine.Timed_out _ | Bmc.Engine.Out_of_budget _ -> incr other)
       results;
     Format.printf
       "  %-10s %d properties: %d witnesses (max depth %d), %d induction proofs, %d unresolved"
@@ -513,16 +520,19 @@ let pigeonhole_clauses pigeons holes =
 
 let json_row ~design ~property ~method_ ~verdict ~time_s ~solve_time_s
     ~encode_time_s ~num_vars ~num_clauses ~vars_saved ~clauses_saved
+    ?(certificate = "unchecked") ?(proof_steps = 0)
     (s : Satsolver.Solver.stats) =
   Printf.sprintf
     {|    {"design": %S, "property": %S, "method": %S, "verdict": %S,
      "time_s": %.3f, "solve_time_s": %.3f, "encode_time_s": %.3f,
      "num_vars": %d, "num_clauses": %d, "vars_saved": %d, "clauses_saved": %d,
+     "certificate": %S, "proof_steps": %d,
      "conflicts": %d, "decisions": %d,
      "propagations": %d, "restarts": %d, "learnt": %d, "deleted": %d,
      "minimised_lits": %d, "avg_lbd": %.2f}|}
     design property method_ verdict time_s solve_time_s encode_time_s num_vars
-    num_clauses vars_saved clauses_saved s.Satsolver.Solver.conflicts
+    num_clauses vars_saved clauses_saved certificate proof_steps
+    s.Satsolver.Solver.conflicts
     s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
     s.minimised_lits s.avg_lbd
 
@@ -615,13 +625,56 @@ let check_against_baseline ~name ~old rows =
 
 let baseline = ref None
 
+(* With [--only d1,d2] the matrix is restricted to rows whose design name
+   contains one of the given substrings (the raw-SAT rows always run). *)
+let matrix_selected design =
+  match !only with
+  | None -> true
+  | Some pats ->
+    List.exists (fun p -> find_sub design p 0 <> None)
+      (List.map String.trim (String.split_on_char ',' pats))
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let data = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc data;
+  close_out oc
+
+(* Promote the run's largest DRAT derivation to BENCH_largest.drat. *)
+let export_largest_proof () =
+  if Sys.file_exists proof_dir && Sys.is_directory proof_dir then
+    let largest =
+      Array.fold_left
+        (fun acc name ->
+          if Filename.check_suffix name ".drat" then
+            let path = Filename.concat proof_dir name in
+            let size = (Unix.stat path).Unix.st_size in
+            match acc with
+            | Some (_, best) when best >= size -> acc
+            | _ -> Some (path, size)
+          else acc)
+        None (Sys.readdir proof_dir)
+    in
+    match largest with
+    | Some (path, size) ->
+      copy_file path "BENCH_largest.drat";
+      Format.printf "largest proof: %s (%d bytes) -> BENCH_largest.drat@." path size
+    | None -> ()
+
 let solver_json () =
   hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
   (* Read the baseline before the run: it may be the very file we are about
      to overwrite. *)
   let old = Option.map (fun f -> (f, baseline_verdicts f)) !baseline in
+  let solver_matrix =
+    List.filter (fun (d, _, _, _) -> matrix_selected d) solver_matrix
+  in
   let rows = ref [] in
   let verdicts = ref [] in
+  let unchecked = ref [] in
   let add_row ?key r =
     rows := r :: !rows;
     match key with Some kv -> verdicts := kv :: !verdicts | None -> ()
@@ -637,7 +690,13 @@ let solver_json () =
       ~f:(fun (design, property, method_, max_depth) ->
         let net = (Designs.Registry.find design).Designs.Registry.build () in
         let options =
-          { Emmver.default_options with max_depth; timeout_s = Some !timeout }
+          {
+            Emmver.default_options with
+            max_depth;
+            timeout_s = Some !timeout;
+            certify = !certify;
+            proof_dir = (if !certify then Some proof_dir else None);
+          }
         in
         time (fun () -> Emmver.verify ~options ~method_ net ~property))
       solver_matrix
@@ -659,13 +718,20 @@ let solver_json () =
         (Emmver.method_to_string method_)
         verdict time_s s.Satsolver.Solver.conflicts s.Satsolver.Solver.propagations;
       let method_ = Emmver.method_to_string method_ in
+      let certificate = Cert.label o.Emmver.certificate in
+      (if !certify then
+         match o.Emmver.certificate with
+         | Cert.Certified _ -> ()
+         | Cert.Refuted _ | Cert.Unchecked _ ->
+           unchecked := Printf.sprintf "%s/%s/%s: %s" design property method_ certificate :: !unchecked);
       add_row
         ~key:((design, property, method_), verdict)
         (json_row ~design ~property ~method_ ~verdict ~time_s
            ~solve_time_s:o.Emmver.solve_time_s
            ~encode_time_s:o.Emmver.encode_time_s ~num_vars:o.Emmver.model_vars
            ~num_clauses:o.Emmver.model_clauses ~vars_saved:o.Emmver.vars_saved
-           ~clauses_saved:o.Emmver.clauses_saved s))
+           ~clauses_saved:o.Emmver.clauses_saved ~certificate
+           ~proof_steps:o.Emmver.proof_steps s))
     solver_matrix matrix_outcomes;
   let matrix_cpu_s =
     List.fold_left (fun acc (_, t) -> acc +. t) 0.0 matrix_outcomes
@@ -680,12 +746,34 @@ let solver_json () =
     (fun (pigeons, holes) ->
       let design = Printf.sprintf "php-%d-%d" pigeons holes in
       let solver = Satsolver.Solver.create () in
+      Satsolver.Solver.set_proof_logging solver !certify;
       let nvars, clauses = pigeonhole_clauses pigeons holes in
       Satsolver.Solver.ensure_vars solver nvars;
       List.iter (Satsolver.Solver.add_clause solver) clauses;
       let result, time_s = time (fun () -> Satsolver.Solver.solve solver) in
       let verdict =
         match result with Satsolver.Solver.Sat -> "sat" | Satsolver.Solver.Unsat -> "unsat"
+      in
+      let certificate, proof_steps =
+        if not !certify then ("unchecked", 0)
+        else begin
+          let proof = Satsolver.Solver.proof solver in
+          (if not (Sys.file_exists proof_dir) then Unix.mkdir proof_dir 0o755);
+          let oc = open_out (Filename.concat proof_dir (design ^ ".drat")) in
+          Cert.Drat.output oc proof;
+          close_out oc;
+          let label =
+            match
+              Cert.Drat.check ~num_vars:nvars ~original:clauses ~proof
+                ~obligations:[ [] ] ()
+            with
+            | Cert.Drat.Valid _ -> "drat-checked"
+            | Cert.Drat.Invalid why -> "refuted: " ^ why
+          in
+          if label <> "drat-checked" then
+            unchecked := Printf.sprintf "%s: %s" design label :: !unchecked;
+          (label, List.length proof)
+        end
       in
       let s = Satsolver.Solver.stats solver in
       Format.printf "%-20s %-16s %-12s %-24s %7.2fs %10d %12d@." design "-" "raw-sat"
@@ -694,9 +782,9 @@ let solver_json () =
         (json_row ~design ~property:"-" ~method_:"raw-sat" ~verdict ~time_s
            ~solve_time_s:s.Satsolver.Solver.solve_time_s ~encode_time_s:0.0
            ~num_vars:nvars ~num_clauses:(List.length clauses) ~vars_saved:0
-           ~clauses_saved:0 s))
+           ~clauses_saved:0 ~certificate ~proof_steps s))
     [ (7, 6); (8, 7); (9, 8) ];
-  let oc = open_out "BENCH_solver.json" in
+  let oc = open_out !out_file in
   output_string oc "{\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
   output_string oc "\n  ],\n";
@@ -710,10 +798,20 @@ let solver_json () =
        !jobs matrix_wall_s matrix_cpu_s);
   output_string oc "}\n";
   close_out oc;
-  Format.printf "wrote BENCH_solver.json (%d rows)@." (List.length !rows);
-  match old with
+  Format.printf "wrote %s (%d rows)@." !out_file (List.length !rows);
+  (match old with
   | Some (name, old) -> check_against_baseline ~name ~old !verdicts
-  | None -> ()
+  | None -> ());
+  if !certify then begin
+    export_largest_proof ();
+    (* The certification gate: with [--certify], every row must carry a
+       checked certificate — an unchecked or refuted verdict fails the run. *)
+    match !unchecked with
+    | [] -> Format.printf "certification: every row certified@."
+    | bad ->
+      List.iter (fun b -> Format.eprintf "UNCERTIFIED %s@." b) bad;
+      exit 4
+  end
 
 (* {2 Driver} *)
 
@@ -724,10 +822,14 @@ let () =
       if i > 0 then
         match arg with
         | "--full" -> full := true
-        | "--timeout" | "--baseline" | "-j" | "--jobs" -> () (* value consumed below *)
+        | "--certify" -> certify := true
+        | "--timeout" | "--baseline" | "-j" | "--jobs" | "--only" | "--out" ->
+          () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
           else if i > 1 && Sys.argv.(i - 1) = "--baseline" then baseline := Some arg
+          else if i > 1 && Sys.argv.(i - 1) = "--only" then only := Some arg
+          else if i > 1 && Sys.argv.(i - 1) = "--out" then out_file := arg
           else if i > 1 && (Sys.argv.(i - 1) = "-j" || Sys.argv.(i - 1) = "--jobs") then
             jobs := max 1 (int_of_string arg)
           else cmds := arg :: !cmds)

@@ -95,53 +95,129 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let certify_arg =
+  let doc =
+    "Certify every verdict: DRAT-check the solver refutations behind proofs \
+     and bounded-safe answers, replay counterexamples on the concrete design. \
+     Prints one certificate line per property (drat-checked, trace-replayed, \
+     refuted or unchecked)."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let proof_dir_arg =
+  let doc = "With $(b,--certify), dump each run's DRAT derivation under this directory." in
+  Arg.(value & opt (some string) None & info [ "proof-dir" ] ~docv:"DIR" ~doc)
+
+let conflict_budget_arg =
+  let doc =
+    "Conflicts allowed per SAT query before the run gives up (exit code 4)."
+  in
+  Arg.(value & opt (some int) None & info [ "conflict-budget" ] ~docv:"N" ~doc)
+
+let learnt_mb_arg =
+  let doc = "Learnt-clause database ceiling in MB, same failure mode." in
+  Arg.(value & opt (some float) None & info [ "learnt-mb" ] ~docv:"MB" ~doc)
+
+let fallback_arg =
+  let doc =
+    "Comma-separated engine fallback chain (e.g. emm,explicit,bdd): run each \
+     property under the resilience policy, retrying a killed worker once and \
+     degrading to the next engine when one fails or exhausts its budgets."
+  in
+  Arg.(value & opt (some string) None & info [ "fallback" ] ~docv:"M1,M2,..." ~doc)
+
+let parse_method name =
+  match Emmver.method_of_string (String.trim name) with
+  | Ok m -> m
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
+
+let policy_of_fallback = function
+  | None -> None
+  | Some s ->
+    let names = List.map String.trim (String.split_on_char ',' s) in
+    List.iter (fun n -> ignore (parse_method n)) names;
+    Some { Policy.default with Policy.fallback = names }
+
+(* Exit codes: 0 = every property proved (or honestly inconclusive with no
+   error), 1 = genuine falsification, 2 = usage, 4 = a budget ran out,
+   5 = an infrastructure error (dead worker, encode error, refuted
+   certificate).  Falsification dominates errors; a non-budget error
+   dominates a mere exhausted budget. *)
+let rank_of_outcome (o : Emmver.outcome) =
+  match (o.Emmver.conclusion, o.Emmver.error) with
+  | Emmver.Falsified { genuine = Some false; _ }, _ -> 0
+  | Emmver.Falsified _, _ -> 3
+  | _, Some (Policy.Budget_exhausted _) -> 1
+  | _, Some _ -> 2
+  | _, None -> 0
+
+let exit_of_rank = function 3 -> 1 | 2 -> 5 | 1 -> 4 | _ -> 0
+
+(* [pp_outcome] already reports checked certificates; by default this only
+   covers the unchecked case so --certify runs always show exactly one
+   certificate line. *)
+let print_certificate ?(always = false) outcome =
+  let cert = outcome.Emmver.certificate in
+  let unchecked = match cert with Cert.Unchecked _ -> true | _ -> false in
+  if always || unchecked then
+    Format.printf "  certificate: %s@." (Cert.label cert)
+
 let verify_cmd =
-  let run design method_name property max_depth timeout_s show_trace vcd jobs =
+  let run design method_name property max_depth timeout_s show_trace vcd jobs certify
+      proof_dir conflict_budget learnt_mb_budget fallback =
     let net = load_design design in
-    let method_ =
-      match Emmver.method_of_string method_name with
-      | Ok m -> m
-      | Error msg ->
-        Format.eprintf "%s@." msg;
-        exit 2
+    let method_ = parse_method method_name in
+    let options =
+      {
+        Emmver.default_options with
+        max_depth;
+        timeout_s;
+        certify;
+        proof_dir;
+        conflict_budget;
+        learnt_mb_budget;
+      }
     in
-    let options = { Emmver.default_options with max_depth; timeout_s } in
+    let policy = policy_of_fallback fallback in
     let props =
       match property with
       | Some p -> [ p ]
       | None -> List.map fst (Netlist.properties net)
     in
-    let failures = ref 0 in
+    let worst = ref 0 in
     List.iter
       (fun (prop, outcome) ->
         Format.printf "@[<v 2>%s [%s]:@,%a@]@." prop
           (Emmver.method_to_string method_)
           Emmver.pp_outcome outcome;
+        if certify then print_certificate outcome;
         (match outcome.Emmver.emm_counts with
         | Some c -> Format.printf "  EMM constraints: %a@." Emm.pp_counts c
         | None -> ());
         (match outcome.Emmver.abstraction with
         | Some a -> Format.printf "  %a@." (Pba.pp_abstraction net) a
         | None -> ());
+        worst := max !worst (rank_of_outcome outcome);
         match outcome.Emmver.conclusion with
-        | Emmver.Falsified { trace = Some t; genuine; _ } ->
-          if genuine = Some true then incr failures;
+        | Emmver.Falsified { trace = Some t; _ } ->
           if show_trace then Format.printf "%a@." Bmc.Trace.pp t;
           (match vcd with
           | Some path ->
             Bmc.Vcd.write_file net t path;
             Format.printf "  waveform written to %s@." path
           | None -> ())
-        | Emmver.Falsified _ -> incr failures
-        | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
-      (Emmver.verify_many ~options ~jobs ~method_ net ~properties:props);
-    if !failures > 0 then exit 1
+        | Emmver.Falsified _ | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
+      (Emmver.verify_many ~options ~jobs ?policy ~method_ net ~properties:props);
+    exit (exit_of_rank !worst)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify safety properties of a design")
     Term.(
       const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
-      $ show_trace_arg $ vcd_arg $ jobs_arg)
+      $ show_trace_arg $ vcd_arg $ jobs_arg $ certify_arg $ proof_dir_arg
+      $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg)
 
 let portfolio_cmd =
   let methods_arg =
@@ -151,28 +227,20 @@ let portfolio_cmd =
     in
     Arg.(value & opt (some string) None & info [ "methods" ] ~docv:"M1,M2,..." ~doc)
   in
-  let run design property max_depth timeout_s methods =
+  let run design property max_depth timeout_s methods certify =
     let net = load_design design in
     let methods =
       match methods with
       | None -> Emmver.default_portfolio
-      | Some s ->
-        List.map
-          (fun name ->
-            match Emmver.method_of_string (String.trim name) with
-            | Ok m -> m
-            | Error msg ->
-              Format.eprintf "%s@." msg;
-              exit 2)
-          (String.split_on_char ',' s)
+      | Some s -> List.map parse_method (String.split_on_char ',' s)
     in
-    let options = { Emmver.default_options with max_depth; timeout_s } in
+    let options = { Emmver.default_options with max_depth; timeout_s; certify } in
     let props =
       match property with
       | Some p -> [ p ]
       | None -> List.map fst (Netlist.properties net)
     in
-    let failures = ref 0 in
+    let worst = ref 0 in
     List.iter
       (fun prop ->
         let (winner, outcome), all =
@@ -182,18 +250,16 @@ let portfolio_cmd =
           Emmver.pp_conclusion outcome.Emmver.conclusion
           (Emmver.method_to_string winner)
           outcome.Emmver.time_s;
+        if certify then print_certificate ~always:true outcome;
         List.iter
           (fun (m, o) ->
             Format.printf "  %-12s %a@."
               (Emmver.method_to_string m)
               Emmver.pp_conclusion o.Emmver.conclusion)
           all;
-        match outcome.Emmver.conclusion with
-        | Emmver.Falsified { genuine = Some false; _ } -> ()
-        | Emmver.Falsified _ -> incr failures
-        | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
+        worst := max !worst (rank_of_outcome outcome))
       props;
-    if !failures > 0 then exit 1
+    exit (exit_of_rank !worst)
   in
   Cmd.v
     (Cmd.info "portfolio"
@@ -201,7 +267,8 @@ let portfolio_cmd =
          "Race several engines on each property in parallel forked workers; \
           the first conclusive verdict wins and the losers are killed")
     Term.(
-      const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg)
+      const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg
+      $ certify_arg)
 
 let save_cmd =
   let file_arg =

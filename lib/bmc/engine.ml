@@ -9,11 +9,14 @@ type verdict =
   | Bounded_safe of int
   | Reasons_stable of int
   | Timed_out of int
+  | Out_of_budget of { depth : int; what : string }
 
 type stats = {
   depths_completed : int;
   solve_time : float;
   encode_time : float;
+  cert_time_s : float;
+  proof_steps : int;
   num_vars : int;
   num_clauses : int;
   num_conflicts : int;
@@ -26,7 +29,7 @@ type stats = {
   solver_stats : Solver.stats;
 }
 
-type result = { verdict : verdict; stats : stats }
+type result = { verdict : verdict; stats : stats; certificate : Cert.t }
 
 type config = {
   max_depth : int;
@@ -36,6 +39,10 @@ type config = {
   stop_on_stable : int option;
   free_latches : Netlist.signal -> bool;
   simplify : bool;
+  certify : bool;
+  conflict_budget : int option;
+  learnt_mb_budget : float option;
+  proof_file : string option;
 }
 
 let default_config =
@@ -47,7 +54,43 @@ let default_config =
     stop_on_stable = None;
     free_latches = (fun _ -> false);
     simplify = true;
+    certify = false;
+    conflict_budget = None;
+    learnt_mb_budget = None;
+    proof_file = None;
   }
+
+(* The memory-interface bits observed by trace certification: write-port
+   address/data/enable and read-port address/enable unconditionally,
+   read-port data gated on the enable (EMM leaves disabled read data
+   unconstrained while the simulator drives zero). *)
+let watch_signals net =
+  List.concat_map
+    (fun m ->
+      let mname = Netlist.memory_name m in
+      let bits prefix ?enable arr =
+        List.mapi
+          (fun i s -> (Printf.sprintf "%s.%s[%d]" mname prefix i, s, enable))
+          (Array.to_list arr)
+      in
+      let wr =
+        List.concat
+          (List.init (Netlist.num_write_ports m) (fun w ->
+               let addr, data, en = Netlist.write_port m w in
+               bits (Printf.sprintf "w%d.addr" w) addr
+               @ bits (Printf.sprintf "w%d.data" w) data
+               @ [ (Printf.sprintf "%s.w%d.en" mname w, en, None) ]))
+      in
+      let rd =
+        List.concat
+          (List.init (Netlist.num_read_ports m) (fun r ->
+               let addr, en, out = Netlist.read_port m r in
+               bits (Printf.sprintf "r%d.addr" r) addr
+               @ [ (Printf.sprintf "%s.r%d.en" mname r, en, None) ]
+               @ bits ~enable:en (Printf.sprintf "r%d.data" r) out))
+      in
+      wr @ rd)
+    (Netlist.memories net)
 
 (* The unroller configuration implied by an engine configuration.  Latch
    aliasing and frame-0 init folding are both gated on [collect_reasons]:
@@ -82,6 +125,8 @@ type run = {
   state_latches : Netlist.signal list;
   reasons : (Netlist.signal, unit) Hashtbl.t;
   mem_reasons : (int, unit) Hashtbl.t;
+  watches : (string * Netlist.signal * Netlist.signal option) list;
+  mutable obligations : Lit.t list list;  (* UNSAT assumption cubes, newest first *)
   mutable reasons_last_changed : int;
   mutable solve_time : float;
   mutable encode_time : float;
@@ -89,9 +134,14 @@ type run = {
 
 let timed_solve run assumptions =
   let t0 = Unix.gettimeofday () in
-  Fun.protect
-    ~finally:(fun () -> run.solve_time <- run.solve_time +. Unix.gettimeofday () -. t0)
-    (fun () -> Solver.solve ~assumptions run.solver)
+  let r =
+    Fun.protect
+      ~finally:(fun () -> run.solve_time <- run.solve_time +. Unix.gettimeofday () -. t0)
+      (fun () -> Solver.solve ~assumptions run.solver)
+  in
+  if r = Solver.Unsat && run.cfg.certify then
+    run.obligations <- assumptions :: run.obligations;
+  r
 
 let timed_encode run f =
   let t0 = Unix.gettimeofday () in
@@ -157,13 +207,72 @@ let extract_trace run depth =
       (Netlist.latches run.net)
   in
   let mem_init = run.hks.mem_init_of_model unr depth in
-  { Trace.property = run.prop_name; depth; inputs; latch0; mem_init }
+  let watch =
+    List.filter_map
+      (fun (name, s, enable) ->
+        let complete = ref true in
+        let values =
+          Array.init (depth + 1) (fun frame ->
+              match Cnf.lit_opt unr ~frame s with
+              | Some l -> Solver.value solver l
+              | None ->
+                complete := false;
+                false)
+        in
+        if !complete then
+          Some
+            { Trace.w_name = name; w_signal = s; w_enable = enable; w_values = values }
+        else None)
+      run.watches
+  in
+  { Trace.property = run.prop_name; depth; inputs; latch0; mem_init; watch }
+
+(* Validate every recorded UNSAT answer against the solver's DRAT log with
+   the independent checker of [Cert.Drat]. *)
+let certify_unsat run =
+  if run.obligations = [] then Cert.Unchecked "no unsat obligations recorded"
+  else
+    match
+      Cert.Drat.check
+        ~num_vars:(Solver.num_vars run.solver)
+        ~original:(Solver.export_clauses run.solver)
+        ~proof:(Solver.proof run.solver)
+        ~obligations:(List.rev run.obligations) ()
+    with
+    | Cert.Drat.Valid _ -> Cert.Certified Cert.Drat_checked
+    | Cert.Drat.Invalid why -> Cert.Refuted why
+
+let dump_proof run =
+  match run.cfg.proof_file with
+  | Some path when run.cfg.certify ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Cert.Drat.output oc (Solver.proof run.solver))
+  | Some _ | None -> ()
+
+(* The certificate for a finished run: UNSAT verdicts (proofs, and bounded /
+   stability results whose every depth answered UNSAT) go through the DRAT
+   checker; counterexamples are replayed on the concrete design. *)
+let certify_verdict run verdict =
+  if not run.cfg.certify then Cert.Unchecked "certification disabled"
+  else begin
+    dump_proof run;
+    match verdict with
+    | Proof _ | Bounded_safe _ | Reasons_stable _ -> certify_unsat run
+    | Counterexample t -> Trace.certify run.net t
+    | Timed_out _ -> Cert.Unchecked "timed out"
+    | Out_of_budget { what; _ } -> Cert.Unchecked ("out of budget: " ^ what)
+  end
 
 exception Done of verdict
 
 let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
   let solver = Solver.create () in
   Solver.set_deadline solver config.deadline;
+  Solver.set_conflict_budget solver config.conflict_budget;
+  Solver.set_learnt_budget_mb solver config.learnt_mb_budget;
+  if config.certify then Solver.set_proof_logging solver true;
   let unr = make_unroller config solver net in
   let run =
     {
@@ -180,6 +289,8 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
         List.filter (fun l -> not (config.free_latches l)) (Netlist.latches net);
       reasons = Hashtbl.create 64;
       mem_reasons = Hashtbl.create 4;
+      watches = (if config.certify then watch_signals net else []);
+      obligations = [];
       reasons_last_changed = 0;
       solve_time = 0.0;
       encode_time = 0.0;
@@ -204,6 +315,13 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
         let p_i =
           timed_encode run (fun () ->
               hooks.on_unroll unr i;
+              (* Watched memory-interface bits must be encoded with full
+                 polarity: a polarity-reduced auxiliary variable's model
+                 value is not faithful to the circuit, which would produce
+                 spurious replay mismatches. *)
+              List.iter
+                (fun (_, s, _) -> ignore (Cnf.lit unr ~frame:i s))
+                run.watches;
               let p_i = Cnf.lit ~pol:prop_pol unr ~frame:i run.prop in
               (* Loop-free-path constraints only serve the termination
                  checks. *)
@@ -241,7 +359,11 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     with
     | Done v -> v
     | Solver.Timeout -> Timed_out !completed
+    | Solver.Budget_exceeded what -> Out_of_budget { depth = !completed; what }
   in
+  let cert_t0 = Unix.gettimeofday () in
+  let certificate = certify_verdict run verdict in
+  let cert_time_s = Unix.gettimeofday () -. cert_t0 in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
   let stats =
@@ -249,6 +371,8 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       depths_completed = !completed + 1;
       solve_time = run.solve_time;
       encode_time = run.encode_time;
+      cert_time_s;
+      proof_steps = (if config.certify then List.length (Solver.proof solver) else 0);
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
       num_conflicts = Solver.num_conflicts solver;
@@ -262,7 +386,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       solver_stats = Solver.stats solver;
     }
   in
-  { verdict; stats }
+  { verdict; stats; certificate }
 
 (* Multi-property mode: one incremental run over the shared unrolling.  Each
    property carries its own CP activation literal and is retired as soon as a
@@ -277,6 +401,9 @@ type prop_state = {
 let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   let solver = Solver.create () in
   Solver.set_deadline solver config.deadline;
+  Solver.set_conflict_budget solver config.conflict_budget;
+  Solver.set_learnt_budget_mb solver config.learnt_mb_budget;
+  if config.certify then Solver.set_proof_logging solver true;
   let unr = make_unroller config solver net in
   let run =
     {
@@ -293,6 +420,8 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
         List.filter (fun l -> not (config.free_latches l)) (Netlist.latches net);
       reasons = Hashtbl.create 64;
       mem_reasons = Hashtbl.create 4;
+      watches = (if config.certify then watch_signals net else []);
+      obligations = [];
       reasons_last_changed = 0;
       solve_time = 0.0;
       encode_time = 0.0;
@@ -318,12 +447,16 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
     | None -> false
   in
   let completed = ref (-1) in
+  let budget_hit = ref None in
   (try
      let i = ref 0 in
      while !i <= config.max_depth && undecided () <> [] do
        if deadline_passed () then raise Exit;
        timed_encode run (fun () ->
            hooks.on_unroll unr !i;
+           List.iter
+             (fun (_, s, _) -> ignore (Cnf.lit unr ~frame:!i s))
+             run.watches;
            if config.proof_checks then add_lfp_pairs run !i);
        let pending = undecided () in
        if config.proof_checks then begin
@@ -389,7 +522,29 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
        | Some _ | None -> ());
        incr i
      done
-   with Exit | Solver.Timeout -> ());
+   with
+  | Exit | Solver.Timeout -> ()
+  | Solver.Budget_exceeded what -> budget_hit := Some what);
+  (* One DRAT check serves every UNSAT-backed verdict: all obligations were
+     answered by the same incremental solver over the shared unrolling. *)
+  let cert_t0 = Unix.gettimeofday () in
+  let unsat_certificate =
+    lazy
+      (if not config.certify then Cert.Unchecked "certification disabled"
+       else begin
+         dump_proof run;
+         certify_unsat run
+       end)
+  in
+  let certificate_of verdict =
+    if not config.certify then Cert.Unchecked "certification disabled"
+    else
+      match verdict with
+      | Proof _ | Bounded_safe _ | Reasons_stable _ -> Lazy.force unsat_certificate
+      | Counterexample t -> Trace.certify net t
+      | Timed_out _ -> Cert.Unchecked "timed out"
+      | Out_of_budget { what; _ } -> Cert.Unchecked ("out of budget: " ^ what)
+  in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
   let stats =
@@ -397,6 +552,8 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       depths_completed = !completed + 1;
       solve_time = run.solve_time;
       encode_time = run.encode_time;
+      cert_time_s = 0.0;
+      proof_steps = (if config.certify then List.length (Solver.proof solver) else 0);
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
       num_conflicts = Solver.num_conflicts solver;
@@ -416,12 +573,20 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
         let verdict =
           match p.ps_verdict with
           | Some v -> v
-          | None ->
-            if deadline_passed () then Timed_out !completed
-            else Bounded_safe config.max_depth
+          | None -> (
+            match !budget_hit with
+            | Some what -> Out_of_budget { depth = !completed; what }
+            | None ->
+              if deadline_passed () then Timed_out !completed
+              else Bounded_safe config.max_depth)
         in
-        (p.ps_name, { verdict; stats }))
+        let certificate = certificate_of verdict in
+        (p.ps_name, { verdict; stats; certificate }))
       props
+  in
+  let stats = { stats with cert_time_s = Unix.gettimeofday () -. cert_t0 } in
+  let results =
+    List.map (fun (name, r) -> (name, { r with stats })) results
   in
   (results, stats)
 
@@ -434,3 +599,5 @@ let pp_verdict ppf = function
   | Bounded_safe n -> Format.fprintf ppf "no counterexample up to depth %d" n
   | Reasons_stable n -> Format.fprintf ppf "latch reasons stable at depth %d" n
   | Timed_out n -> Format.fprintf ppf "timeout after depth %d" n
+  | Out_of_budget { depth; what } ->
+    Format.fprintf ppf "out of budget (%s) after depth %d" what depth

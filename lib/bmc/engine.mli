@@ -27,6 +27,10 @@ type verdict =
   | Reasons_stable of int
       (** latch reasons unchanged for [stop_on_stable] depths (PBA) *)
   | Timed_out of int  (** deepest fully analysed depth *)
+  | Out_of_budget of { depth : int; what : string }
+      (** a {!config} resource budget (conflicts, learnt-DB memory) ran out;
+          [depth] is the deepest fully analysed depth and [what] names the
+          exhausted resource *)
 
 type stats = {
   depths_completed : int;
@@ -34,6 +38,8 @@ type stats = {
   encode_time : float;
       (** seconds spent building the formula: unrolling, memory-modeling
           hooks and loop-free-path constraints *)
+  cert_time_s : float;  (** seconds spent certifying the verdict *)
+  proof_steps : int;  (** DRAT steps logged (0 unless [certify]) *)
   num_vars : int;
   num_clauses : int;
   num_conflicts : int;
@@ -52,7 +58,14 @@ type stats = {
           deleted clauses, average LBD, minimised literals, ...) *)
 }
 
-type result = { verdict : verdict; stats : stats }
+type result = {
+  verdict : verdict;
+  stats : stats;
+  certificate : Cert.t;
+      (** [Unchecked] unless [config.certify]; otherwise the DRAT-checker
+          outcome for UNSAT-backed verdicts and the concrete-design replay
+          outcome for counterexamples *)
+}
 
 type config = {
   max_depth : int;
@@ -67,11 +80,22 @@ type config = {
       (** use the simplifying unroller (constant folding, structural
           hashing, polarity-aware emission — see {!Cnf.create});
           [false] selects the plain paper-faithful encoding *)
+  certify : bool;
+      (** log a DRAT proof, record every UNSAT obligation, watch the memory
+          interface signals, and certify the final verdict (see
+          {!result.certificate}) *)
+  conflict_budget : int option;
+      (** conflicts allowed per SAT query before the run reports
+          {!Out_of_budget} *)
+  learnt_mb_budget : float option;
+      (** learnt-clause database ceiling in MB, same failure mode *)
+  proof_file : string option;
+      (** with [certify], also write the DRAT derivation to this path *)
 }
 
 val default_config : config
 (** [max_depth = 100], no deadline, proof checks on, no PBA collection,
-    simplification on. *)
+    simplification on, certification off, no budgets. *)
 
 type hooks = {
   on_unroll : Cnf.t -> int -> unit;

@@ -1,9 +1,17 @@
+type watch = {
+  w_name : string;
+  w_signal : Netlist.signal;
+  w_enable : Netlist.signal option;
+  w_values : bool array;
+}
+
 type t = {
   property : string;
   depth : int;
   inputs : (string * bool) list array;
   latch0 : (string * bool) list;
   mem_init : (string * (int * int) list) list;
+  watch : watch list;
 }
 
 let property_values net trace =
@@ -32,6 +40,60 @@ let property_values net trace =
 let replay net trace =
   let values = property_values net trace in
   not values.(trace.depth)
+
+let certify net trace =
+  match Netlist.find_property net trace.property with
+  | exception Not_found -> Cert.Unchecked ("no property " ^ trace.property)
+  | prop -> (
+    let latch_values l =
+      match List.assoc_opt (Netlist.latch_name net l) trace.latch0 with
+      | Some v -> v
+      | None -> false
+    in
+    let mem_values m a =
+      match List.assoc_opt (Netlist.memory_name m) trace.mem_init with
+      | Some words -> ( match List.assoc_opt a words with Some w -> w | None -> 0)
+      | None -> 0
+    in
+    let sim = Simulator.create ~latch_values ~mem_values net in
+    let exception Mismatch of string in
+    try
+      for frame = 0 to trace.depth do
+        let frame_inputs =
+          if frame < Array.length trace.inputs then trace.inputs.(frame) else []
+        in
+        let inputs name =
+          match List.assoc_opt name frame_inputs with Some v -> v | None -> false
+        in
+        Simulator.step sim ~inputs;
+        List.iter
+          (fun w ->
+            (* Read-data watches are meaningful only while the port is
+               enabled: with the enable low EMM leaves the data bus
+               unconstrained, while the simulator drives zero. *)
+            let live =
+              match w.w_enable with
+              | None -> true
+              | Some e -> Simulator.value sim e
+            in
+            if live && frame < Array.length w.w_values then begin
+              let expect = w.w_values.(frame) in
+              let got = Simulator.value sim w.w_signal in
+              if got <> expect then
+                raise
+                  (Mismatch
+                     (Printf.sprintf
+                        "signal %s differs at cycle %d: model %b, simulator %b"
+                        w.w_name frame expect got))
+            end)
+          trace.watch
+      done;
+      if Simulator.value sim prop then
+        Cert.Refuted
+          (Printf.sprintf "property %s holds on the concrete design at depth %d"
+             trace.property trace.depth)
+      else Cert.Certified Cert.Trace_replayed
+    with Mismatch why -> Cert.Refuted why)
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>counterexample for %S at depth %d@," t.property t.depth;

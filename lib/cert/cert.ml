@@ -1,0 +1,307 @@
+module Lit = Satsolver.Lit
+module Solver = Satsolver.Solver
+
+type kind = Drat_checked | Trace_replayed
+type t = Certified of kind | Refuted of string | Unchecked of string
+
+let label = function
+  | Certified Drat_checked -> "drat-checked"
+  | Certified Trace_replayed -> "trace-replayed"
+  | Refuted _ -> "refuted"
+  | Unchecked _ -> "unchecked"
+
+let pp ppf = function
+  | Certified Drat_checked -> Format.pp_print_string ppf "certified (drat-checked)"
+  | Certified Trace_replayed ->
+    Format.pp_print_string ppf "certified (trace-replayed)"
+  | Refuted why -> Format.fprintf ppf "REFUTED: %s" why
+  | Unchecked why -> Format.fprintf ppf "unchecked (%s)" why
+
+module Drat = struct
+  type step = Solver.proof_step = Padd of Lit.t list | Pdel of Lit.t list
+
+  type report = {
+    steps : int;
+    lemmas : int;
+    checked_lemmas : int;
+    obligations : int;
+  }
+
+  type outcome = Valid of report | Invalid of string
+
+  exception Invalid_proof of string
+
+  type cls = { lits : Lit.t array; mutable alive : bool; mutable marked : bool }
+
+  type state = {
+    nvars : int;
+    occs : cls list array;  (* literal -> clauses containing it *)
+    assign : int array;  (* per var: -1 unassigned / 0 false / 1 true *)
+    reason : cls option array;  (* per var: clause that forced it *)
+    visited : int array;  (* per var: cone-marking stamp *)
+    mutable stamp : int;
+    mutable units : cls list;  (* every unit clause ever added *)
+    mutable empties : cls list;  (* every empty clause ever added *)
+    index : (Lit.t list, cls list ref) Hashtbl.t;  (* sorted lits -> clauses *)
+  }
+
+  let create nvars =
+    {
+      nvars;
+      occs = Array.make (2 * nvars) [];
+      assign = Array.make nvars (-1);
+      reason = Array.make nvars None;
+      visited = Array.make nvars 0;
+      stamp = 0;
+      units = [];
+      empties = [];
+      index = Hashtbl.create 4096;
+    }
+
+  let add st lits =
+    let key = List.sort_uniq compare lits in
+    let arr = Array.of_list key in
+    let c = { lits = arr; alive = true; marked = false } in
+    Array.iter (fun l -> st.occs.(l) <- c :: st.occs.(l)) arr;
+    (match Array.length arr with
+    | 0 -> st.empties <- c :: st.empties
+    | 1 -> st.units <- c :: st.units
+    | _ -> ());
+    (match Hashtbl.find_opt st.index key with
+    | Some bucket -> bucket := c :: !bucket
+    | None -> Hashtbl.add st.index key (ref [ c ]));
+    c
+
+  let pp_clause ppf lits =
+    if Array.length lits = 0 then Format.pp_print_string ppf "<empty>"
+    else
+      Array.iteri
+        (fun i l -> Format.fprintf ppf "%s%d" (if i = 0 then "" else " ") (Lit.to_dimacs l))
+        lits
+
+  let take_alive st lits =
+    let key = List.sort_uniq compare lits in
+    match Hashtbl.find_opt st.index key with
+    | None -> None
+    | Some bucket -> List.find_opt (fun c -> c.alive) !bucket
+
+  let lit_value st l =
+    match st.assign.(Lit.var l) with
+    | -1 -> -1
+    | v -> if Lit.sign l then v else 1 - v
+
+  (* Conflict payload: the clause found falsified (if any) plus variables
+     whose reason chains feed the conflict cone. *)
+  exception Conflict of cls option * int list
+
+  let enqueue st trail queue l reason =
+    match lit_value st l with
+    | 1 -> ()
+    | 0 -> raise (Conflict (reason, [ Lit.var l ]))
+    | _ ->
+      st.assign.(Lit.var l) <- (if Lit.sign l then 1 else 0);
+      st.reason.(Lit.var l) <- reason;
+      trail := Lit.var l :: !trail;
+      Queue.push l queue
+
+  let scan_clause st trail queue c =
+    let n = Array.length c.lits in
+    let unit_lit = ref (-1) in
+    let n_unassigned = ref 0 in
+    let satisfied = ref false in
+    let i = ref 0 in
+    while (not !satisfied) && !i < n do
+      let l = c.lits.(!i) in
+      (match lit_value st l with
+      | 1 -> satisfied := true
+      | -1 ->
+        incr n_unassigned;
+        unit_lit := l
+      | _ -> ());
+      incr i
+    done;
+    if not !satisfied then
+      if !n_unassigned = 0 then raise (Conflict (Some c, []))
+      else if !n_unassigned = 1 then enqueue st trail queue !unit_lit (Some c)
+
+  let propagate st trail queue =
+    while not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      (* p just became true: clauses containing ¬p may be unit or empty. *)
+      List.iter
+        (fun c -> if c.alive then scan_clause st trail queue c)
+        st.occs.(Lit.negate p)
+    done
+
+  let mark_cone st confl extra_vars =
+    st.stamp <- st.stamp + 1;
+    let s = st.stamp in
+    let stack = ref [] in
+    let push_var v =
+      if st.visited.(v) <> s then begin
+        st.visited.(v) <- s;
+        stack := v :: !stack
+      end
+    in
+    let push_clause c =
+      c.marked <- true;
+      Array.iter (fun l -> push_var (Lit.var l)) c.lits
+    in
+    (match confl with Some c -> push_clause c | None -> ());
+    List.iter push_var extra_vars;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        (match st.reason.(v) with Some c -> push_clause c | None -> ());
+        drain ()
+    in
+    drain ()
+
+  let undo st trail =
+    List.iter
+      (fun v ->
+        st.assign.(v) <- -1;
+        st.reason.(v) <- None)
+      trail
+
+  (* Does propagation from the alive unit clauses plus [extra_lits] (asserted
+     as given) yield a conflict?  On success the conflict cone is marked. *)
+  let refutes st extra_lits =
+    match List.find_opt (fun c -> c.alive) st.empties with
+    | Some c ->
+      c.marked <- true;
+      true
+    | None -> (
+      let trail = ref [] in
+      let queue = Queue.create () in
+      match
+        List.iter
+          (fun c -> if c.alive then enqueue st trail queue c.lits.(0) (Some c))
+          st.units;
+        List.iter (fun l -> enqueue st trail queue l None) extra_lits;
+        propagate st trail queue
+      with
+      | () ->
+        undo st !trail;
+        false
+      | exception Conflict (confl, vars) ->
+        (* Mark before undoing: the cone walks the reason chains. *)
+        mark_cone st confl vars;
+        undo st !trail;
+        true)
+
+  let nvars_of ~num_vars ~original ~proof ~obligations =
+    let m = ref num_vars in
+    let see l = if Lit.var l >= !m then m := Lit.var l + 1 in
+    List.iter (List.iter see) original;
+    List.iter (function Padd ls | Pdel ls -> List.iter see ls) proof;
+    List.iter (List.iter see) obligations;
+    !m
+
+  let check ?(every_lemma = false) ~num_vars ~original ~proof ~obligations () =
+    let nvars = nvars_of ~num_vars ~original ~proof ~obligations in
+    let st = create nvars in
+    List.iter (fun c -> ignore (add st c)) original;
+    try
+      (* Forward replay of the derivation, honouring deletions. *)
+      let trail =
+        List.mapi
+          (fun i step ->
+            match step with
+            | Padd lits -> `Add (add st lits)
+            | Pdel lits -> (
+              match take_alive st lits with
+              | Some c ->
+                c.alive <- false;
+                `Del c
+              | None ->
+                raise
+                  (Invalid_proof
+                     (Format.asprintf "step %d deletes absent clause [%a]" i
+                        pp_clause
+                        (Array.of_list (List.sort_uniq compare lits))))))
+          proof
+      in
+      (* Every obligation must conflict at the end state.  Deletion weakens
+         propagation but never implication, so revive deleted lemmas once
+         before giving up. *)
+      let revived = ref false in
+      List.iteri
+        (fun i a ->
+          let ok =
+            refutes st a
+            ||
+            (List.iter (function `Del c -> c.alive <- true | `Add _ -> ()) trail;
+             revived := true;
+             refutes st a)
+          in
+          if not ok then
+            raise
+              (Invalid_proof
+                 (Format.asprintf
+                    "obligation %d ([%a]) not refuted by unit propagation" i
+                    pp_clause (Array.of_list a))))
+        obligations;
+      ignore !revived;
+      (* Backward pass: walk the derivation in reverse, reviving deletions
+         and retiring additions; verify each addition in the marked cone
+         against exactly the clauses that preceded it. *)
+      let checked = ref 0 in
+      let lemmas = ref 0 in
+      List.iteri
+        (fun j step ->
+          match step with
+          | `Del c -> c.alive <- true
+          | `Add c ->
+            incr lemmas;
+            c.alive <- false;
+            if c.marked || every_lemma then begin
+              let negs = List.map Lit.negate (Array.to_list c.lits) in
+              if refutes st negs then incr checked
+              else
+                raise
+                  (Invalid_proof
+                     (Format.asprintf "lemma %d ([%a]) is not RUP"
+                        (List.length trail - 1 - j)
+                        pp_clause c.lits))
+            end)
+        (List.rev trail);
+      Valid
+        {
+          steps = List.length proof;
+          lemmas = !lemmas;
+          checked_lemmas = !checked;
+          obligations = List.length obligations;
+        }
+    with Invalid_proof why -> Invalid why
+
+  let clause_is_rup ~num_vars set clause =
+    let nvars = nvars_of ~num_vars ~original:set ~proof:[] ~obligations:[ clause ] in
+    let st = create nvars in
+    List.iter (fun c -> ignore (add st c)) set;
+    refutes st (List.map Lit.negate clause)
+
+  let verify ~num_vars ~original ~derivation =
+    match
+      check ~every_lemma:true ~num_vars ~original
+        ~proof:(List.map (fun c -> Padd c) derivation)
+        ~obligations:[ [] ] ()
+    with
+    | Valid _ -> true
+    | Invalid _ -> false
+
+  let output oc steps =
+    List.iter
+      (fun s ->
+        let prefix, lits = match s with Padd l -> ("", l) | Pdel l -> ("d ", l) in
+        output_string oc prefix;
+        List.iter
+          (fun l ->
+            output_string oc (string_of_int (Lit.to_dimacs l));
+            output_char oc ' ')
+          lits;
+        output_string oc "0\n")
+      steps
+end

@@ -518,6 +518,14 @@ let lit ?(pol = Both) t ~frame s =
     l
   end
 
+let lit_opt t ~frame s =
+  match Hashtbl.find_opt t.frames frame with
+  | None -> None
+  | Some tbl -> (
+    match Hashtbl.find_opt tbl (Netlist.node_of s) with
+    | None -> None
+    | Some l -> Some (if Netlist.is_complement s then Lit.negate l else l))
+
 let and_lit ?tag ?(pol = Both) t lits =
   let t0 = Unix.gettimeofday () in
   let l = and_lits t ?tag pol lits in

@@ -94,6 +94,11 @@ val lit : ?pol:polarity -> t -> frame:int -> Netlist.signal -> Satsolver.Lit.t
     emission; requesting a stronger polarity later adds the missing
     clauses. *)
 
+val lit_opt : t -> frame:int -> Netlist.signal -> Satsolver.Lit.t option
+(** The literal of an already-elaborated signal, or [None] when the signal
+    has no encoding at that frame yet.  Unlike {!lit} this never extends the
+    formula — safe to call after a [Sat] answer to read model values. *)
+
 val fresh_lit : t -> Satsolver.Lit.t
 (** A fresh positive literal, for auxiliary constraint variables. *)
 

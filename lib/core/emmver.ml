@@ -32,10 +32,23 @@ type options = {
   timeout_s : float option;
   stability : int;
   max_bdd_nodes : int;
+  certify : bool;
+  proof_dir : string option;
+  conflict_budget : int option;
+  learnt_mb_budget : float option;
 }
 
 let default_options =
-  { max_depth = 100; timeout_s = None; stability = 10; max_bdd_nodes = 2_000_000 }
+  {
+    max_depth = 100;
+    timeout_s = None;
+    stability = 10;
+    max_bdd_nodes = 2_000_000;
+    certify = false;
+    proof_dir = None;
+    conflict_budget = None;
+    learnt_mb_budget = None;
+  }
 
 type conclusion =
   | Proved of { depth : int; induction : bool }
@@ -57,18 +70,26 @@ type outcome = {
   abstraction : Pba.abstraction option;
   solver_stats : Satsolver.Solver.stats option;
       (* None for the BDD method, which involves no SAT solver *)
+  certificate : Cert.t;
+  proof_steps : int;
+  error : Policy.error option;
+  degradations : Policy.event list;
 }
 
 let deadline_of opts =
   Option.map (fun s -> Unix.gettimeofday () +. s) opts.timeout_s
 
-let engine_config ?(proof_checks = true) ?free_latches opts =
+let engine_config ?(proof_checks = true) ?free_latches ?proof_file opts =
   {
     Bmc.Engine.default_config with
     max_depth = opts.max_depth;
     deadline = deadline_of opts;
     proof_checks;
     free_latches = Option.value free_latches ~default:(fun _ -> false);
+    certify = opts.certify;
+    conflict_budget = opts.conflict_budget;
+    learnt_mb_budget = opts.learnt_mb_budget;
+    proof_file;
   }
 
 (* Translate an engine result, replaying counterexamples on [replay_net]. *)
@@ -88,6 +109,22 @@ let conclusion_of_result replay_net (result : Bmc.Engine.result) =
   | Bmc.Engine.Reasons_stable d ->
     Inconclusive (Printf.sprintf "latch reasons stable at depth %d" d)
   | Bmc.Engine.Timed_out d -> Inconclusive (Printf.sprintf "timeout after depth %d" d)
+  | Bmc.Engine.Out_of_budget { depth; what } ->
+    Inconclusive (Printf.sprintf "out of budget (%s) after depth %d" what depth)
+
+(* The typed error behind an inconclusive-for-resource-reasons verdict or a
+   refuted certificate, for the policy layer's fallback decisions. *)
+let error_of_result (result : Bmc.Engine.result) =
+  match result.Bmc.Engine.certificate with
+  | Cert.Refuted why -> Some (Policy.Cert_failed why)
+  | Cert.Certified _ | Cert.Unchecked _ -> (
+    match result.Bmc.Engine.verdict with
+    | Bmc.Engine.Timed_out d ->
+      Some (Policy.Budget_exhausted (Printf.sprintf "wall clock after depth %d" d))
+    | Bmc.Engine.Out_of_budget { depth; what } ->
+      Some (Policy.Budget_exhausted (Printf.sprintf "%s after depth %d" what depth))
+    | Bmc.Engine.Proof _ | Bmc.Engine.Counterexample _ | Bmc.Engine.Bounded_safe _
+    | Bmc.Engine.Reasons_stable _ -> None)
 
 let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
     (result : Bmc.Engine.result) =
@@ -111,33 +148,61 @@ let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
     emm_counts;
     abstraction;
     solver_stats = Some stats.Bmc.Engine.solver_stats;
+    certificate = result.Bmc.Engine.certificate;
+    proof_steps = stats.Bmc.Engine.proof_steps;
+    error = error_of_result result;
+    degradations = [];
   }
 
 let num_latches net = List.length (Netlist.latches net)
 
+(* Where to dump this run's DRAT derivation, when [options.proof_dir] asks
+   for one.  The directory is created on demand. *)
+let proof_file_of options ~method_ ~property =
+  match options.proof_dir with
+  | None -> None
+  | Some dir ->
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let sanitize s =
+      String.map (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c | _ -> '_')
+        s
+    in
+    Some
+      (Filename.concat dir
+         (Printf.sprintf "%s-%s.drat" (sanitize property) (method_to_string method_)))
+
 let rec verify ?(options = default_options) ~method_ net ~property =
   let t0 = Unix.gettimeofday () in
   let elapsed () = Unix.gettimeofday () -. t0 in
+  let proof_file = proof_file_of options ~method_ ~property in
   match method_ with
   | Emm_bmc ->
-    let result, counts = Emm.check ~config:(engine_config options) net ~property in
+    let result, counts =
+      Emm.check ~config:(engine_config ?proof_file options) net ~property
+    in
     outcome_of_result ~emm_counts:counts ~model_latches:(num_latches net)
       ~time_s:(elapsed ()) net result
   | Emm_falsify ->
     let result, counts =
-      Emm.check ~config:(engine_config ~proof_checks:false options) net ~property
+      Emm.check ~config:(engine_config ~proof_checks:false ?proof_file options) net
+        ~property
     in
     outcome_of_result ~emm_counts:counts ~model_latches:(num_latches net)
       ~time_s:(elapsed ()) net result
   | Explicit_bmc ->
     let expanded = Explicitmem.expand net in
-    let result = Bmc.Engine.check ~config:(engine_config options) expanded ~property in
+    let result =
+      Bmc.Engine.check ~config:(engine_config ?proof_file options) expanded ~property
+    in
     outcome_of_result ~model_latches:(num_latches expanded) ~time_s:(elapsed ())
       expanded result
   | Abstract_bmc ->
     (* Memory read data left entirely unconstrained: cheap, but
        counterexamples may be spurious (checked by replay). *)
-    let result = Bmc.Engine.check ~config:(engine_config options) net ~property in
+    let result =
+      Bmc.Engine.check ~config:(engine_config ?proof_file options) net ~property
+    in
     outcome_of_result ~model_latches:(num_latches net) ~time_s:(elapsed ()) net result
   | Emm_pba -> verify_pba ~options ~use_emm:true net ~property ~t0
   | Explicit_pba ->
@@ -149,12 +214,15 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       Bddmc.check ~max_nodes:options.max_bdd_nodes ~max_steps:options.max_depth
         expanded ~property
     in
-    let conclusion =
+    let conclusion, error =
       match r.Bddmc.verdict with
-      | Bddmc.Safe steps -> Proved { depth = steps; induction = false }
-      | Bddmc.Unsafe steps -> Falsified { depth = steps; trace = None; genuine = None }
-      | Bddmc.Node_limit -> Inconclusive "BDD node limit exceeded"
-      | Bddmc.Step_limit n -> Inconclusive (Printf.sprintf "BDD step limit (%d)" n)
+      | Bddmc.Safe steps -> (Proved { depth = steps; induction = false }, None)
+      | Bddmc.Unsafe steps ->
+        (Falsified { depth = steps; trace = None; genuine = None }, None)
+      | Bddmc.Node_limit ->
+        ( Inconclusive "BDD node limit exceeded",
+          Some (Policy.Budget_exhausted "BDD node limit") )
+      | Bddmc.Step_limit n -> (Inconclusive (Printf.sprintf "BDD step limit (%d)" n), None)
     in
     {
       conclusion;
@@ -170,6 +238,10 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       emm_counts = None;
       abstraction = None;
       solver_stats = None;
+      certificate = Cert.Unchecked "bdd engine produces no certificate";
+      proof_steps = 0;
+      error;
+      degradations = [];
     }
 
 and verify_pba ~options ~use_emm net ~property ~t0 =
@@ -187,6 +259,8 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
             Bmc.Engine.depths_completed = 0;
             solve_time = 0.0;
             encode_time = 0.0;
+            cert_time_s = 0.0;
+            proof_steps = 0;
             num_vars = 0;
             num_clauses = 0;
             num_conflicts = 0;
@@ -198,6 +272,7 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
             reasons_last_changed = 0;
             solver_stats = Satsolver.Solver.empty_stats;
           };
+        certificate = Cert.Unchecked "pba discovery verdict";
       }
     in
     outcome_of_result ~model_latches:(num_latches net) ~time_s:(elapsed ()) net result
@@ -230,7 +305,33 @@ let killed_outcome ~elapsed_s msg =
     emm_counts = None;
     abstraction = None;
     solver_stats = None;
+    certificate = Cert.Unchecked "worker killed";
+    proof_steps = 0;
+    error = Some (Policy.Worker_killed msg);
+    degradations = [];
   }
+
+let is_infix ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  go 0
+
+(* Map a worker-pool failure onto the policy taxonomy.  A child that died of
+   a signal, a nonzero exit, out-of-memory or a stack overflow is a killed
+   worker (retryable); an exception escaping the engine — typically the
+   encoder — is an encode error (not retryable, fall through). *)
+let error_of_failure (f : Parallel.failure) =
+  match f.Parallel.reason with
+  | Parallel.Timed_out d ->
+    Policy.Budget_exhausted (Printf.sprintf "worker exceeded %.1fs wall-clock deadline" d)
+  | Parallel.Cancelled -> Policy.Worker_killed "cancelled"
+  | Parallel.Protocol why -> Policy.Worker_killed ("protocol: " ^ why)
+  | Parallel.Crashed why ->
+    (* [Printexc.to_string] spells the built-in exceptions with spaces. *)
+    if is_infix ~affix:"Out of memory" why || is_infix ~affix:"Stack overflow" why
+    then Policy.Worker_killed why
+    else if is_infix ~affix:"uncaught exception" why then Policy.Encode_error why
+    else Policy.Worker_killed why
 
 (* Engines already honour [options.timeout_s] internally and return
    [Timed_out]; the hard SIGKILL deadline is a backstop for workers stuck
@@ -243,19 +344,110 @@ let hard_deadline options job_timeout_s =
 let slot_outcome key = function
   | Ok o -> (key, o)
   | Error (f : Parallel.failure) ->
-    (key, killed_outcome ~elapsed_s:f.Parallel.elapsed_s (Parallel.failure_message f))
+    let o = killed_outcome ~elapsed_s:f.Parallel.elapsed_s (Parallel.failure_message f) in
+    (key, { o with error = Some (error_of_failure f) })
 
-let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ~method_ net
-    ~properties =
+(* {2 Policy-driven resilience} *)
+
+(* Narrow the run options to the policy's budgets. *)
+let apply_budgets options (b : Policy.budgets) =
+  {
+    options with
+    timeout_s =
+      (match (b.Policy.wall_s, options.timeout_s) with
+      | Some w, Some t -> Some (Float.min w t)
+      | Some w, None -> Some w
+      | None, t -> t);
+    max_depth =
+      (match b.Policy.max_depth with
+      | Some d -> min d options.max_depth
+      | None -> options.max_depth);
+    conflict_budget =
+      (match b.Policy.conflicts with Some _ as c -> c | None -> options.conflict_budget);
+    learnt_mb_budget =
+      (match b.Policy.learnt_mb with Some _ as m -> m | None -> options.learnt_mb_budget);
+  }
+
+(* How one engine attempt feeds the fallback chain: a refuted certificate or
+   a resource-exhausted verdict is a failure (fall through / retry); a
+   conclusive verdict wins; anything else is an honest inconclusive kept as
+   the answer of last resort. *)
+let classify_outcome conclusive o =
+  match o.error with
+  | Some e -> Policy.Failed e
+  | None -> if conclusive o then Policy.Done o else Policy.Soft o
+
+let verify_resilient ?(options = default_options) ?(policy = Policy.default) ?inject net
+    ~property =
+  let t0 = Unix.gettimeofday () in
+  let elapsed () = Unix.gettimeofday () -. t0 in
+  let options = apply_budgets options policy.Policy.budgets in
+  let stages =
+    match
+      List.filter_map
+        (fun s -> Result.to_option (method_of_string s))
+        policy.Policy.fallback
+    with
+    | [] -> [ Emm_bmc ]
+    | ms -> ms
+  in
+  let conclusive o =
+    match o.conclusion with
+    | Proved _ -> true
+    | Falsified { genuine = Some false; _ } -> false
+    | Falsified _ -> true
+    | Inconclusive _ -> false
+  in
+  let run method_ ~attempt =
+    (* One forked worker per attempt: crash isolation, and a hook for the
+       fault-injection tests to kill or poison the child. *)
+    let results =
+      Parallel.map ~jobs:1
+        ?job_timeout_s:(hard_deadline options None)
+        ~f:(fun () ->
+          (match inject with Some f -> f method_ ~attempt | None -> ());
+          verify ~options ~method_ net ~property)
+        [ () ]
+    in
+    match results with
+    | [ Ok o ] -> classify_outcome conclusive o
+    | [ Error f ] -> Policy.Failed (error_of_failure f)
+    | _ -> Policy.Failed (Policy.Worker_killed "no worker result")
+  in
+  let result, events =
+    Policy.execute policy ~stages ~stage_name:method_to_string ~run
+  in
+  match result with
+  | Ok o -> { o with degradations = events }
+  | Error err ->
+    let o = killed_outcome ~elapsed_s:(elapsed ()) (Policy.error_message err) in
+    {
+      o with
+      conclusion = Inconclusive (Policy.error_message err);
+      error = Some err;
+      degradations = events;
+    }
+
+let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ?policy ~method_
+    net ~properties =
+  let verify_one property =
+    match policy with
+    | None -> verify ~options ~method_ net ~property
+    | Some policy -> verify_resilient ~options ~policy net ~property
+  in
   if jobs <= 1 then
-    List.map (fun property -> (property, verify ~options ~method_ net ~property)) properties
+    List.map (fun property -> (property, verify_one property)) properties
   else
     let pool = Parallel.create ~jobs () in
     Parallel.run
-      ?job_timeout_s:(hard_deadline options job_timeout_s)
-      pool
-      ~f:(fun property -> verify ~options ~method_ net ~property)
-      properties
+      ?job_timeout_s:
+        (match policy with
+        | None -> hard_deadline options job_timeout_s
+        | Some _ ->
+          (* The resilient path forks and deadlines its own attempts; a
+             pool deadline would kill the whole chain mid-fallback. *)
+          job_timeout_s)
+      pool ~f:verify_one properties
     |> List.map2 slot_outcome properties
 
 (* A conclusive verdict settles the property: a proof, or a counterexample
@@ -271,21 +463,66 @@ let conclusive o =
 let default_portfolio = [ Emm_bmc; Explicit_bmc; Bdd_reach ]
 
 let portfolio ?(options = default_options) ?(methods = default_portfolio) ?job_timeout_s
-    net ~property =
+    ?(policy = Policy.default) net ~property =
   if methods = [] then invalid_arg "Emmver.portfolio: empty method list";
-  let pool = Parallel.create ~jobs:(List.length methods) () in
-  let winner, results =
+  let race ms =
+    let pool = Parallel.create ~jobs:(List.length ms) () in
     Parallel.race
       ?job_timeout_s:(hard_deadline options job_timeout_s)
       pool
       ~f:(fun method_ -> verify ~options ~method_ net ~property)
-      ~conclusive methods
+      ~conclusive ms
   in
-  let outcomes = List.map2 slot_outcome methods results in
+  let winner, results = race methods in
+  let slots = List.combine methods results in
+  (* When nobody won and some workers died, grant the dead engines one
+     re-race per the policy's worker-death retry allowance. *)
+  let dead =
+    List.filter_map
+      (fun (m, r) ->
+        match r with
+        | Error ({ Parallel.reason = Parallel.Crashed _ | Parallel.Protocol _; _ } as f)
+          -> Some (m, f)
+        | Ok _ | Error _ -> None)
+      slots
+  in
+  let winner, slots, events =
+    match (winner, dead) with
+    | None, _ :: _ when policy.Policy.worker_retries > 0 ->
+      let events =
+        List.map
+          (fun (m, f) ->
+            {
+              Policy.ev_stage = method_to_string m;
+              ev_attempt = 0;
+              ev_error = error_of_failure f;
+              ev_elapsed_s = f.Parallel.elapsed_s;
+            })
+          dead
+      in
+      let dead_methods = List.map fst dead in
+      let winner2, results2 = race dead_methods in
+      let retried = List.combine dead_methods results2 in
+      let slots =
+        List.map
+          (fun (m, r) ->
+            match List.assoc_opt m retried with Some r2 -> (m, r2) | None -> (m, r))
+          slots
+      in
+      let winner2 =
+        Option.map (fun (i, o) -> (List.nth dead_methods i, o)) winner2
+      in
+      (winner2, slots, events)
+    | Some (i, o), _ -> (Some (List.nth methods i, o), slots, [])
+    | _ -> (None, slots, [])
+  in
+  let outcomes = List.map (fun (m, r) -> slot_outcome m r) slots in
   let win =
     match winner with
-    | Some (i, o) -> (List.nth methods i, o)
-    | None -> List.hd outcomes
+    | Some (m, o) -> (m, { o with degradations = events @ o.degradations })
+    | None ->
+      let m, o = List.hd outcomes in
+      (m, { o with degradations = events @ o.degradations })
   in
   (win, outcomes)
 
@@ -308,11 +545,17 @@ let pp_outcome ppf o =
      %d vars, %d clauses (saved %d vars, %d clauses)@]"
     pp_conclusion o.conclusion o.time_s o.solve_time_s o.encode_time_s o.memory_mb
     o.model_latches o.model_vars o.model_clauses o.vars_saved o.clauses_saved;
-  match o.solver_stats with
+  (match o.solver_stats with
   | None -> ()
   | Some s ->
     Format.fprintf ppf
       "@,solver: conflicts=%d decisions=%d props=%d restarts=%d learnt=%d \
        deleted=%d minimised=%d avg-lbd=%.2f"
       s.Satsolver.Solver.conflicts s.decisions s.propagations s.restarts
-      s.learnt_clauses s.deleted_clauses s.minimised_lits s.avg_lbd
+      s.learnt_clauses s.deleted_clauses s.minimised_lits s.avg_lbd);
+  (match o.certificate with
+  | Cert.Unchecked _ -> ()
+  | c -> Format.fprintf ppf "@,certificate: %a" Cert.pp c);
+  List.iter
+    (fun ev -> Format.fprintf ppf "@,degraded: %a" Policy.pp_event ev)
+    o.degradations

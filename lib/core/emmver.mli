@@ -38,9 +38,23 @@ type options = {
   timeout_s : float option;  (** wall-clock budget for the whole run *)
   stability : int;  (** PBA stability depth (paper: 10) *)
   max_bdd_nodes : int;
+  certify : bool;
+      (** certify every verdict: DRAT-check the refutations behind proofs and
+          bounded-safe answers, replay counterexamples on the concrete design
+          (see {!outcome.certificate}) *)
+  proof_dir : string option;
+      (** with [certify], also dump each run's DRAT derivation to
+          [<proof_dir>/<property>-<method>.drat] *)
+  conflict_budget : int option;
+      (** conflicts allowed per SAT query before the engine gives up with
+          [Inconclusive] and a [Budget_exhausted] error *)
+  learnt_mb_budget : float option;
+      (** learnt-clause database ceiling in MB, same failure mode *)
 }
 
 val default_options : options
+(** [max_depth = 100], no timeout, stability 10, 2M BDD nodes, certification
+    off, no proof dir, no budgets. *)
 
 type conclusion =
   | Proved of { depth : int; induction : bool }
@@ -68,6 +82,23 @@ type outcome = {
   abstraction : Pba.abstraction option;
   solver_stats : Satsolver.Solver.stats option;
       (** CDCL telemetry of the underlying run; [None] for the BDD method *)
+  certificate : Cert.t;
+      (** [Unchecked] unless [options.certify]; then [Certified Drat_checked]
+          for a DRAT-verified proof / bounded-safe answer, [Certified
+          Trace_replayed] for a counterexample that replays on the concrete
+          design, or [Refuted reason] when certification caught a bogus
+          verdict *)
+  proof_steps : int;  (** DRAT steps logged by the run (0 unless certifying) *)
+  error : Policy.error option;
+      (** why an [Inconclusive] outcome is inconclusive, on the policy
+          taxonomy: [Budget_exhausted] for timeouts and resource budgets,
+          [Worker_killed] for dead workers, [Cert_failed] when the
+          certificate was refuted; [None] for honest inconclusives (e.g. a
+          bound exhausted without a proof) and all conclusive outcomes *)
+  degradations : Policy.event list;
+      (** resilience events (engine fallbacks, worker retries) accumulated on
+          the way to this outcome, chronological; empty outside
+          {!verify_resilient} / policy-driven entry points *)
 }
 
 val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string -> outcome
@@ -75,10 +106,29 @@ val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string
     Counterexample traces are replayed on the given netlist to classify them
     as genuine or spurious. *)
 
+val verify_resilient :
+  ?options:options ->
+  ?policy:Policy.t ->
+  ?inject:(method_ -> attempt:int -> unit) ->
+  Netlist.t ->
+  property:string ->
+  outcome
+(** Run {!verify} under a resilience {!Policy.t}: the policy's budgets narrow
+    [options], each engine of the fallback chain (default
+    [emm -> explicit -> bdd]) runs in its own forked worker, and on failure —
+    a killed worker (retried up to [policy.worker_retries] on the same
+    engine), an exhausted budget, an encode error, a refuted certificate —
+    control degrades to the next engine.  The first conclusive verdict wins;
+    an honest inconclusive is kept as the answer of last resort.  Every
+    degradation is recorded in {!outcome.degradations}.  [inject] is a
+    fault-injection hook for tests, called inside the forked child before the
+    engine starts. *)
+
 val verify_many :
   ?options:options ->
   ?jobs:int ->
   ?job_timeout_s:float ->
+  ?policy:Policy.t ->
   method_:method_ ->
   Netlist.t ->
   properties:string list ->
@@ -92,7 +142,9 @@ val verify_many :
     exceeds [job_timeout_s] (default: [options.timeout_s] plus slack, when
     set) is SIGKILLed and its property reports
     [Inconclusive "worker killed: ..."] carrying the elapsed wall clock,
-    without disturbing the other properties. *)
+    without disturbing the other properties.  With [policy], each property
+    runs through {!verify_resilient} instead (and the pool's own kill
+    deadline is suppressed so it cannot truncate a fallback chain). *)
 
 val killed_outcome : elapsed_s:float -> string -> outcome
 (** The outcome substituted for a worker that died without producing one:
@@ -109,6 +161,7 @@ val portfolio :
   ?options:options ->
   ?methods:method_ list ->
   ?job_timeout_s:float ->
+  ?policy:Policy.t ->
   Netlist.t ->
   property:string ->
   (method_ * outcome) * (method_ * outcome) list
@@ -117,7 +170,11 @@ val portfolio :
     known to be spurious — wins and the losers are SIGKILLed.  Returns the
     winner plus the per-method outcomes in [methods] order (losers report
     [Inconclusive "worker killed: cancelled ..."]).  When no engine
-    concludes, the winner slot falls back to the first engine's outcome. *)
+    concludes, the winner slot falls back to the first engine's outcome.
+    When no engine concluded {e and} some workers died (crashed, out of
+    memory — not merely cancelled or timed out), the dead engines get one
+    re-race if [policy.worker_retries > 0]; the retry is recorded in the
+    winner's {!outcome.degradations}. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val pp_conclusion : Format.formatter -> conclusion -> unit

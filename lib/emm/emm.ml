@@ -683,6 +683,7 @@ let trace_of_model t ~depth ~label =
     inputs;
     latch0;
     mem_init = mem_init_of_model t;
+    watch = [];
   }
 
 let find_data_race ?(max_depth = 50) ?deadline net =

@@ -181,6 +181,21 @@ let drive t ~job_timeout_s ~f ~on_done xs =
     running := List.filter (fun w' -> w'.pid <> w.pid) !running;
     match on_done w.idx result with `Stop -> stopped := true | `Continue -> ()
   in
+  (* An exception escaping the loop (fork failure, a raising [on_done]
+     callback) must not abandon live children: kill, close and reap every
+     running worker before letting it propagate, or each aborted drive
+     leaks zombies for the life of the parent. *)
+  let abandon_running () =
+    List.iter
+      (fun w ->
+        (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try Unix.close w.fd with Unix.Unix_error _ -> ());
+        (try ignore (retry_eintr (fun () -> Unix.waitpid [] w.pid))
+         with Unix.Unix_error _ -> ()))
+      !running;
+    running := []
+  in
+  try
   while (not !stopped && !next < n) || !running <> [] do
     if !stopped then
       (* Cancel the survivors: kill everyone still running; their EOFs are
@@ -232,6 +247,9 @@ let drive t ~job_timeout_s ~f ~on_done xs =
     end
   done;
   Array.to_list (Array.map Option.get results)
+  with e ->
+    abandon_running ();
+    raise e
 
 let run ?job_timeout_s t ~f xs =
   drive t ~job_timeout_s ~f ~on_done:(fun _ _ -> `Continue) xs

@@ -84,7 +84,11 @@ val run :
     [job_timeout_s] is a hard per-job wall-clock deadline: a worker still
     alive that long after its own fork is SIGKILLed and its slot reports
     [Timed_out].  The call only raises on pool-level system errors (e.g.
-    [fork] itself failing); per-job failures are values. *)
+    [fork] itself failing); per-job failures are values.  If such an error
+    does escape, every worker still running is SIGKILLed and reaped before
+    the exception propagates — an aborted batch never leaks child
+    processes, and a pool can be reused for any number of batches without
+    accumulating zombies. *)
 
 val map :
   ?jobs:int -> ?job_timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b job_result list

@@ -54,6 +54,10 @@ let discover ?(max_depth = 200) ?(stability = 10) ?deadline ?(use_emm = true) ?w
       stop_on_stable = Some stability;
       free_latches;
       simplify = true;
+      certify = false;
+      conflict_budget = None;
+      learnt_mb_budget = None;
+      proof_file = None;
     }
   in
   let t0 = Unix.gettimeofday () in
@@ -69,7 +73,8 @@ let discover ?(max_depth = 200) ?(stability = 10) ?deadline ?(use_emm = true) ?w
     let reasons = result.Bmc.Engine.stats.Bmc.Engine.latch_reasons in
     let mem_reasons = result.Bmc.Engine.stats.Bmc.Engine.memory_reasons in
     Either.Left (abstraction_of_reasons net ~depth ~time ~use_emm ~mem_reasons reasons)
-  | (Bmc.Engine.Counterexample _ | Bmc.Engine.Proof _ | Bmc.Engine.Timed_out _) as v ->
+  | ( Bmc.Engine.Counterexample _ | Bmc.Engine.Proof _ | Bmc.Engine.Timed_out _
+    | Bmc.Engine.Out_of_budget _ ) as v ->
     Either.Right v
 
 let iterate ?(rounds = 3) ?max_depth ?stability ?deadline net ~property =

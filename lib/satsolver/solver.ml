@@ -17,6 +17,10 @@ type clause = {
    core-extraction time). *)
 type cid_info = Original of int | Learnt_from of int array
 
+(* One line of a DRAT proof: clause additions (learnt clauses, in derivation
+   order) interleaved with the deletions performed by DB reduction. *)
+type proof_step = Padd of Lit.t list | Pdel of Lit.t list
+
 let dummy_clause =
   { cid = -1; lits = [||]; learnt = false; activity = 0.; lbd = 0; removed = true }
 
@@ -95,11 +99,17 @@ type t = {
   mutable solve_time : float;
   mutable max_learnts : float;
   mutable deadline : float option;
-  mutable proof_log : Lit.t list list; (* learnt clauses, newest first *)
+  mutable proof_steps : proof_step list; (* DRAT log, newest first *)
   mutable proof_logging : bool;
+  mutable conflict_budget : int option; (* max conflicts per [solve] call *)
+  mutable conflict_base : int; (* [t.conflicts] at [solve] entry *)
+  mutable learnt_budget_mb : float option; (* learnt-DB memory ceiling *)
+  mutable learnt_words : int; (* words held by live learnt clauses *)
 }
 
 exception Timeout
+
+exception Budget_exceeded of string
 
 let var_decay = 1.0 /. 0.95
 let cla_decay = 1.0 /. 0.999
@@ -145,13 +155,23 @@ let create () =
     solve_time = 0.0;
     max_learnts = 0.0;
     deadline = None;
-    proof_log = [];
+    proof_steps = [];
     proof_logging = false;
+    conflict_budget = None;
+    conflict_base = 0;
+    learnt_budget_mb = None;
+    learnt_words = 0;
   }
 
 let set_deadline t d = t.deadline <- d
 let set_proof_logging t b = t.proof_logging <- b
-let proof_log t = List.rev t.proof_log
+let set_conflict_budget t b = t.conflict_budget <- b
+let set_learnt_budget_mb t b = t.learnt_budget_mb <- b
+let proof t = List.rev t.proof_steps
+
+let proof_log t =
+  List.rev
+    (List.filter_map (function Padd c -> Some c | Pdel _ -> None) t.proof_steps)
 
 let num_vars t = t.nvars
 let num_clauses t = Vec.size t.clauses
@@ -719,12 +739,17 @@ let add_clause ?(tag = -1) t lits =
     end
   end
 
+(* Approximate per-clause footprint (header + fields) in words, used by the
+   learnt-DB memory budget. *)
+let clause_overhead = 8
+
 let learn_clause t lits lbd premises =
-  if t.proof_logging then t.proof_log <- lits :: t.proof_log;
+  if t.proof_logging then t.proof_steps <- Padd lits :: t.proof_steps;
   let cid = t.next_cid in
   t.next_cid <- cid + 1;
   Hashtbl.replace t.cid_info cid (Learnt_from premises);
   let arr = Array.of_list lits in
+  t.learnt_words <- t.learnt_words + Array.length arr + clause_overhead;
   let c = { cid; lits = arr; learnt = true; activity = 0.0; lbd; removed = false } in
   t.learnt_total <- t.learnt_total + 1;
   t.lbd_sum <- t.lbd_sum + lbd;
@@ -771,6 +796,9 @@ let reduce_db t =
         i < n / 2 && Array.length c.lits > 2 && c.lbd > 2 && not (locked t c)
       then begin
         c.removed <- true;
+        if t.proof_logging then
+          t.proof_steps <- Pdel (Array.to_list c.lits) :: t.proof_steps;
+        t.learnt_words <- t.learnt_words - (Array.length c.lits + clause_overhead);
         incr deleted
       end)
     arr;
@@ -819,6 +847,18 @@ let search t conflict_budget =
       | Some d when t.conflicts land 255 = 0 && Unix.gettimeofday () > d ->
         cancel_until t 0;
         raise Timeout
+      | Some _ | None -> ());
+      (match t.conflict_budget with
+      | Some b when t.conflicts - t.conflict_base >= b ->
+        cancel_until t 0;
+        raise (Budget_exceeded "conflicts")
+      | Some _ | None -> ());
+      (match t.learnt_budget_mb with
+      | Some mb
+        when t.conflicts land 255 = 0
+             && float_of_int (t.learnt_words * 8) /. 1048576.0 > mb ->
+        cancel_until t 0;
+        raise (Budget_exceeded "learnt-db memory")
       | Some _ | None -> ());
       if decision_level t = 0 then begin
         mark_root_unsat t (conflict_seeds confl);
@@ -882,6 +922,7 @@ let solve ?(assumptions = []) t =
       ~finally:(fun () -> t.solve_time <- t.solve_time +. Unix.gettimeofday () -. t0)
       (fun () ->
         cancel_until t 0;
+        t.conflict_base <- t.conflicts;
         t.assumptions <- Array.of_list assumptions;
         Array.iter
           (fun l ->
@@ -908,6 +949,11 @@ let solve ?(assumptions = []) t =
         t.assumptions <- [||];
         match !answer with Some r -> r | None -> assert false)
   end
+
+let export_clauses t =
+  let acc = ref [] in
+  Vec.iter (fun (c : clause) -> acc := Array.to_list c.lits :: !acc) t.clauses;
+  List.rev !acc
 
 let value_var t v = v < Array.length t.model && t.model.(v) = 1
 

@@ -40,9 +40,25 @@ exception Timeout
 (** Raised by {!solve} when the {!set_deadline} wall-clock deadline passes.
     The solver stays usable: the interrupted query can be retried. *)
 
+exception Budget_exceeded of string
+(** Raised by {!solve} when a resource budget ({!set_conflict_budget} or
+    {!set_learnt_budget_mb}) runs out; the payload names the exhausted
+    resource ("conflicts" or "learnt-db memory").  Like {!Timeout}, the
+    solver stays usable afterwards. *)
+
 val set_deadline : t -> float option -> unit
 (** Wall-clock deadline (as given by [Unix.gettimeofday]) checked
     periodically during search; [None] disables it. *)
+
+val set_conflict_budget : t -> int option -> unit
+(** Maximum conflicts a single {!solve} call may spend before
+    {!Budget_exceeded} is raised; [None] (the default) disables it.  The
+    budget is per-call: each [solve] starts a fresh count. *)
+
+val set_learnt_budget_mb : t -> float option -> unit
+(** Approximate ceiling, in megabytes, on the memory held by live learnt
+    clauses; checked periodically during search, raising {!Budget_exceeded}
+    when exceeded.  [None] (the default) disables it. *)
 
 val solve : ?assumptions:Lit.t list -> t -> result
 (** Solve the current formula under the given assumption literals.  The
@@ -71,14 +87,37 @@ val failed_assumptions : t -> Lit.t list
 (** After an [Unsat] answer under assumptions: a subset of the assumptions
     sufficient for unsatisfiability. *)
 
-(** {2 Statistics} *)
+(** {2 Proof logging}
+
+    With proof logging enabled the solver records a DRAT-style derivation:
+    one {!Padd} step per learnt clause and one {!Pdel} step per clause
+    dropped by database reduction, in order.  An UNSAT answer (with or
+    without assumptions) can then be validated independently of the solver by
+    [Cert.Drat.check], replaying the derivation over the original clauses by
+    unit propagation alone.  Logging costs one list cell per learnt clause
+    and nothing when disabled. *)
+
+type proof_step =
+  | Padd of Lit.t list  (** clause learnt (RUP at its position) *)
+  | Pdel of Lit.t list  (** learnt clause dropped by DB reduction *)
 
 val set_proof_logging : t -> bool -> unit
-(** Record every learnt clause for later validation by {!Checker.verify}.
-    Enable before solving; off by default. *)
+(** Record every learnt clause (and deletion) for later validation.  Enable
+    before solving; off by default. *)
+
+val proof : t -> proof_step list
+(** The recorded derivation, in order. *)
 
 val proof_log : t -> Lit.t list list
-(** Learnt clauses in derivation order. *)
+(** Learnt clauses in derivation order (the {!Padd} steps of {!proof}). *)
+
+val export_clauses : t -> Lit.t list list
+(** The original (problem) clauses as stored, in insertion order — the
+    axioms a proof check starts from.  Tautologies and clauses already
+    satisfied at root level were dropped at {!add_clause} time and do not
+    appear. *)
+
+(** {2 Statistics} *)
 
 val num_clauses : t -> int
 val num_learnts : t -> int

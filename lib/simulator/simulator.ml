@@ -114,11 +114,12 @@ let step t ~inputs =
         List.filter_map
           (fun w ->
             let addr_bus, data_bus, enable = Netlist.write_port m w in
-            if eval enable then
-              let addr = bits_of_bus addr_bus ~eval in
-              let data = bits_of_bus data_bus ~eval in
-              Some (Netlist.memory_id m, addr, data)
-            else None)
+            (* Evaluate the buses even on idle cycles so [value] can report
+               write-port bits to trace certification. *)
+            let enabled = eval enable in
+            let addr = bits_of_bus addr_bus ~eval in
+            let data = bits_of_bus data_bus ~eval in
+            if enabled then Some (Netlist.memory_id m, addr, data) else None)
           (List.init (Netlist.num_write_ports m) Fun.id))
       (Netlist.memories t.net)
   in

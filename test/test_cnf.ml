@@ -168,6 +168,7 @@ let test_check_all_consistency () =
         | Bmc.Engine.Bounded_safe d -> `Safe d
         | Bmc.Engine.Reasons_stable d -> `Stable d
         | Bmc.Engine.Timed_out d -> `Timeout d
+        | Bmc.Engine.Out_of_budget { depth; _ } -> `Budget depth
       in
       Alcotest.(check bool)
         (Printf.sprintf "%s agrees" name)

@@ -111,6 +111,7 @@ let signature = function
   | Bmc.Engine.Bounded_safe d -> Printf.sprintf "safe@%d" d
   | Bmc.Engine.Reasons_stable d -> Printf.sprintf "stable@%d" d
   | Bmc.Engine.Timed_out d -> Printf.sprintf "timeout@%d" d
+  | Bmc.Engine.Out_of_budget { depth; what } -> Printf.sprintf "budget(%s)@%d" what depth
 
 let check_design cfg =
   let net = build cfg in

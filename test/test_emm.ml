@@ -306,6 +306,7 @@ let verdict_signature = function
   | Bmc.Engine.Bounded_safe d -> `Safe d
   | Bmc.Engine.Reasons_stable d -> `Stable d
   | Bmc.Engine.Timed_out d -> `Timeout d
+  | Bmc.Engine.Out_of_budget { depth; _ } -> `Budget depth
 
 let prop_emm_matches_explicit =
   QCheck2.Test.make ~count:12 ~name:"EMM verdict = explicit-model verdict"

@@ -141,6 +141,57 @@ let test_race () =
   Alcotest.(check string) "slow slot reports cancellation" "cancelled"
     (reason_label (List.nth results 1))
 
+(* No process may survive a finished batch: after reaping everything the
+   pool owes us, waitpid(-1) must report that this process has no children
+   at all. *)
+let check_no_children label =
+  match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  | 0, _ -> Alcotest.failf "%s: a child is still running" label
+  | pid, _ -> Alcotest.failf "%s: zombie child %d left behind" label pid
+
+(* Loser cleanup under sustained reuse: 100 races in one pool, each with a
+   winner and a SIGKILLed long-sleeping loser.  A single unreaped loser
+   anywhere turns up as a zombie (or a live child) at the end. *)
+let test_race_loser_reaping () =
+  let pool = Parallel.create ~jobs:2 () in
+  let f = function
+    | `Fast -> "fast"
+    | `Slow ->
+      Unix.sleepf 30.0;
+      "slow"
+  in
+  for round = 0 to 99 do
+    let winner, _ =
+      Parallel.race pool ~f ~conclusive:(fun v -> v = "fast") [ `Slow; `Fast ]
+    in
+    match winner with
+    | Some (1, "fast") -> ()
+    | _ -> Alcotest.failf "round %d: fast worker should have won" round
+  done;
+  check_no_children "after 100 races";
+  let s = Parallel.stats pool in
+  Alcotest.(check int) "every race spawned both workers" 200 s.Parallel.spawned;
+  Alcotest.(check int) "every loser accounted as cancelled" 100 s.Parallel.cancelled
+
+(* An exception escaping the drive loop itself — here a raising [conclusive]
+   callback — must not abandon the still-running workers. *)
+let test_exception_reaps_workers () =
+  let pool = Parallel.create ~jobs:2 () in
+  let t0 = Unix.gettimeofday () in
+  (try
+     ignore
+       (Parallel.race pool
+          ~f:(fun i -> if i = 0 then "quick" else (Unix.sleepf 30.0; "slow"))
+          ~conclusive:(fun _ -> failwith "callback boom")
+          [ 0; 1 ]);
+     Alcotest.fail "callback exception should propagate"
+   with Failure msg ->
+     Alcotest.(check string) "original exception survives" "callback boom" msg);
+  Alcotest.(check bool) "sleeper killed, not awaited" true
+    (Unix.gettimeofday () -. t0 < 10.0);
+  check_no_children "after aborted race"
+
 (* {2 Differential: forked fan-out never changes a verdict}
 
    The 50 seeded random memory designs of test_differential.ml (same
@@ -267,6 +318,10 @@ let () =
             test_order_determinism;
           Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse;
           Alcotest.test_case "race cancels losers" `Quick test_race;
+          Alcotest.test_case "100 races leave no zombies" `Quick
+            test_race_loser_reaping;
+          Alcotest.test_case "exception mid-drive reaps workers" `Quick
+            test_exception_reaps_workers;
         ] );
       ( "differential",
         [

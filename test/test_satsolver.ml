@@ -3,6 +3,11 @@
 
 open Satsolver
 
+(* The forward RUP checker moved into the certification library when proof
+   logging grew into full DRAT; the solver tests keep exercising it under
+   its old name. *)
+module Checker = Cert.Drat
+
 let lit v sign = Lit.of_var v sign
 
 (* Reference: does an assignment drawn from the bits of [m] satisfy all
