@@ -16,6 +16,15 @@ let jobs = ref 1
 let certify = ref false
 let only = ref None
 let out_file = ref "BENCH_solver.json"
+let trace_out = ref None
+
+(* [--overhead-budget PCT] (solver-json only): fail with exit 6 when this
+   run's summed matrix CPU time exceeds the baseline file's recorded
+   matrix_cpu_s by more than PCT percent (plus a 2s absolute slack against
+   scheduler noise on short rows).  CPU rather than wall time: wall depends
+   on -j and machine load, the per-row sum is what tracing overhead would
+   inflate. *)
+let overhead_budget = ref None
 
 (* DRAT derivations land here when [--certify]; the largest one is copied to
    BENCH_largest.drat as the CI proof artifact. *)
@@ -41,9 +50,9 @@ let failed_outcome (failure : Parallel.failure) =
     (Parallel.failure_message failure)
 
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.now () -. t0)
 
 let mb () =
   let gc = Gc.quick_stat () in
@@ -95,7 +104,7 @@ let table1 () =
       (fun (n, prop) -> [ (n, prop, Emmver.Emm_bmc); (n, prop, Emmver.Explicit_bmc) ])
       pairs
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
   let outcomes =
     run_cells ~on_fail:failed_outcome
       ~f:(fun (n, prop, method_) ->
@@ -114,7 +123,7 @@ let table1 () =
   in
   rows pairs outcomes;
   Format.printf "table1 wall-clock: %.1fs (-j %d, cpu %.1fs over %d cells)@."
-    (Unix.gettimeofday () -. t0)
+    (Obs.now () -. t0)
     !jobs
     (List.fold_left (fun acc o -> acc +. o.Emmver.time_s) 0.0 outcomes)
     (List.length cells)
@@ -128,7 +137,7 @@ let table2_side name ~use_emm net =
   match
     time (fun () ->
         Pba.discover ~max_depth:150 ~stability:10
-          ~deadline:(Unix.gettimeofday () +. !timeout) ~use_emm net ~property:"P2")
+          ~deadline:(Obs.now () +. !timeout) ~use_emm net ~property:"P2")
   with
   | Either.Right _, t ->
     Printf.sprintf "  %-14s discovery did not stabilise (%.1fs)" name t
@@ -137,7 +146,7 @@ let table2_side name ~use_emm net =
       {
         Bmc.Engine.default_config with
         max_depth = 150;
-        deadline = Some (Unix.gettimeofday () +. !timeout);
+        deadline = Some (Obs.now () +. !timeout);
       }
     in
     let (result, _), t_proof =
@@ -161,7 +170,7 @@ let table2 () =
   let cells =
     List.concat_map (fun n -> [ (n, true); (n, false) ]) (table1_sizes ())
   in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
   let lines =
     run_cells
       ~on_fail:(fun failure -> "  worker killed: " ^ Parallel.failure_message failure)
@@ -178,7 +187,7 @@ let table2 () =
       if use_emm then Format.printf "N = %d:@." n;
       Format.printf "%s@." line)
     cells lines;
-  Format.printf "table2 wall-clock: %.1fs (-j %d)@." (Unix.gettimeofday () -. t0) !jobs
+  Format.printf "table2 wall-clock: %.1fs (-j %d)@." (Obs.now () -. t0) !jobs
 
 (* {2 Case study I — image filter reachability sweep} *)
 
@@ -201,7 +210,7 @@ let case1 () =
     {
       Bmc.Engine.default_config with
       max_depth = 45;
-      deadline = Some (Unix.gettimeofday () +. (10.0 *. !timeout));
+      deadline = Some (Obs.now () +. (10.0 *. !timeout));
     }
   in
   let sweep method_label results =
@@ -360,7 +369,7 @@ let ablation () =
     {
       Bmc.Engine.default_config with
       max_depth = 60;
-      deadline = Some (Unix.gettimeofday () +. !timeout);
+      deadline = Some (Obs.now () +. !timeout);
     }
   in
   let (result, _), t =
@@ -560,6 +569,22 @@ let json_string_field chunk name =
     String.index_from_opt chunk start '"'
     |> Option.map (fun stop -> String.sub chunk start (stop - start))
 
+let json_float_field chunk name =
+  let pat = Printf.sprintf "\"%s\": " name in
+  match find_sub chunk pat 0 with
+  | None -> None
+  | Some i ->
+    let start = i + String.length pat in
+    let stop = ref start in
+    let n = String.length chunk in
+    while
+      !stop < n
+      && (match chunk.[!stop] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
+    do
+      incr stop
+    done;
+    float_of_string_opt (String.sub chunk start (!stop - start))
+
 let verdict_class v =
   if String.length v >= 6 && String.sub v 0 6 = "proved" then `Proved
   else if String.length v >= 9 && String.sub v 0 9 = "falsified" then `Falsified
@@ -623,6 +648,18 @@ let check_against_baseline ~name ~old rows =
       regressions;
     exit 3
 
+(* The committed baseline's summed matrix CPU time, for the tracing-off
+   overhead gate. *)
+let baseline_matrix_cpu_s file =
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    json_float_field s "matrix_cpu_s"
+  end
+
 let baseline = ref None
 
 (* With [--only d1,d2] the matrix is restricted to rows whose design name
@@ -669,6 +706,7 @@ let solver_json () =
   (* Read the baseline before the run: it may be the very file we are about
      to overwrite. *)
   let old = Option.map (fun f -> (f, baseline_verdicts f)) !baseline in
+  let old_cpu_s = Option.bind !baseline baseline_matrix_cpu_s in
   let solver_matrix =
     List.filter (fun (d, _, _, _) -> matrix_selected d) solver_matrix
   in
@@ -681,7 +719,7 @@ let solver_json () =
   in
   Format.printf "%-20s %-16s %-12s %-24s %8s %10s %12s@." "design" "property"
     "method" "verdict" "time" "conflicts" "props";
-  let matrix_t0 = Unix.gettimeofday () in
+  let matrix_t0 = Obs.now () in
   let matrix_outcomes =
     run_cells
       ~on_fail:(fun failure ->
@@ -701,7 +739,7 @@ let solver_json () =
         time (fun () -> Emmver.verify ~options ~method_ net ~property))
       solver_matrix
   in
-  let matrix_wall_s = Unix.gettimeofday () -. matrix_t0 in
+  let matrix_wall_s = Obs.now () -. matrix_t0 in
   List.iter2
     (fun (design, property, method_, _) (o, time_s) ->
       let verdict = Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion in
@@ -802,6 +840,24 @@ let solver_json () =
   (match old with
   | Some (name, old) -> check_against_baseline ~name ~old !verdicts
   | None -> ());
+  (match (!overhead_budget, old_cpu_s) with
+  | Some pct, Some old_s ->
+    (* 2s absolute slack: on a sub-10s matrix a single scheduler hiccup
+       would otherwise trip a relative-only gate. *)
+    let limit = (old_s *. (1.0 +. (pct /. 100.0))) +. 2.0 in
+    if matrix_cpu_s > limit then begin
+      Format.eprintf
+        "OVERHEAD matrix cpu %.1fs exceeds baseline %.1fs + %.0f%% + 2s (limit %.1fs)@."
+        matrix_cpu_s old_s pct limit;
+      exit 6
+    end
+    else
+      Format.printf "overhead check: matrix cpu %.1fs within %.0f%% of baseline %.1fs@."
+        matrix_cpu_s pct old_s
+  | Some pct, None ->
+    Format.eprintf
+      "overhead check skipped: no matrix_cpu_s in baseline (budget %.0f%%)@." pct
+  | None, _ -> ());
   if !certify then begin
     export_largest_proof ();
     (* The certification gate: with [--certify], every row must carry a
@@ -813,6 +869,74 @@ let solver_json () =
       exit 4
   end
 
+(* {2 phases — per-depth wall-time attribution via the observability layer} *)
+
+(* Runs quicksort-n3/P1 under a local recorder and folds the span tree into
+   an encode/solve table per unroll depth (the EXPERIMENTS.md attribution
+   table).  Certification is a run-level phase — it happens once, after the
+   depth loop — so it is reported as its own row. *)
+let phases () =
+  hr "phases: quicksort-n3 P1 (emm) wall time by phase per unroll depth";
+  let saved = Obs.current () in
+  let r = Obs.create () in
+  Obs.set_current (Some r);
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_current saved)
+      (fun () ->
+        let net = (Designs.Registry.find "quicksort-n3").Designs.Registry.build () in
+        let options = { (options ()) with Emmver.certify = !certify } in
+        Emmver.verify ~options ~method_:Emmver.Emm_bmc net ~property:"P1")
+  in
+  match Obs.spans (Obs.rows r) with
+  | Error why ->
+    Format.eprintf "malformed trace: %s@." why;
+    exit 2
+  | Ok spans ->
+    let arr = Array.of_list spans in
+    let rec depth_of idx =
+      let sp = arr.(idx) in
+      if sp.Obs.sp_name = "depth" then Obs.attr_int "k" sp.Obs.sp_attrs
+      else match sp.Obs.sp_parent with Some p -> depth_of p | None -> None
+    in
+    let tbl = Hashtbl.create 32 in
+    let phase_total = Hashtbl.create 4 in
+    let bump_total name d =
+      Hashtbl.replace phase_total name
+        ((try Hashtbl.find phase_total name with Not_found -> 0.0) +. d)
+    in
+    Array.iteri
+      (fun i sp ->
+        match sp.Obs.sp_name with
+        | ("encode" | "solve" | "certify") as name ->
+          let d = Obs.duration sp in
+          bump_total name d;
+          (match depth_of i with
+          | Some k ->
+            let e, s =
+              try Hashtbl.find tbl k with Not_found -> (0.0, 0.0)
+            in
+            Hashtbl.replace tbl k
+              (if name = "encode" then (e +. d, s) else (e, s +. d))
+          | None -> ())
+        | _ -> ())
+      arr;
+    let total name =
+      try Hashtbl.find phase_total name with Not_found -> 0.0
+    in
+    let ks = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) tbl []) in
+    Format.printf "%-6s %-10s %-10s %-10s@." "k" "encode_s" "solve_s" "depth_s";
+    List.iter
+      (fun k ->
+        let e, s = Hashtbl.find tbl k in
+        Format.printf "%-6d %-10.3f %-10.3f %-10.3f@." k e s (e +. s))
+      ks;
+    Format.printf "certify (run level): %.3fs@." (total "certify");
+    Format.printf "totals: encode %.3fs, solve %.3fs, certify %.3fs over %d depths@."
+      (total "encode") (total "solve") (total "certify") (List.length ks);
+    Format.printf "conclusion: %a (%.2fs)@." Emmver.pp_conclusion
+      outcome.Emmver.conclusion outcome.Emmver.time_s
+
 (* {2 Driver} *)
 
 let () =
@@ -823,13 +947,17 @@ let () =
         match arg with
         | "--full" -> full := true
         | "--certify" -> certify := true
-        | "--timeout" | "--baseline" | "-j" | "--jobs" | "--only" | "--out" ->
+        | "--timeout" | "--baseline" | "-j" | "--jobs" | "--only" | "--out"
+        | "--trace-out" | "--overhead-budget" ->
           () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
           else if i > 1 && Sys.argv.(i - 1) = "--baseline" then baseline := Some arg
           else if i > 1 && Sys.argv.(i - 1) = "--only" then only := Some arg
           else if i > 1 && Sys.argv.(i - 1) = "--out" then out_file := arg
+          else if i > 1 && Sys.argv.(i - 1) = "--trace-out" then trace_out := Some arg
+          else if i > 1 && Sys.argv.(i - 1) = "--overhead-budget" then
+            overhead_budget := Some (float_of_string arg)
           else if i > 1 && (Sys.argv.(i - 1) = "-j" || Sys.argv.(i - 1) = "--jobs") then
             jobs := max 1 (int_of_string arg)
           else cmds := arg :: !cmds)
@@ -844,6 +972,7 @@ let () =
     | "ablation" -> ablation ()
     | "micro" -> micro ()
     | "solver-json" -> solver_json ()
+    | "phases" -> phases ()
     | "all" ->
       growth ();
       ablation ();
@@ -854,8 +983,9 @@ let () =
       micro ()
     | other ->
       Format.eprintf
-        "unknown bench %S (expected table1|table2|case1|case2|growth|ablation|micro|solver-json|all)@."
+        "unknown bench %S (expected \
+         table1|table2|case1|case2|growth|ablation|micro|solver-json|phases|all)@."
         other;
       exit 2
   in
-  List.iter run cmds
+  Obs.run_with_trace ?out:!trace_out ~label:"bench" (fun () -> List.iter run cmds)

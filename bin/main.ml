@@ -118,6 +118,16 @@ let learnt_mb_arg =
   let doc = "Learnt-clause database ceiling in MB, same failure mode." in
   Arg.(value & opt (some float) None & info [ "learnt-mb" ] ~docv:"MB" ~doc)
 
+let trace_out_arg =
+  let doc =
+    "Write a structured trace of the run (spans per unroll depth with \
+     encode/solve/certify children, solver counters, merged worker spans \
+     under $(b,-j N)) to this file: Chrome trace_event JSON loadable in \
+     Perfetto, or JSON-lines if the file ends in .jsonl. The \
+     $(b,EMMVER_TRACE) environment variable is an equivalent default."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
 let fallback_arg =
   let doc =
     "Comma-separated engine fallback chain (e.g. emm,explicit,bdd): run each \
@@ -166,7 +176,11 @@ let print_certificate ?(always = false) outcome =
 
 let verify_cmd =
   let run design method_name property max_depth timeout_s show_trace vcd jobs certify
-      proof_dir conflict_budget learnt_mb_budget fallback =
+      proof_dir conflict_budget learnt_mb_budget fallback trace_out =
+    (* The verdict rank is computed inside [run_with_trace] and [exit]
+       happens after it, so the trace file is written on every path. *)
+    let rank =
+      Obs.run_with_trace ?out:trace_out ~label:"run" @@ fun () ->
     let net = load_design design in
     let method_ = parse_method method_name in
     let options =
@@ -210,14 +224,16 @@ let verify_cmd =
           | None -> ())
         | Emmver.Falsified _ | Emmver.Proved _ | Emmver.Inconclusive _ -> ())
       (Emmver.verify_many ~options ~jobs ?policy ~method_ net ~properties:props);
-    exit (exit_of_rank !worst)
+    !worst
+    in
+    exit (exit_of_rank rank)
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Verify safety properties of a design")
     Term.(
       const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
       $ show_trace_arg $ vcd_arg $ jobs_arg $ certify_arg $ proof_dir_arg
-      $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg)
+      $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg $ trace_out_arg)
 
 let portfolio_cmd =
   let methods_arg =
@@ -227,7 +243,9 @@ let portfolio_cmd =
     in
     Arg.(value & opt (some string) None & info [ "methods" ] ~docv:"M1,M2,..." ~doc)
   in
-  let run design property max_depth timeout_s methods certify =
+  let run design property max_depth timeout_s methods certify trace_out =
+    let rank =
+      Obs.run_with_trace ?out:trace_out ~label:"portfolio" @@ fun () ->
     let net = load_design design in
     let methods =
       match methods with
@@ -259,7 +277,9 @@ let portfolio_cmd =
           all;
         worst := max !worst (rank_of_outcome outcome))
       props;
-    exit (exit_of_rank !worst)
+    !worst
+    in
+    exit (exit_of_rank rank)
   in
   Cmd.v
     (Cmd.info "portfolio"
@@ -268,7 +288,7 @@ let portfolio_cmd =
           the first conclusive verdict wins and the losers are killed")
     Term.(
       const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg
-      $ certify_arg)
+      $ certify_arg $ trace_out_arg)
 
 let save_cmd =
   let file_arg =

@@ -132,22 +132,27 @@ type run = {
   mutable encode_time : float;
 }
 
-let timed_solve run assumptions =
-  let t0 = Unix.gettimeofday () in
+(* The [solve_time]/[encode_time] accumulators are now derived views over
+   the observability spans: both read the same [Obs.now] clock, so [stats]
+   stays source-compatible while traces carry the per-phase breakdown. *)
+let timed_solve ?(what = "falsify") run assumptions =
+  let t0 = Obs.now () in
   let r =
     Fun.protect
-      ~finally:(fun () -> run.solve_time <- run.solve_time +. Unix.gettimeofday () -. t0)
-      (fun () -> Solver.solve ~assumptions run.solver)
+      ~finally:(fun () -> run.solve_time <- run.solve_time +. Obs.now () -. t0)
+      (fun () ->
+        Obs.span "solve" ~attrs:[ ("query", Obs.Str what) ] (fun () ->
+            Solver.solve ~assumptions run.solver))
   in
   if r = Solver.Unsat && run.cfg.certify then
     run.obligations <- assumptions :: run.obligations;
   r
 
 let timed_encode run f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.now () in
   Fun.protect
-    ~finally:(fun () -> run.encode_time <- run.encode_time +. Unix.gettimeofday () -. t0)
-    f
+    ~finally:(fun () -> run.encode_time <- run.encode_time +. Obs.now () -. t0)
+    (fun () -> Obs.span "encode" f)
 
 (* Loop-free-path constraints: for the new frame [i], require state [i] to
    differ from every earlier state, guarded by [act_lfp]. *)
@@ -304,7 +309,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
   let prop_pol = if config.proof_checks then Cnf.Both else Cnf.Neg in
   let deadline_passed () =
     match config.deadline with
-    | Some d -> Unix.gettimeofday () > d
+    | Some d -> Obs.now () > d
     | None -> false
   in
   let completed = ref (-1) in
@@ -312,6 +317,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     try
       for i = 0 to config.max_depth do
         if deadline_passed () then raise (Done (Timed_out !completed));
+        Obs.span "depth" ~attrs:[ ("k", Obs.Int i) ] (fun () ->
         let p_i =
           timed_encode run (fun () ->
               hooks.on_unroll unr i;
@@ -330,10 +336,13 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
         in
         if config.proof_checks then begin
           (* Forward termination: no loop-free path of length i from I. *)
-          if timed_solve run [ act_init; run.act_lfp ] = Solver.Unsat then
+          if timed_solve ~what:"lfp" run [ act_init; run.act_lfp ] = Solver.Unsat then
             raise (Done (Proof { depth = i; kind = Forward_diameter }));
           (* Backward termination: property inductive at depth i. *)
-          if timed_solve run [ run.act_lfp; run.act_cp; Lit.negate p_i ] = Solver.Unsat
+          if
+            timed_solve ~what:"induction" run
+              [ run.act_lfp; run.act_cp; Lit.negate p_i ]
+            = Solver.Unsat
           then raise (Done (Proof { depth = i; kind = Backward_induction }))
         end;
         (* Falsification: counterexample of length exactly i. *)
@@ -353,7 +362,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
         match config.stop_on_stable with
         | Some s when config.collect_reasons && i - run.reasons_last_changed >= s ->
           raise (Done (Reasons_stable i))
-        | Some _ | None -> ()
+        | Some _ | None -> ())
       done;
       Bounded_safe config.max_depth
     with
@@ -361,9 +370,9 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     | Solver.Timeout -> Timed_out !completed
     | Solver.Budget_exceeded what -> Out_of_budget { depth = !completed; what }
   in
-  let cert_t0 = Unix.gettimeofday () in
-  let certificate = certify_verdict run verdict in
-  let cert_time_s = Unix.gettimeofday () -. cert_t0 in
+  let cert_t0 = Obs.now () in
+  let certificate = Obs.span "certify" (fun () -> certify_verdict run verdict) in
+  let cert_time_s = Obs.now () -. cert_t0 in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
   let stats =
@@ -443,7 +452,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   let undecided () = List.filter (fun p -> p.ps_verdict = None) props in
   let deadline_passed () =
     match config.deadline with
-    | Some d -> Unix.gettimeofday () > d
+    | Some d -> Obs.now () > d
     | None -> false
   in
   let completed = ref (-1) in
@@ -452,6 +461,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
      let i = ref 0 in
      while !i <= config.max_depth && undecided () <> [] do
        if deadline_passed () then raise Exit;
+       Obs.span "depth" ~attrs:[ ("k", Obs.Int !i) ] (fun () ->
        timed_encode run (fun () ->
            hooks.on_unroll unr !i;
            List.iter
@@ -461,7 +471,8 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
        let pending = undecided () in
        if config.proof_checks then begin
          (* Forward diameter: settles every remaining property at once. *)
-         if timed_solve run [ act_init; run.act_lfp ] = Solver.Unsat then begin
+         if timed_solve ~what:"lfp" run [ act_init; run.act_lfp ] = Solver.Unsat
+         then begin
            List.iter
              (fun p ->
                p.ps_verdict <- Some (Proof { depth = !i; kind = Forward_diameter }))
@@ -472,7 +483,8 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
            (fun p ->
              let p_i = Cnf.lit unr ~frame:!i p.ps_signal in
              if
-               timed_solve run [ run.act_lfp; p.ps_act_cp; Lit.negate p_i ]
+               timed_solve ~what:"induction" run
+                 [ run.act_lfp; p.ps_act_cp; Lit.negate p_i ]
                = Solver.Unsat
              then
                p.ps_verdict <- Some (Proof { depth = !i; kind = Backward_induction }))
@@ -520,14 +532,14 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
            props;
          raise Exit
        | Some _ | None -> ());
-       incr i
+       incr i)
      done
    with
   | Exit | Solver.Timeout -> ()
   | Solver.Budget_exceeded what -> budget_hit := Some what);
   (* One DRAT check serves every UNSAT-backed verdict: all obligations were
      answered by the same incremental solver over the shared unrolling. *)
-  let cert_t0 = Unix.gettimeofday () in
+  let cert_t0 = Obs.now () in
   let unsat_certificate =
     lazy
       (if not config.certify then Cert.Unchecked "certification disabled"
@@ -539,11 +551,12 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   let certificate_of verdict =
     if not config.certify then Cert.Unchecked "certification disabled"
     else
-      match verdict with
-      | Proof _ | Bounded_safe _ | Reasons_stable _ -> Lazy.force unsat_certificate
-      | Counterexample t -> Trace.certify net t
-      | Timed_out _ -> Cert.Unchecked "timed out"
-      | Out_of_budget { what; _ } -> Cert.Unchecked ("out of budget: " ^ what)
+      Obs.span "certify" (fun () ->
+          match verdict with
+          | Proof _ | Bounded_safe _ | Reasons_stable _ -> Lazy.force unsat_certificate
+          | Counterexample t -> Trace.certify net t
+          | Timed_out _ -> Cert.Unchecked "timed out"
+          | Out_of_budget { what; _ } -> Cert.Unchecked ("out of budget: " ^ what))
   in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
@@ -584,7 +597,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
         (p.ps_name, { verdict; stats; certificate }))
       props
   in
-  let stats = { stats with cert_time_s = Unix.gettimeofday () -. cert_t0 } in
+  let stats = { stats with cert_time_s = Obs.now () -. cert_t0 } in
   let results =
     List.map (fun (name, r) -> (name, { r with stats })) results
   in

@@ -77,7 +77,7 @@ type outcome = {
 }
 
 let deadline_of opts =
-  Option.map (fun s -> Unix.gettimeofday () +. s) opts.timeout_s
+  Option.map (fun s -> Obs.now () +. s) opts.timeout_s
 
 let engine_config ?(proof_checks = true) ?free_latches ?proof_file opts =
   {
@@ -173,8 +173,15 @@ let proof_file_of options ~method_ ~property =
          (Printf.sprintf "%s-%s.drat" (sanitize property) (method_to_string method_)))
 
 let rec verify ?(options = default_options) ~method_ net ~property =
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  Obs.span "verify"
+    ~attrs:
+      [
+        ("method", Obs.Str (method_to_string method_));
+        ("property", Obs.Str property);
+      ]
+    (fun () ->
+  let t0 = Obs.now () in
+  let elapsed () = Obs.now () -. t0 in
   let proof_file = proof_file_of options ~method_ ~property in
   match method_ with
   | Emm_bmc ->
@@ -242,10 +249,10 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       proof_steps = 0;
       error;
       degradations = [];
-    }
+    })
 
 and verify_pba ~options ~use_emm net ~property ~t0 =
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let elapsed () = Obs.now () -. t0 in
   match
     Pba.discover ~max_depth:options.max_depth ~stability:options.stability
       ?deadline:(deadline_of options) ~use_emm net ~property
@@ -379,8 +386,8 @@ let classify_outcome conclusive o =
 
 let verify_resilient ?(options = default_options) ?(policy = Policy.default) ?inject net
     ~property =
-  let t0 = Unix.gettimeofday () in
-  let elapsed () = Unix.gettimeofday () -. t0 in
+  let t0 = Obs.now () in
+  let elapsed () = Obs.now () -. t0 in
   let options = apply_budgets options policy.Policy.budgets in
   let stages =
     match
@@ -438,17 +445,20 @@ let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ?policy 
   if jobs <= 1 then
     List.map (fun property -> (property, verify_one property)) properties
   else
-    let pool = Parallel.create ~jobs () in
-    Parallel.run
-      ?job_timeout_s:
-        (match policy with
-        | None -> hard_deadline options job_timeout_s
-        | Some _ ->
-          (* The resilient path forks and deadlines its own attempts; a
-             pool deadline would kill the whole chain mid-fallback. *)
-          job_timeout_s)
-      pool ~f:verify_one properties
-    |> List.map2 slot_outcome properties
+    Obs.span "verify_many"
+      ~attrs:[ ("jobs", Obs.Int jobs); ("properties", Obs.Int (List.length properties)) ]
+      (fun () ->
+        let pool = Parallel.create ~jobs () in
+        Parallel.run
+          ?job_timeout_s:
+            (match policy with
+            | None -> hard_deadline options job_timeout_s
+            | Some _ ->
+              (* The resilient path forks and deadlines its own attempts; a
+                 pool deadline would kill the whole chain mid-fallback. *)
+              job_timeout_s)
+          pool ~f:verify_one properties
+        |> List.map2 slot_outcome properties)
 
 (* A conclusive verdict settles the property: a proof, or a counterexample
    not known to be spurious.  [Inconclusive] and replay-refuted
@@ -466,12 +476,16 @@ let portfolio ?(options = default_options) ?(methods = default_portfolio) ?job_t
     ?(policy = Policy.default) net ~property =
   if methods = [] then invalid_arg "Emmver.portfolio: empty method list";
   let race ms =
-    let pool = Parallel.create ~jobs:(List.length ms) () in
-    Parallel.race
-      ?job_timeout_s:(hard_deadline options job_timeout_s)
-      pool
-      ~f:(fun method_ -> verify ~options ~method_ net ~property)
-      ~conclusive ms
+    Obs.span "race"
+      ~attrs:
+        [ ("methods", Obs.Str (String.concat "," (List.map method_to_string ms))) ]
+      (fun () ->
+        let pool = Parallel.create ~jobs:(List.length ms) () in
+        Parallel.race
+          ?job_timeout_s:(hard_deadline options job_timeout_s)
+          pool
+          ~f:(fun method_ -> verify ~options ~method_ net ~property)
+          ~conclusive ms)
   in
   let winner, results = race methods in
   let slots = List.combine methods results in

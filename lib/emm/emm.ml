@@ -586,20 +586,45 @@ let constrain_read_simpl t ms k r =
 let constrain_read t ms k r =
   if t.simplify then constrain_read_simpl t ms k r else constrain_read_plain t ms k r
 
+(* One instant event per memory per depth, carrying the delta of the eq.(3)–(6)
+   constraint counts contributed by that memory's read ports at this depth. *)
+let mem_count_attrs ~before ~after ~emitted =
+  let d f = Obs.Int (f after - f before) in
+  [
+    ("addr_clauses", d (fun c -> c.addr_clauses));
+    ("excl_gates", d (fun c -> c.excl_gates));
+    ("data_clauses", d (fun c -> c.data_clauses));
+    ("init_clauses", d (fun c -> c.init_clauses));
+    ("init_pairs", d (fun c -> c.init_pairs));
+    ("aux_vars", d (fun c -> c.aux_vars));
+    ("emitted_clauses", Obs.Int emitted);
+  ]
+
 let add_constraints t k =
   if k <> t.next_depth then
     invalid_arg
       (Printf.sprintf "Emm.add_constraints: expected depth %d, got %d" t.next_depth k);
   t.next_depth <- k + 1;
   t.current <- zero_counts;
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun ms ->
+  let t0 = Obs.now () in
+  Obs.span "emm" ~attrs:[ ("k", Obs.Int k) ] (fun () ->
+      let emitted_at_start = t.emitted in
       List.iter
-        (fun r -> constrain_read t ms k r)
-        (List.init (Netlist.num_read_ports ms.mem) Fun.id))
-    t.mems;
-  t.current <- { t.current with encode_time_s = Unix.gettimeofday () -. t0 };
+        (fun ms ->
+          let before = t.current and emitted0 = t.emitted in
+          let nports = Netlist.num_read_ports ms.mem in
+          List.iter (fun r -> constrain_read t ms k r) (List.init nports Fun.id);
+          if Obs.enabled () then
+            Obs.instant "emm.memory"
+              ~attrs:
+                (("name", Obs.Str (Netlist.memory_name ms.mem))
+                 :: ("read_ports", Obs.Int nports)
+                 :: mem_count_attrs ~before ~after:t.current
+                      ~emitted:(t.emitted - emitted0)))
+        t.mems;
+      if Obs.enabled () then
+        Obs.counter_add "emm.clauses" (t.emitted - emitted_at_start));
+  t.current <- { t.current with encode_time_s = Obs.now () -. t0 };
   Hashtbl.replace t.per_depth k t.current
 
 let counts_at t k =
@@ -695,7 +720,7 @@ let find_data_race ?(max_depth = 50) ?deadline net =
   let t = create unr in
   let act_init = Cnf.act_init unr in
   let deadline_passed () =
-    match deadline with Some d -> Unix.gettimeofday () > d | None -> false
+    match deadline with Some d -> Obs.now () > d | None -> false
   in
   let result = ref None in
   (try

@@ -74,14 +74,26 @@ let write_all fd bytes =
 (* The child computes [f x], marshals [Ok v] (or [Error backtrace] when [f]
    raises) to the write end of its pipe and leaves with [_exit], never
    returning into the caller's control flow (at_exit handlers, pending
-   alcotest reporters, ... belong to the parent). *)
+   alcotest reporters, ... belong to the parent).
+
+   When tracing is on, the whole job runs under [Obs.worker_scope]: the
+   child records spans into its own recorder and the rows ride back with
+   the result, so the parent can merge a pid-annotated trace.  A worker
+   that dies (deadline SIGKILL, crash) writes no payload — its partial
+   spans are dropped rather than corrupting the merged stream. *)
 let exec_child wfd f x =
-  let result = try Ok (f x) with e -> Error (Printexc.to_string e) in
+  let result, obs_rows =
+    Obs.worker_scope (fun () ->
+        try Ok (f x) with e -> Error (Printexc.to_string e))
+  in
   let payload =
-    try Marshal.to_bytes result []
+    try Marshal.to_bytes (result, obs_rows) []
     with e ->
       (* the value itself would not marshal (closure, custom block, ...) *)
-      Marshal.to_bytes (Error (Printexc.to_string e) : (_, string) result) []
+      Marshal.to_bytes
+        ((Error (Printexc.to_string e), obs_rows)
+          : (_, string) result * Obs.row list)
+        []
   in
   (try write_all wfd payload with _ -> ());
   (try Unix.close wfd with _ -> ());
@@ -157,10 +169,16 @@ let post_mortem t w =
       (try Ok (Marshal.from_bytes (Buffer.to_bytes w.buf) 0)
        with e -> Error (Printexc.to_string e))
     with
-    | Ok (Ok v) ->
-      t.n_completed <- t.n_completed + 1;
-      Ok v
-    | Ok (Error exn_text) -> fail (Crashed ("uncaught exception: " ^ exn_text))
+    | Ok ((res : (_, string) result), (obs_rows : Obs.row list)) -> (
+      (* Merge the worker's trace rows (pid-annotated at emission) before
+         judging the result: a worker that failed with an exception still
+         produced a well-formed partial trace worth keeping. *)
+      Obs.ingest_current obs_rows;
+      match res with
+      | Ok v ->
+        t.n_completed <- t.n_completed + 1;
+        Ok v
+      | Error exn_text -> fail (Crashed ("uncaught exception: " ^ exn_text)))
     | Error why -> fail (Protocol why))
   | None, Unix.WEXITED code -> fail (Crashed (Printf.sprintf "exit %d" code))
   | None, Unix.WSIGNALED s | None, Unix.WSTOPPED s ->

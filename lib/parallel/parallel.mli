@@ -24,7 +24,14 @@
 
     Results are returned in {b job order}, regardless of completion order:
     [run pool ~f [x0; x1; x2]] always pairs slot [i] with [f xi].  Scheduling
-    order is therefore unobservable and [-j N] cannot change verdicts. *)
+    order is therefore unobservable and [-j N] cannot change verdicts.
+
+    {b Tracing}: when an [Obs] recorder is current in the parent, each job
+    runs under [Obs.worker_scope] — the child records its own pid-annotated
+    rows, marshals them back alongside the result, and the parent ingests
+    them, so a [-j N] run yields one merged trace.  Workers that are
+    SIGKILLed (deadline, cancellation) or crash before writing a payload
+    contribute no rows: partial span trees are dropped, never merged. *)
 
 type reason =
   | Crashed of string

@@ -833,6 +833,16 @@ let pick_branch_var t =
 exception Found of result
 exception Restart
 
+(* Push the solver's cumulative counters into the ambient trace.  Called on
+   a sampling tick in the conflict loop and once per [solve] call, and only
+   when tracing is on — the hot path pays one [land] and one branch. *)
+let sample_counters t =
+  Obs.counter_set "solver.conflicts" (float_of_int t.conflicts);
+  Obs.counter_set "solver.decisions" (float_of_int t.decisions);
+  Obs.counter_set "solver.propagations" (float_of_int t.propagations);
+  Obs.counter_set "solver.restarts" (float_of_int t.restarts);
+  Obs.counter_set "solver.learnts" (float_of_int (Vec.size t.learnts))
+
 (* One restart-bounded search episode; raises [Found] on a definitive
    answer, [Restart] when the conflict budget runs out. *)
 let search t conflict_budget =
@@ -843,6 +853,7 @@ let search t conflict_budget =
     | Some confl ->
       t.conflicts <- t.conflicts + 1;
       incr conflicts;
+      if t.conflicts land 1023 = 0 && Obs.enabled () then sample_counters t;
       (match t.deadline with
       | Some d when t.conflicts land 255 = 0 && Unix.gettimeofday () > d ->
         cancel_until t 0;
@@ -919,7 +930,9 @@ let solve ?(assumptions = []) t =
   else begin
     let t0 = Unix.gettimeofday () in
     Fun.protect
-      ~finally:(fun () -> t.solve_time <- t.solve_time +. Unix.gettimeofday () -. t0)
+      ~finally:(fun () ->
+        t.solve_time <- t.solve_time +. Unix.gettimeofday () -. t0;
+        if Obs.enabled () then sample_counters t)
       (fun () ->
         cancel_until t 0;
         t.conflict_base <- t.conflicts;

@@ -86,11 +86,11 @@ let build cfg =
 (* Ground truth on a closed design: first frame (after-step convention, as in
    [Bmc.Trace.property_values]) at which the property fails, within the
    bound. *)
-let sim_first_failure net =
+let sim_first_failure ?(depth = depth_bound) net =
   let sim = Simulator.create net in
   let p = Netlist.find_property net "p" in
   let rec go k =
-    if k > depth_bound then None
+    if k > depth then None
     else begin
       Simulator.step sim ~inputs:(fun _ -> false);
       if not (Simulator.value sim p) then Some k else go (k + 1)
@@ -101,10 +101,6 @@ let sim_first_failure net =
 let falsify_config =
   { Bmc.Engine.default_config with max_depth = depth_bound; proof_checks = false }
 
-(* Same run with every simplification switched off: the paper-faithful
-   Tseitin unrolling and EMM encoding. *)
-let plain_config = { falsify_config with Bmc.Engine.simplify = false }
-
 let signature = function
   | Bmc.Engine.Counterexample t -> Printf.sprintf "cex@%d" t.Bmc.Trace.depth
   | Bmc.Engine.Proof { depth; _ } -> Printf.sprintf "proof@%d" depth
@@ -113,60 +109,175 @@ let signature = function
   | Bmc.Engine.Timed_out d -> Printf.sprintf "timeout@%d" d
   | Bmc.Engine.Out_of_budget { depth; what } -> Printf.sprintf "budget(%s)@%d" what depth
 
-let check_design cfg =
+(* The four-way comparison as a predicate: [None] when every pair of
+   verdicts agrees (and every counterexample replays on the simulator),
+   [Some reason] naming the first divergence.  The sweep fails through this
+   rather than through per-assertion Alcotest checks so the shrinker below
+   can re-run the exact same judgment on reduced configurations.
+
+   EMM and the explicit expansion must agree exactly, arbitrary init
+   included (both quantify over the same initial states); the simplifying
+   and plain encoders are different CNFs of the same model, so their
+   verdicts must match too; and for all-zero initial contents the default
+   simulation is itself the unique run of the closed design, supplying an
+   independent third verdict. *)
+let design_mismatch ?(depth = depth_bound) cfg =
   let net = build cfg in
-  let label fmt = Printf.ksprintf (fun s -> Printf.sprintf "design %d: %s" cfg.id s) fmt in
-  let emm_result, _ = Emm.check ~config:falsify_config net ~property:"p" in
-  let plain_result, _ = Emm.check ~config:plain_config net ~property:"p" in
+  let config = { falsify_config with Bmc.Engine.max_depth = depth } in
+  let plain = { config with Bmc.Engine.simplify = false } in
+  let emm_result, _ = Emm.check ~config net ~property:"p" in
+  let plain_result, _ = Emm.check ~config:plain net ~property:"p" in
   let expanded = Explicitmem.expand net in
-  let exp_result = Bmc.Engine.check ~config:falsify_config expanded ~property:"p" in
-  (* EMM and the explicit expansion must agree exactly, arbitrary init
-     included: both quantify over the same initial states. *)
-  Alcotest.(check string)
-    (label "EMM verdict = explicit verdict")
-    (signature exp_result.Bmc.Engine.verdict)
-    (signature emm_result.Bmc.Engine.verdict);
-  (* The simplifying and plain encoders are different CNFs of the same
-     model, so their verdicts must match exactly as well. *)
-  Alcotest.(check string)
-    (label "simplifying encoder verdict = plain encoder verdict")
-    (signature plain_result.Bmc.Engine.verdict)
-    (signature emm_result.Bmc.Engine.verdict);
-  (match plain_result.Bmc.Engine.verdict with
-  | Bmc.Engine.Counterexample t ->
-    Alcotest.(check bool) (label "plain-encoder trace replays on simulator") true
-      (Bmc.Trace.replay net t)
-  | _ -> ());
-  (* Every counterexample must replay on the concrete design ([Trace.replay]
-     supplies the initial memory words and arbitrary-init latches the solver
-     chose). *)
-  (match emm_result.Bmc.Engine.verdict with
-  | Bmc.Engine.Counterexample t ->
-    Alcotest.(check bool) (label "EMM trace replays on simulator") true
-      (Bmc.Trace.replay net t)
-  | _ -> ());
-  (match exp_result.Bmc.Engine.verdict with
-  | Bmc.Engine.Counterexample t ->
-    Alcotest.(check bool) (label "explicit trace replays on simulator") true
-      (Bmc.Trace.replay expanded t)
-  | _ -> ());
-  (* For all-zero initial contents the default simulation is itself the
-     unique run of the closed design, so it supplies a third, independent
-     verdict. *)
-  if not cfg.arbitrary then begin
-    let expected =
-      match sim_first_failure net with
-      | Some d -> Printf.sprintf "cex@%d" d
-      | None -> Printf.sprintf "safe@%d" depth_bound
-    in
-    Alcotest.(check string) (label "simulator verdict") expected
-      (signature emm_result.Bmc.Engine.verdict)
-  end
+  let exp_result = Bmc.Engine.check ~config expanded ~property:"p" in
+  let emm_sig = signature emm_result.Bmc.Engine.verdict in
+  let exp_sig = signature exp_result.Bmc.Engine.verdict in
+  let plain_sig = signature plain_result.Bmc.Engine.verdict in
+  let replay_failure label net' = function
+    | Bmc.Engine.Counterexample t when not (Bmc.Trace.replay net' t) ->
+      Some (Printf.sprintf "%s trace does not replay on the simulator" label)
+    | _ -> None
+  in
+  let ( <|> ) r next = match r with Some _ -> r | None -> next () in
+  (if emm_sig <> exp_sig then
+     Some (Printf.sprintf "EMM verdict %s <> explicit verdict %s" emm_sig exp_sig)
+   else None)
+  <|> (fun () ->
+        if plain_sig <> emm_sig then
+          Some
+            (Printf.sprintf "plain-encoder verdict %s <> simplifying verdict %s"
+               plain_sig emm_sig)
+        else None)
+  <|> (fun () -> replay_failure "EMM" net emm_result.Bmc.Engine.verdict)
+  <|> (fun () -> replay_failure "plain-encoder" net plain_result.Bmc.Engine.verdict)
+  <|> (fun () -> replay_failure "explicit" expanded exp_result.Bmc.Engine.verdict)
+  <|> (fun () ->
+        if cfg.arbitrary then None
+        else
+          let expected =
+            match sim_first_failure ~depth net with
+            | Some d -> Printf.sprintf "cex@%d" d
+            | None -> Printf.sprintf "safe@%d" depth
+          in
+          if expected <> emm_sig then
+            Some (Printf.sprintf "simulator verdict %s <> EMM verdict %s" expected emm_sig)
+          else None)
+
+(* {2 A greedy reproducer shrinker}
+
+   When a sweep design diverges, the raw configuration is noisy: two write
+   ports, an enable bit, arbitrary init and depth 8 all at once.  Before
+   failing we greedily minimize the (configuration, depth) pair — take the
+   first candidate reduction on which the mismatch persists and restart from
+   it — and print the minimal reproducer.  Candidates in decreasing order of
+   structural weight: ports first, then address bits, then data bits and
+   flags, then the unroll depth.  (The generator builds exactly one memory,
+   so a "fewer memories" step would be vacuous here.)  Every candidate
+   strictly decreases the sum of those quantities, so the greedy loop
+   terminates. *)
+
+let shrink_candidates (cfg, depth) =
+  List.concat
+    [
+      (if cfg.wports > 1 then
+         [ ({ cfg with
+              wports = 1;
+              wconsts = Array.sub cfg.wconsts 0 1;
+              dconsts = Array.sub cfg.dconsts 0 1;
+            }, depth) ]
+       else []);
+      (if cfg.rports > 1 then
+         [ ({ cfg with rports = 1; rconsts = Array.sub cfg.rconsts 0 1 }, depth) ]
+       else []);
+      (if cfg.aw > 1 then [ ({ cfg with aw = cfg.aw - 1 }, depth) ] else []);
+      (if cfg.dw > 1 then
+         [ ({ cfg with
+              dw = cfg.dw - 1;
+              target = cfg.target land ((1 lsl (cfg.dw - 1)) - 1);
+            }, depth) ]
+       else []);
+      (if cfg.arbitrary then [ ({ cfg with arbitrary = false }, depth) ] else []);
+      (match cfg.en_bit with
+      | Some _ -> [ ({ cfg with en_bit = None }, depth) ]
+      | None -> []);
+      (if depth > 1 then [ (cfg, depth - 1) ] else []);
+    ]
+
+let rec shrink ~mismatch state =
+  match List.find_opt (fun c -> mismatch c <> None) (shrink_candidates state) with
+  | Some smaller -> shrink ~mismatch smaller
+  | None -> state
+
+let cfg_to_string c =
+  let arr a = String.concat "; " (List.map string_of_int (Array.to_list a)) in
+  Printf.sprintf
+    "{ aw = %d; dw = %d; wports = %d; rports = %d; arbitrary = %b; wconsts = \
+     [| %s |]; dconsts = [| %s |]; rconsts = [| %s |]; en_bit = %s; \
+     prop_on_acc = %b; target = %d }"
+    c.aw c.dw c.wports c.rports c.arbitrary (arr c.wconsts) (arr c.dconsts)
+    (arr c.rconsts)
+    (match c.en_bit with None -> "None" | Some b -> Printf.sprintf "Some %d" b)
+    c.prop_on_acc c.target
 
 let test_differential_sweep () =
   for id = 0 to 49 do
-    check_design (random_cfg id)
+    let cfg = random_cfg id in
+    match design_mismatch cfg with
+    | None -> ()
+    | Some reason ->
+      let mcfg, mdepth =
+        shrink ~mismatch:(fun (c, d) -> design_mismatch ~depth:d c) (cfg, depth_bound)
+      in
+      let mreason =
+        Option.value ~default:reason (design_mismatch ~depth:mdepth mcfg)
+      in
+      Printf.printf
+        "minimal reproducer (shrunk from design %d):\n\
+        \  cfg   = %s\n\
+        \  depth = %d\n\
+        \  fails: %s\n%!"
+        cfg.id (cfg_to_string mcfg) mdepth mreason;
+      Alcotest.failf "design %d: %s — minimal reproducer %s at depth %d (%s)"
+        cfg.id reason (cfg_to_string mcfg) mdepth mreason
   done
+
+(* The shrinker itself, against an artificial mismatch predicate whose
+   failure region is known in closed form: "fails iff two write ports or
+   depth >= 3".  From a maximal configuration the greedy pass must strip
+   every irrelevant feature (the depth clause keeps the predicate true while
+   ports, widths and flags shrink) and stop exactly at the depth
+   boundary. *)
+let test_shrinker_converges () =
+  let mismatch (c, d) =
+    if c.wports >= 2 || d >= 3 then Some "artificial" else None
+  in
+  let start =
+    {
+      id = -1;
+      aw = 2;
+      dw = 3;
+      wports = 2;
+      rports = 2;
+      arbitrary = true;
+      wconsts = [| 3; 5 |];
+      dconsts = [| 1; 2 |];
+      rconsts = [| 4; 6 |];
+      en_bit = Some 1;
+      prop_on_acc = true;
+      target = 7;
+    }
+  in
+  let c, d = shrink ~mismatch (start, depth_bound) in
+  Alcotest.(check (option string)) "result still fails" (Some "artificial")
+    (mismatch (c, d));
+  Alcotest.(check int) "depth at the boundary" 3 d;
+  Alcotest.(check int) "write ports shrunk" 1 c.wports;
+  Alcotest.(check int) "read ports shrunk" 1 c.rports;
+  Alcotest.(check int) "address bits shrunk" 1 c.aw;
+  Alcotest.(check int) "data bits shrunk" 1 c.dw;
+  Alcotest.(check bool) "arbitrary init dropped" false c.arbitrary;
+  Alcotest.(check bool) "enable bit dropped" true (c.en_bit = None);
+  Alcotest.(check int) "port constant arrays follow the port counts" 1
+    (Array.length c.wconsts + Array.length c.rconsts - 1)
 
 (* {2 Forwarding smoke check}
 
@@ -234,6 +345,8 @@ let () =
         [
           Alcotest.test_case "50 random designs: EMM = explicit = simulator" `Quick
             test_differential_sweep;
+          Alcotest.test_case "shrinker converges to the minimal reproducer" `Quick
+            test_shrinker_converges;
           Alcotest.test_case "forwarding lands at depth 1 exactly" `Quick
             test_forwarding_depth;
           Alcotest.test_case "broken-forwarding shape detected" `Quick

@@ -305,6 +305,111 @@ let test_verify_many_differential () =
   Alcotest.(check (list (pair string string)))
     "verify_many -j 4 = sequential loop" sequential parallel
 
+(* {2 Tracing through the pool}
+
+   With a recorder installed in the parent, forked workers record events
+   locally ([Obs.worker_scope] in the pool's child shim) and marshal them
+   back alongside their results; the parent merges them into one
+   pid-annotated stream. *)
+
+let with_recorder r f =
+  let saved = Obs.current () in
+  Obs.set_current (Some r);
+  Fun.protect ~finally:(fun () -> Obs.set_current saved) f
+
+let worker_pids rows =
+  let parent = Unix.getpid () in
+  List.sort_uniq compare
+    (List.filter_map (fun (pid, _) -> if pid <> parent then Some pid else None) rows)
+
+let spans_exn rows =
+  match Obs.spans rows with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "span reconstruction failed: %s" e
+
+(* A -j 4 fanout over the 50 seeded designs yields one merged trace: the
+   stream validates, and every worker pid contributes a well-formed span
+   tree containing a "verify" span whose parents stay within that pid. *)
+let test_traced_fanout () =
+  let r = Obs.create ~track_alloc:false () in
+  let results =
+    with_recorder r (fun () ->
+        Parallel.map ~jobs:4
+          ~f:(fun id ->
+            conclusion_signature
+              (Emmver.verify ~options ~method_:Emmver.Emm_falsify
+                 (build (random_cfg id)) ~property:"p"))
+          (List.init 50 Fun.id))
+  in
+  List.iter (fun res -> ignore (ok_exn res)) results;
+  let rows = Obs.rows r in
+  (match Obs.validate rows with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged trace invalid: %s" e);
+  let spans = spans_exn rows in
+  let pids = worker_pids rows in
+  Alcotest.(check bool)
+    (Printf.sprintf "many workers contributed (%d pids)" (List.length pids))
+    true
+    (List.length pids >= 4);
+  List.iter
+    (fun pid ->
+      let mine = List.filter (fun s -> s.Obs.sp_pid = pid) spans in
+      Alcotest.(check bool)
+        (Printf.sprintf "worker %d contributed spans" pid)
+        true (mine <> []);
+      Alcotest.(check bool)
+        (Printf.sprintf "worker %d recorded a verify span" pid)
+        true
+        (List.exists (fun s -> s.Obs.sp_name = "verify") mine);
+      List.iter
+        (fun s ->
+          match s.Obs.sp_parent with
+          | None -> ()
+          | Some idx ->
+            Alcotest.(check int)
+              (Printf.sprintf "worker %d: enclosing span in same process" pid)
+              pid
+              (List.nth spans idx).Obs.sp_pid)
+        mine)
+    pids
+
+(* A SIGKILLed worker marshals nothing back: its partial spans are dropped,
+   the merged stream stays valid, and survivors' spans still arrive. *)
+let test_sigkill_drops_partial_spans () =
+  let r = Obs.create ~track_alloc:false () in
+  let results =
+    with_recorder r (fun () ->
+        Parallel.map ~jobs:3 ~job_timeout_s:0.3
+          ~f:(fun i ->
+            Obs.span "job" ~attrs:[ ("i", Obs.Int i) ] (fun () ->
+                if i = 1 then Unix.sleepf 30.0;
+                i))
+          [ 0; 1; 2 ])
+  in
+  Alcotest.(check (list string))
+    "only the sleeper dies"
+    [ "ok"; "timed_out"; "ok" ]
+    (List.map reason_label results);
+  let rows = Obs.rows r in
+  (match Obs.validate rows with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged trace corrupted by the kill: %s" e);
+  let job_ids =
+    List.filter_map
+      (fun s ->
+        if s.Obs.sp_name = "job" then Obs.attr_int "i" s.Obs.sp_attrs else None)
+      (spans_exn rows)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int))
+    "killed worker's span dropped, survivors kept"
+    [ 0; 2 ] job_ids;
+  Alcotest.(check int)
+    "exactly the two surviving workers contributed rows"
+    2
+    (List.length (worker_pids rows))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -329,5 +434,12 @@ let () =
             test_differential_fanout;
           Alcotest.test_case "verify_many -j 4 = sequential loop" `Quick
             test_verify_many_differential;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "50-design fanout merges one valid trace" `Quick
+            test_traced_fanout;
+          Alcotest.test_case "SIGKILLed worker's partial spans dropped" `Quick
+            test_sigkill_drops_partial_spans;
         ] );
     ]
