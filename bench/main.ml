@@ -18,6 +18,13 @@ let only = ref None
 let out_file = ref "BENCH_solver.json"
 let trace_out = ref None
 
+(* [--domains N] runs every matrix SAT query over an in-process Domain
+   portfolio of N diversified CDCL instances (lib/portfolio); [--no-share]
+   disables the learnt-clause exchange between them.  Orthogonal to [-j],
+   which forks whole table cells. *)
+let domains = ref 1
+let no_share = ref false
+
 (* [--overhead-budget PCT] (solver-json only): fail with exit 6 when this
    run's summed matrix CPU time exceeds the baseline file's recorded
    matrix_cpu_s by more than PCT percent (plus a 2s absolute slack against
@@ -538,12 +545,13 @@ let json_row ~design ~property ~method_ ~verdict ~time_s ~solve_time_s
      "certificate": %S, "proof_steps": %d,
      "conflicts": %d, "decisions": %d,
      "propagations": %d, "restarts": %d, "learnt": %d, "deleted": %d,
-     "minimised_lits": %d, "avg_lbd": %.2f}|}
+     "minimised_lits": %d, "avg_lbd": %.2f,
+     "shared_out": %d, "shared_in": %d}|}
     design property method_ verdict time_s solve_time_s encode_time_s num_vars
     num_clauses vars_saved clauses_saved certificate proof_steps
     s.Satsolver.Solver.conflicts
     s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
-    s.minimised_lits s.avg_lbd
+    s.minimised_lits s.avg_lbd s.shared_out s.shared_in
 
 (* {2 Baseline comparison (--baseline FILE)}
 
@@ -701,6 +709,53 @@ let export_largest_proof () =
       Format.printf "largest proof: %s (%d bytes) -> BENCH_largest.drat@." path size
     | None -> ()
 
+(* In-process Domain portfolio sweep on the headline proof row
+   (quicksort-n3 P1): domains x sharing, honest wall-clock plus the
+   exchange counters.  On a single-core host the domains timeshare, so
+   wall grows with N — the counters (and the verdict agreement) are the
+   point there; the wall comparison only becomes meaningful with
+   [host_cores >= domains].  Runs at a scaled-down depth unless
+   [--full]. *)
+let domain_sweep () =
+  let depth = if !full then 60 else 24 in
+  let net = (Designs.Registry.find "quicksort-n3").Designs.Registry.build () in
+  Format.printf "@.domain portfolio sweep: quicksort-n3 P1 (depth %d, %d host cores)@."
+    depth
+    (Domain.recommended_domain_count ());
+  Format.printf "%-8s %-6s %-24s %8s %10s %11s %10s@." "domains" "share" "verdict"
+    "wall" "conflicts" "shared-out" "shared-in";
+  List.map
+    (fun (d, share) ->
+      let options =
+        {
+          Emmver.default_options with
+          max_depth = depth;
+          timeout_s = Some !timeout;
+          domains = d;
+          share_clauses = share;
+        }
+      in
+      let o, wall_s =
+        time (fun () -> Emmver.verify ~options ~method_:Emmver.Emm_bmc net ~property:"P1")
+      in
+      let verdict = Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion in
+      let verdict =
+        match String.index_opt verdict ':' with
+        | Some i -> String.sub verdict 0 i
+        | None -> verdict
+      in
+      let s =
+        Option.value o.Emmver.solver_stats ~default:Satsolver.Solver.empty_stats
+      in
+      Format.printf "%-8d %-6b %-24s %7.2fs %10d %11d %10d@." d share verdict wall_s
+        s.Satsolver.Solver.conflicts s.shared_out s.shared_in;
+      Printf.sprintf
+        {|    {"domains": %d, "share": %b, "verdict": %S, "wall_s": %.3f,
+     "conflicts": %d, "shared_out": %d, "shared_in": %d}|}
+        d share verdict wall_s s.Satsolver.Solver.conflicts s.shared_out
+        s.shared_in)
+    [ (1, true); (2, true); (2, false); (4, true); (4, false) ]
+
 let solver_json () =
   hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
   (* Read the baseline before the run: it may be the very file we are about
@@ -734,6 +789,8 @@ let solver_json () =
             timeout_s = Some !timeout;
             certify = !certify;
             proof_dir = (if !certify then Some proof_dir else None);
+            domains = !domains;
+            share_clauses = not !no_share;
           }
         in
         time (fun () -> Emmver.verify ~options ~method_ net ~property))
@@ -822,6 +879,15 @@ let solver_json () =
            ~num_vars:nvars ~num_clauses:(List.length clauses) ~vars_saved:0
            ~clauses_saved:0 ~certificate ~proof_steps s))
     [ (7, 6); (8, 7); (9, 8) ];
+  (* The Domain-portfolio sweep varies the domain count internally, so it
+     only runs for the default configuration (no --domains/--no-share
+     override) and only when its headline row is in the selected matrix
+     (CI smoke restricts with [--only]). *)
+  let sweep_rows =
+    if !domains = 1 && (not !no_share) && matrix_selected "quicksort-n3" then
+      domain_sweep ()
+    else []
+  in
   let oc = open_out !out_file in
   output_string oc "{\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
@@ -829,11 +895,19 @@ let solver_json () =
   (* Fan-out telemetry for the verification matrix above (the raw-SAT rows
      always run sequentially): wall vs. summed per-row time is the measured
      speedup of this run.  The baseline reader skips this object — it has no
-     "design" field. *)
+     "design" field; the same goes for the per-combination "domains" entries
+     of the in-process portfolio sweep. *)
   output_string oc
     (Printf.sprintf
-       "  \"parallel\": {\"jobs\": %d, \"matrix_wall_s\": %.3f, \"matrix_cpu_s\": %.3f}\n"
-       !jobs matrix_wall_s matrix_cpu_s);
+       "  \"parallel\": {\"jobs\": %d, \"matrix_wall_s\": %.3f, \"matrix_cpu_s\": %.3f, \"host_cores\": %d"
+       !jobs matrix_wall_s matrix_cpu_s
+       (Domain.recommended_domain_count ()));
+  (match sweep_rows with
+  | [] -> output_string oc "}\n"
+  | rows ->
+    output_string oc ",\n  \"domains\": [\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n  ]}\n");
   output_string oc "}\n";
   close_out oc;
   Format.printf "wrote %s (%d rows)@." !out_file (List.length !rows);
@@ -947,8 +1021,9 @@ let () =
         match arg with
         | "--full" -> full := true
         | "--certify" -> certify := true
+        | "--no-share" -> no_share := true
         | "--timeout" | "--baseline" | "-j" | "--jobs" | "--only" | "--out"
-        | "--trace-out" | "--overhead-budget" ->
+        | "--trace-out" | "--overhead-budget" | "--domains" ->
           () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
@@ -958,6 +1033,8 @@ let () =
           else if i > 1 && Sys.argv.(i - 1) = "--trace-out" then trace_out := Some arg
           else if i > 1 && Sys.argv.(i - 1) = "--overhead-budget" then
             overhead_budget := Some (float_of_string arg)
+          else if i > 1 && Sys.argv.(i - 1) = "--domains" then
+            domains := max 1 (int_of_string arg)
           else if i > 1 && (Sys.argv.(i - 1) = "-j" || Sys.argv.(i - 1) = "--jobs") then
             jobs := max 1 (int_of_string arg)
           else cmds := arg :: !cmds)

@@ -95,6 +95,21 @@ let jobs_arg =
   in
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let domains_arg =
+  let doc =
+    "Race every SAT query over this many diversified in-process CDCL \
+     instances (OCaml domains) that exchange learnt glue clauses \
+     (1 = sequential solving). Verdicts do not depend on the domain count."
+  in
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc)
+
+let no_share_arg =
+  let doc =
+    "With $(b,--domains N), disable learnt-clause exchange between the \
+     racing instances (pure diversified racing)."
+  in
+  Arg.(value & flag & info [ "no-share" ] ~doc)
+
 let certify_arg =
   let doc =
     "Certify every verdict: DRAT-check the solver refutations behind proofs \
@@ -176,7 +191,7 @@ let print_certificate ?(always = false) outcome =
 
 let verify_cmd =
   let run design method_name property max_depth timeout_s show_trace vcd jobs certify
-      proof_dir conflict_budget learnt_mb_budget fallback trace_out =
+      proof_dir conflict_budget learnt_mb_budget fallback trace_out domains no_share =
     (* The verdict rank is computed inside [run_with_trace] and [exit]
        happens after it, so the trace file is written on every path. *)
     let rank =
@@ -192,6 +207,8 @@ let verify_cmd =
         proof_dir;
         conflict_budget;
         learnt_mb_budget;
+        domains;
+        share_clauses = not no_share;
       }
     in
     let policy = policy_of_fallback fallback in
@@ -233,7 +250,8 @@ let verify_cmd =
     Term.(
       const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
       $ show_trace_arg $ vcd_arg $ jobs_arg $ certify_arg $ proof_dir_arg
-      $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg $ trace_out_arg)
+      $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg $ trace_out_arg
+      $ domains_arg $ no_share_arg)
 
 let portfolio_cmd =
   let methods_arg =
@@ -243,7 +261,8 @@ let portfolio_cmd =
     in
     Arg.(value & opt (some string) None & info [ "methods" ] ~docv:"M1,M2,..." ~doc)
   in
-  let run design property max_depth timeout_s methods certify trace_out =
+  let run design property max_depth timeout_s methods certify trace_out domains
+      no_share =
     let rank =
       Obs.run_with_trace ?out:trace_out ~label:"portfolio" @@ fun () ->
     let net = load_design design in
@@ -252,7 +271,21 @@ let portfolio_cmd =
       | None -> Emmver.default_portfolio
       | Some s -> List.map parse_method (String.split_on_char ',' s)
     in
-    let options = { Emmver.default_options with max_depth; timeout_s; certify } in
+    (* [--domains N] composes with the fork race: each forked engine worker
+       runs its SAT queries over an in-process Domain portfolio of N
+       diversified instances.  The fork pool stays the crash-isolation
+       layer; the domains share clauses inside one worker's address
+       space. *)
+    let options =
+      {
+        Emmver.default_options with
+        max_depth;
+        timeout_s;
+        certify;
+        domains;
+        share_clauses = not no_share;
+      }
+    in
     let props =
       match property with
       | Some p -> [ p ]
@@ -288,7 +321,7 @@ let portfolio_cmd =
           the first conclusive verdict wins and the losers are killed")
     Term.(
       const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg
-      $ certify_arg $ trace_out_arg)
+      $ certify_arg $ trace_out_arg $ domains_arg $ no_share_arg)
 
 let save_cmd =
   let file_arg =

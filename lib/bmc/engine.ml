@@ -43,6 +43,7 @@ type config = {
   conflict_budget : int option;
   learnt_mb_budget : float option;
   proof_file : string option;
+  portfolio : Portfolio.config option;
 }
 
 let default_config =
@@ -58,7 +59,24 @@ let default_config =
     conflict_budget = None;
     learnt_mb_budget = None;
     proof_file = None;
+    portfolio = None;
   }
+
+(* Wrap a freshly created solver in a portfolio when the configuration asks
+   for one.  Must run before the unroller adds any clause (replicas mirror
+   the primary's clause stream from the beginning).  Sharing is forced off
+   when cores or DRAT logs are consumed: imported clauses have no local
+   derivation, so they would taint the one and invalidate the other. *)
+let make_portfolio config solver =
+  match config.portfolio with
+  | Some pcfg when pcfg.Portfolio.domains > 1 ->
+    let pcfg =
+      if config.certify || config.collect_reasons then
+        { pcfg with Portfolio.share = false }
+      else pcfg
+    in
+    Some (Portfolio.create ~config:pcfg solver)
+  | Some _ | None -> None
 
 (* The memory-interface bits observed by trace certification: write-port
    address/data/enable and read-port address/enable unconditionally,
@@ -126,11 +144,21 @@ type run = {
   reasons : (Netlist.signal, unit) Hashtbl.t;
   mem_reasons : (int, unit) Hashtbl.t;
   watches : (string * Netlist.signal * Netlist.signal option) list;
-  mutable obligations : Lit.t list list;  (* UNSAT assumption cubes, newest first *)
+  portfolio : Portfolio.t option;
+  mutable obligations : (Lit.t list * int) list;
+      (* UNSAT assumption cubes with the instance that answered them
+         (0 = the run's own solver), newest first *)
   mutable reasons_last_changed : int;
   mutable solve_time : float;
   mutable encode_time : float;
 }
+
+(* The solver whose bookkeeping matches the last answer: the portfolio
+   winner when racing, the run's own solver otherwise. *)
+let answer_solver run =
+  match run.portfolio with
+  | Some p -> Portfolio.winner_solver p
+  | None -> run.solver
 
 (* The [solve_time]/[encode_time] accumulators are now derived views over
    the observability spans: both read the same [Obs.now] clock, so [stats]
@@ -142,10 +170,14 @@ let timed_solve ?(what = "falsify") run assumptions =
       ~finally:(fun () -> run.solve_time <- run.solve_time +. Obs.now () -. t0)
       (fun () ->
         Obs.span "solve" ~attrs:[ ("query", Obs.Str what) ] (fun () ->
-            Solver.solve ~assumptions run.solver))
+            match run.portfolio with
+            | Some p -> Portfolio.solve ~assumptions p
+            | None -> Solver.solve ~assumptions run.solver))
   in
-  if r = Solver.Unsat && run.cfg.certify then
-    run.obligations <- assumptions :: run.obligations;
+  if r = Solver.Unsat && run.cfg.certify then begin
+    let w = match run.portfolio with Some p -> Portfolio.winner p | None -> 0 in
+    run.obligations <- (assumptions, w) :: run.obligations
+  end;
   r
 
 let timed_encode run f =
@@ -184,7 +216,7 @@ let collect_reasons_from_core run =
       | Some (Cnf.Tag.Memory id) ->
         if not (Hashtbl.mem run.mem_reasons id) then Hashtbl.replace run.mem_reasons id ()
       | Some (Cnf.Tag.Misc _) | None -> ())
-    (Solver.unsat_core_tags run.solver)
+    (Solver.unsat_core_tags (answer_solver run))
 
 let extract_trace run depth =
   let unr = run.unr in
@@ -236,16 +268,38 @@ let extract_trace run depth =
    the independent checker of [Cert.Drat]. *)
 let certify_unsat run =
   if run.obligations = [] then Cert.Unchecked "no unsat obligations recorded"
-  else
-    match
-      Cert.Drat.check
-        ~num_vars:(Solver.num_vars run.solver)
-        ~original:(Solver.export_clauses run.solver)
-        ~proof:(Solver.proof run.solver)
-        ~obligations:(List.rev run.obligations) ()
-    with
-    | Cert.Drat.Valid _ -> Cert.Certified Cert.Drat_checked
-    | Cert.Drat.Invalid why -> Cert.Refuted why
+  else begin
+    (* Under a portfolio, obligations are grouped by the instance that
+       answered them: every instance keeps a self-contained DRAT log over
+       the same (replayed) original clauses, so each group is checked
+       against its own instance's derivation. *)
+    let solver_of k =
+      match run.portfolio with
+      | Some p -> Portfolio.instance p k
+      | None -> run.solver
+    in
+    let instances = List.sort_uniq compare (List.map snd run.obligations) in
+    let rec go = function
+      | [] -> Cert.Certified Cert.Drat_checked
+      | k :: rest -> (
+        let solver = solver_of k in
+        let obligations =
+          List.rev
+            (List.filter_map
+               (fun (cube, w) -> if w = k then Some cube else None)
+               run.obligations)
+        in
+        match
+          Cert.Drat.check
+            ~num_vars:(Solver.num_vars solver)
+            ~original:(Solver.export_clauses solver)
+            ~proof:(Solver.proof solver) ~obligations ()
+        with
+        | Cert.Drat.Valid _ -> go rest
+        | Cert.Drat.Invalid why -> Cert.Refuted why)
+    in
+    go instances
+  end
 
 let dump_proof run =
   match run.cfg.proof_file with
@@ -274,6 +328,7 @@ exception Done of verdict
 
 let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
   let solver = Solver.create () in
+  let portfolio = make_portfolio config solver in
   Solver.set_deadline solver config.deadline;
   Solver.set_conflict_budget solver config.conflict_budget;
   Solver.set_learnt_budget_mb solver config.learnt_mb_budget;
@@ -295,6 +350,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       reasons = Hashtbl.create 64;
       mem_reasons = Hashtbl.create 4;
       watches = (if config.certify then watch_signals net else []);
+      portfolio;
       obligations = [];
       reasons_last_changed = 0;
       solve_time = 0.0;
@@ -375,6 +431,13 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
   let cert_time_s = Obs.now () -. cert_t0 in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
+  (* Under a portfolio, the solver telemetry aggregates all instances: the
+     work the machine actually did, not just the winner's share. *)
+  let sstats =
+    match run.portfolio with
+    | Some p -> Portfolio.merged_stats p
+    | None -> Solver.stats solver
+  in
   let stats =
     {
       depths_completed = !completed + 1;
@@ -384,7 +447,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       proof_steps = (if config.certify then List.length (Solver.proof solver) else 0);
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
-      num_conflicts = Solver.num_conflicts solver;
+      num_conflicts = sstats.Solver.conflicts;
       vars_saved = cnf_stats.Cnf.vars_saved;
       clauses_saved = cnf_stats.Cnf.clauses_saved;
       peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
@@ -392,7 +455,7 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       memory_reasons =
         List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
       reasons_last_changed = run.reasons_last_changed;
-      solver_stats = Solver.stats solver;
+      solver_stats = sstats;
     }
   in
   { verdict; stats; certificate }
@@ -409,6 +472,7 @@ type prop_state = {
 
 let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   let solver = Solver.create () in
+  let portfolio = make_portfolio config solver in
   Solver.set_deadline solver config.deadline;
   Solver.set_conflict_budget solver config.conflict_budget;
   Solver.set_learnt_budget_mb solver config.learnt_mb_budget;
@@ -430,6 +494,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       reasons = Hashtbl.create 64;
       mem_reasons = Hashtbl.create 4;
       watches = (if config.certify then watch_signals net else []);
+      portfolio;
       obligations = [];
       reasons_last_changed = 0;
       solve_time = 0.0;
@@ -560,6 +625,13 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
   in
   let gc = Gc.quick_stat () in
   let cnf_stats = Cnf.stats unr in
+  (* Under a portfolio, the solver telemetry aggregates all instances: the
+     work the machine actually did, not just the winner's share. *)
+  let sstats =
+    match run.portfolio with
+    | Some p -> Portfolio.merged_stats p
+    | None -> Solver.stats solver
+  in
   let stats =
     {
       depths_completed = !completed + 1;
@@ -569,7 +641,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       proof_steps = (if config.certify then List.length (Solver.proof solver) else 0);
       num_vars = Solver.num_vars solver;
       num_clauses = Solver.num_clauses solver;
-      num_conflicts = Solver.num_conflicts solver;
+      num_conflicts = sstats.Solver.conflicts;
       vars_saved = cnf_stats.Cnf.vars_saved;
       clauses_saved = cnf_stats.Cnf.clauses_saved;
       peak_memory_mb = float_of_int (gc.Gc.heap_words * 8) /. 1e6;
@@ -577,7 +649,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
       memory_reasons =
         List.sort compare (Hashtbl.fold (fun id () acc -> id :: acc) run.mem_reasons []);
       reasons_last_changed = run.reasons_last_changed;
-      solver_stats = Solver.stats solver;
+      solver_stats = sstats;
     }
   in
   let results =

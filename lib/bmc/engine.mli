@@ -91,6 +91,15 @@ type config = {
       (** learnt-clause database ceiling in MB, same failure mode *)
   proof_file : string option;
       (** with [certify], also write the DRAT derivation to this path *)
+  portfolio : Portfolio.config option;
+      (** with [Some cfg] and [cfg.domains > 1], every SAT query is raced
+          by an in-process Domain portfolio (see {!Portfolio}); [None] (the
+          default) solves sequentially.  Clause sharing is forced off when
+          [certify] (imports would invalidate the DRAT logs; each instance
+          keeps a self-contained log and the winner's is checked) or
+          [collect_reasons] (imported clauses have no local derivation, so
+          cores would under-approximate) is set.  [proof_file] always dumps
+          the primary instance's derivation. *)
 }
 
 val default_config : config

@@ -36,6 +36,8 @@ type options = {
   proof_dir : string option;
   conflict_budget : int option;
   learnt_mb_budget : float option;
+  domains : int;
+  share_clauses : bool;
 }
 
 let default_options =
@@ -48,6 +50,8 @@ let default_options =
     proof_dir = None;
     conflict_budget = None;
     learnt_mb_budget = None;
+    domains = 1;
+    share_clauses = true;
   }
 
 type conclusion =
@@ -90,6 +94,15 @@ let engine_config ?(proof_checks = true) ?free_latches ?proof_file opts =
     conflict_budget = opts.conflict_budget;
     learnt_mb_budget = opts.learnt_mb_budget;
     proof_file;
+    portfolio =
+      (if opts.domains > 1 then
+         Some
+           {
+             Portfolio.default_config with
+             Portfolio.domains = opts.domains;
+             share = opts.share_clauses;
+           }
+       else None);
   }
 
 (* Translate an engine result, replaying counterexamples on [replay_net]. *)
@@ -566,7 +579,9 @@ let pp_outcome ppf o =
       "@,solver: conflicts=%d decisions=%d props=%d restarts=%d learnt=%d \
        deleted=%d minimised=%d avg-lbd=%.2f"
       s.Satsolver.Solver.conflicts s.decisions s.propagations s.restarts
-      s.learnt_clauses s.deleted_clauses s.minimised_lits s.avg_lbd);
+      s.learnt_clauses s.deleted_clauses s.minimised_lits s.avg_lbd;
+    if s.shared_out > 0 || s.shared_in > 0 then
+      Format.fprintf ppf " shared-out=%d shared-in=%d" s.shared_out s.shared_in);
   (match o.certificate with
   | Cert.Unchecked _ -> ()
   | c -> Format.fprintf ppf "@,certificate: %a" Cert.pp c);

@@ -78,18 +78,27 @@ let close_open_spans t =
     end_top t
   done
 
-(* {2 The current recorder} *)
+(* {2 The current recorder}
 
-let cur : t option ref = ref None
+   The ambient recorder is domain-local: every domain sees its own slot,
+   and a freshly spawned domain starts with [None] (emission disabled)
+   until [domain_scope] installs a private recorder for it.  A recorder is
+   therefore only ever mutated by the one domain that installed it — the
+   cross-domain hand-off happens through [rows] after the domain joins. *)
 
-let set_current r = cur := r
-let current () = !cur
-let enabled () = !cur <> None
+let cur_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let now () = match !cur with Some r -> r.c () | None -> Unix.gettimeofday ()
+let cur () = Domain.DLS.get cur_key
+let set_cur v = Domain.DLS.set cur_key v
+
+let set_current r = set_cur r
+let current () = cur ()
+let enabled () = cur () <> None
+
+let now () = match cur () with Some r -> r.c () | None -> Unix.gettimeofday ()
 
 let span ?(attrs = []) name f =
-  match !cur with
+  match cur () with
   | None -> f ()
   | Some r ->
     let a0 = if r.track_alloc then alloc_words () else 0.0 in
@@ -98,7 +107,7 @@ let span ?(attrs = []) name f =
     Fun.protect f ~finally:(fun () -> end_top r)
 
 let instant ?(attrs = []) name =
-  match !cur with
+  match cur () with
   | None -> ()
   | Some r -> push r (Instant { name; ts = r.c (); attrs })
 
@@ -107,7 +116,7 @@ let bump r name total =
   push r (Count { name; ts = r.c (); value = total })
 
 let counter_add name delta =
-  match !cur with
+  match cur () with
   | None -> ()
   | Some r ->
     let delta = max 0 delta in
@@ -118,7 +127,7 @@ let counter_add name delta =
     bump r name total
 
 let counter_set name v =
-  match !cur with
+  match cur () with
   | None -> ()
   | Some r ->
     let old = match Hashtbl.find_opt r.totals name with Some v -> v | None -> 0.0 in
@@ -127,24 +136,61 @@ let counter_set name v =
 (* {2 Worker support} *)
 
 let worker_scope f =
-  match !cur with
+  match cur () with
   | None -> (f (), [])
   | Some parent ->
     let r = create ~clock:parent.c ~track_alloc:parent.track_alloc () in
-    cur := Some r;
-    let v = Fun.protect f ~finally:(fun () -> cur := None) in
+    set_cur (Some r);
+    let v = Fun.protect f ~finally:(fun () -> set_cur None) in
     close_open_spans r;
     (v, rows r)
 
+(* Belt-and-braces: ingestion is the one recorder operation several domains
+   could plausibly reach concurrently (workers reporting as they finish), so
+   it takes a global lock.  The intended discipline remains single-domain —
+   parents ingest after join. *)
+let ingest_mutex = Mutex.create ()
+
 let ingest t worker_rows =
-  List.iter
-    (fun row ->
-      t.rev_rows <- row :: t.rev_rows;
-      t.n <- t.n + 1)
-    worker_rows
+  Mutex.protect ingest_mutex (fun () ->
+      List.iter
+        (fun row ->
+          t.rev_rows <- row :: t.rev_rows;
+          t.n <- t.n + 1)
+        worker_rows)
 
 let ingest_current worker_rows =
-  match !cur with None -> () | Some r -> ingest r worker_rows
+  match cur () with None -> () | Some r -> ingest r worker_rows
+
+(* {2 Domain support} *)
+
+type domain_token = { dt_parent : t; dt_pid : int }
+
+(* Synthetic-pid allocator: distinct pids keep the per-pid span stacks of
+   [spans]/[validate] well-formed when several domains' rows are merged
+   into one trace. *)
+let domain_seq = Atomic.make 0
+
+let domain_fork ?pid () =
+  match cur () with
+  | None -> None
+  | Some parent ->
+    let pid =
+      match pid with
+      | Some p -> p
+      | None -> (parent.pid * 1000) + 1 + Atomic.fetch_and_add domain_seq 1
+    in
+    Some { dt_parent = parent; dt_pid = pid }
+
+let domain_scope token f =
+  match token with
+  | None -> (f (), [])
+  | Some { dt_parent = parent; dt_pid = pid } ->
+    let r = create ~clock:parent.c ~pid ~track_alloc:parent.track_alloc () in
+    set_cur (Some r);
+    let v = Fun.protect f ~finally:(fun () -> set_cur None) in
+    close_open_spans r;
+    (v, rows r)
 
 (* {2 Validation and span extraction} *)
 

@@ -1,0 +1,514 @@
+(* Concurrency battery for the in-process Domain portfolio (lib/portfolio).
+
+   Three layers of defence, mirroring the risk profile of racing CDCL
+   instances over shared state:
+
+   - the exchange buffer is model-checked: random concurrent publish/drain
+     schedules from up to 8 domains are compared against the sequential
+     reference semantics (exactly-once, in-order, no torn clauses, never
+     evicting an unread entry);
+
+   - verdicts are differentially tested: the 50 seeded random memory
+     designs of [test_differential] run through the portfolio (sharing on
+     and off) and must answer exactly what sequential solving answers;
+
+   - the safety net itself is mutation-tested: a fault-injection switch
+     corrupts every imported clause, and the battery must notice — if it
+     does not, the differential net would also miss a real sharing bug. *)
+
+module Solver = Satsolver.Solver
+module Lit = Satsolver.Lit
+module Exchange = Portfolio.Exchange
+open Diffgen
+
+(* {2 Exchange buffer: sequential semantics} *)
+
+let clause_list = Alcotest.(list (list int))
+let show_clauses cs = List.map (List.map Lit.to_dimacs) cs
+
+let test_exchange_single_consumer () =
+  (* Degenerate single-domain portfolio: the one consumer only ever sees
+     its own clauses, so drains are empty — but cursors still advance, so
+     the ring never wedges. *)
+  let ex = Exchange.create ~consumers:1 ~capacity:4 in
+  for i = 0 to 3 do
+    Alcotest.(check bool) "publish into free slot" true
+      (Exchange.publish ex ~owner:0 [ Lit.of_var i true ])
+  done;
+  Alcotest.(check bool) "5th publish refused (ring full)" false
+    (Exchange.publish ex ~owner:0 [ Lit.of_var 4 true ]);
+  Alcotest.check clause_list "own clauses are filtered" []
+    (show_clauses (Exchange.drain ex 0));
+  Alcotest.(check bool) "drain freed the ring" true
+    (Exchange.publish ex ~owner:0 [ Lit.of_var 4 true ]);
+  let s = Exchange.stats ex in
+  Alcotest.(check int) "published" 5 s.Exchange.published;
+  Alcotest.(check int) "dropped" 1 s.Exchange.dropped;
+  Alcotest.(check int) "delivered" 0 s.Exchange.delivered
+
+let test_exchange_order_and_filtering () =
+  let ex = Exchange.create ~consumers:3 ~capacity:16 in
+  let c0a = [ Lit.of_var 1 true ]
+  and c0b = [ Lit.of_var 2 true; Lit.of_var 3 false ]
+  and c1a = [ Lit.of_var 4 false ] in
+  assert (Exchange.publish ex ~owner:0 c0a);
+  assert (Exchange.publish ex ~owner:0 c0b);
+  assert (Exchange.publish ex ~owner:1 c1a);
+  Alcotest.check clause_list "consumer 2 sees all, in publication order"
+    (show_clauses [ c0a; c0b; c1a ])
+    (show_clauses (Exchange.drain ex 2));
+  Alcotest.check clause_list "consumer 0 sees only peer clauses"
+    (show_clauses [ c1a ])
+    (show_clauses (Exchange.drain ex 0));
+  Alcotest.check clause_list "consumer 1 sees only peer clauses"
+    (show_clauses [ c0a; c0b ])
+    (show_clauses (Exchange.drain ex 1));
+  Alcotest.check clause_list "second drain is empty" []
+    (show_clauses (Exchange.drain ex 2));
+  let s = Exchange.stats ex in
+  Alcotest.(check int) "delivered = 3 + 1 + 2" 6 s.Exchange.delivered
+
+let test_exchange_never_evicts () =
+  let ex = Exchange.create ~consumers:2 ~capacity:2 in
+  assert (Exchange.publish ex ~owner:0 [ Lit.of_var 1 true ]);
+  assert (Exchange.publish ex ~owner:0 [ Lit.of_var 2 true ]);
+  Alcotest.(check bool) "full: refused" false
+    (Exchange.publish ex ~owner:0 [ Lit.of_var 3 true ]);
+  Alcotest.(check int) "consumer 1 drains both" 2
+    (List.length (Exchange.drain ex 1));
+  (* Consumer 0 (the slowest cursor) still has not read — the slot is
+     protected even though owner 0 would only ever skip it. *)
+  Alcotest.(check bool) "still full while any cursor lags" false
+    (Exchange.publish ex ~owner:0 [ Lit.of_var 3 true ]);
+  ignore (Exchange.drain ex 0);
+  Alcotest.(check bool) "both cursors caught up: admitted" true
+    (Exchange.publish ex ~owner:0 [ Lit.of_var 3 true ])
+
+(* {2 Exchange buffer: concurrent model check}
+
+   Every domain [k] runs a schedule of publishes (its clauses carry
+   [owner * 1000 + serial] in the first literal and a checksum literal, so
+   torn or cross-wired clauses are detectable) interleaved with drains.
+   After the domains join, the main domain drains the remainders and checks
+   the outcome against the sequential reference model: consumer [k]
+   received exactly the successfully-published clauses of every other
+   owner, exactly once, in each owner's publication order, contents
+   intact.  The interleaving is whatever the scheduler produced — the
+   invariants are schedule-independent, which is what makes the test
+   deterministic in verdict. *)
+
+let encode ~owner ~serial =
+  let v = (owner * 1000) + serial in
+  [ Lit.of_var v true; Lit.of_var (v + 100_000) false ]
+
+let decode = function
+  | [ l1; l2 ]
+    when Lit.sign l1 && (not (Lit.sign l2)) && Lit.var l2 = Lit.var l1 + 100_000 ->
+    Some (Lit.var l1 / 1000, Lit.var l1 mod 1000)
+  | _ -> None
+
+let concurrent_exchange_invariant (consumers, capacity, pubs, drain_every) =
+  let ex = Exchange.create ~consumers ~capacity in
+  let ok = Array.make consumers [||] in
+  let recv = Array.make consumers [] in
+  let worker k () =
+    let sent = Array.make pubs false in
+    for serial = 0 to pubs - 1 do
+      sent.(serial) <- Exchange.publish ex ~owner:k (encode ~owner:k ~serial);
+      if serial mod drain_every = 0 then
+        recv.(k) <- recv.(k) @ Exchange.drain ex k
+    done;
+    ok.(k) <- sent
+  in
+  let doms = List.init (consumers - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join doms;
+  for k = 0 to consumers - 1 do
+    recv.(k) <- recv.(k) @ Exchange.drain ex k
+  done;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let seen = Hashtbl.create 64 in
+  for k = 0 to consumers - 1 do
+    let last_serial = Array.make consumers (-1) in
+    List.iter
+      (fun clause ->
+        match decode clause with
+        | None -> fail "consumer %d received a torn clause" k
+        | Some (owner, serial) ->
+          if owner = k then fail "consumer %d received its own clause" k;
+          if owner < 0 || owner >= consumers || serial >= pubs then
+            fail "consumer %d received alien clause %d/%d" k owner serial
+          else begin
+            if not ok.(owner).(serial) then
+              fail "consumer %d received dropped clause %d/%d" k owner serial;
+            if Hashtbl.mem seen (k, owner, serial) then
+              fail "consumer %d received %d/%d twice" k owner serial;
+            Hashtbl.add seen (k, owner, serial) ();
+            if serial <= last_serial.(owner) then
+              fail "consumer %d saw %d/%d out of order" k owner serial;
+            last_serial.(owner) <- serial
+          end)
+      recv.(k);
+    (* Exactly-once: everything successfully published by a peer arrived. *)
+    for owner = 0 to consumers - 1 do
+      if owner <> k then
+        Array.iteri
+          (fun serial sent ->
+            if sent && not (Hashtbl.mem seen (k, owner, serial)) then
+              fail "consumer %d never received %d/%d" k owner serial)
+          ok.(owner)
+    done
+  done;
+  let s = Exchange.stats ex in
+  let published =
+    Array.fold_left
+      (fun acc sent ->
+        acc + Array.fold_left (fun a b -> if b then a + 1 else a) 0 sent)
+      0 ok
+  in
+  if s.Exchange.published <> published then
+    fail "stats.published %d <> successful publishes %d" s.Exchange.published
+      published;
+  let delivered = Array.fold_left (fun acc l -> acc + List.length l) 0 recv in
+  if s.Exchange.delivered <> delivered then
+    fail "stats.delivered %d <> clauses received %d" s.Exchange.delivered delivered;
+  match !failures with
+  | [] -> true
+  | fs -> QCheck2.Test.fail_report (String.concat "\n" fs)
+
+let exchange_model_test =
+  QCheck2.Test.make ~count:30
+    ~name:"concurrent publish/drain schedules match the sequential model"
+    QCheck2.Gen.(
+      quad (int_range 2 8) (int_range 1 16) (int_range 1 25) (int_range 1 5))
+    concurrent_exchange_invariant
+
+(* {2 Differential battery: portfolio verdicts = sequential verdicts}
+
+   Two sweeps of 50 seeds each, both against sequential solving:
+
+   - the random memory designs of [test_differential] through [Bmc.Engine]
+     with the portfolio enabled — these exercise the replay/race machinery
+     over real BMC queries (assumptions, incremental clauses, multi-race
+     lifecycles), but they are propagation-solved, so no clauses are learnt
+     and the exchange stays idle;
+
+   - random 3-SAT instances near the phase transition straight through
+     {!Portfolio.solve} — these conflict heavily, so the exchange carries
+     real traffic (the test asserts imports happened), and the verdicts
+     must still match a fresh sequential solver.  Each seed races twice:
+     the second race's solve-entry drain makes imports deterministic, not
+     scheduler-dependent. *)
+
+let portfolio_config ~share ?(share_lbd_max = 2) ?(corrupt = false) () =
+  {
+    Portfolio.default_config with
+    Portfolio.domains = 4;
+    share;
+    share_lbd_max;
+    corrupt_imports = corrupt;
+  }
+
+let check_with pcfg net =
+  let config = { falsify_config with Bmc.Engine.portfolio = pcfg } in
+  let result, _ = Emm.check ~config net ~property:"p" in
+  result
+
+let test_differential_portfolio () =
+  for id = 0 to 49 do
+    let net = build (random_cfg id) in
+    let seq = signature (check_with None net).Bmc.Engine.verdict in
+    let shared =
+      signature
+        (check_with (Some (portfolio_config ~share:true ())) net).Bmc.Engine.verdict
+    in
+    let unshared =
+      signature
+        (check_with (Some (portfolio_config ~share:false ())) net).Bmc.Engine.verdict
+    in
+    if shared <> seq then
+      Alcotest.failf "design %d: portfolio(share) %s <> sequential %s" id shared seq;
+    if unshared <> seq then
+      Alcotest.failf "design %d: portfolio(no-share) %s <> sequential %s" id
+        unshared seq
+  done
+
+let random_3sat seed n m =
+  let st = Random.State.make [| 0xbeef; seed |] in
+  List.init m (fun _ ->
+      let rec pick acc k =
+        if k = 0 then acc
+        else
+          let v = Random.State.int st n in
+          if List.exists (fun l -> Lit.var l = v) acc then pick acc k
+          else pick (Lit.of_var v (Random.State.bool st) :: acc) (k - 1)
+      in
+      pick [] 3)
+
+let sat_n = 60
+let sat_m = 252 (* clause ratio 4.2: mixed sat/unsat, conflict-heavy *)
+
+let load_3sat s seed =
+  Solver.ensure_vars s sat_n;
+  List.iter (Solver.add_clause s) (random_3sat seed sat_n sat_m)
+
+let sequential_verdict seed =
+  let s = Solver.create () in
+  load_3sat s seed;
+  Solver.solve s
+
+let test_raw_differential_sharing () =
+  let imports = ref 0 in
+  for seed = 0 to 49 do
+    let reference = sequential_verdict seed in
+    List.iter
+      (fun share ->
+        let s = Solver.create () in
+        let p =
+          Portfolio.create
+            ~config:(portfolio_config ~share ~share_lbd_max:30 ())
+            s
+        in
+        load_3sat s seed;
+        for race = 1 to 2 do
+          if Portfolio.solve p <> reference then
+            Alcotest.failf "seed %d race %d (share=%b): verdict differs from \
+                            sequential" seed race share
+        done;
+        if share then
+          imports := !imports + (Portfolio.merged_stats p).Solver.shared_in)
+      [ true; false ]
+  done;
+  if !imports = 0 then
+    Alcotest.fail "sharing sweep never imported a clause: the net is vacuous"
+
+(* {2 Mutation test: the battery catches a corrupted import}
+
+   First the deterministic core: a corrupted import flips a SAT verdict on
+   a two-line formula, so the import path really is on the soundness
+   boundary.  Then the battery-level claim: with [corrupt_imports] negating
+   the first literal of every imported clause, the 50-seed 3-SAT sweep must
+   import clauses and must catch divergences — either as a verdict mismatch
+   against sequential solving or as the portfolio's own agreement tripwire
+   ([Failure]).  A sharing bug that corrupts clauses in flight is exactly
+   this fault, so a green mutation run would mean the net has a hole in it.
+   (Measured: 15-19 of the 50 seeds diverge per run; the assertion asks for
+   at least one, so scheduler variation has three orders of margin.) *)
+
+let test_mutation_direct () =
+  let sat () =
+    let s = Solver.create () in
+    Solver.ensure_vars s 2;
+    Solver.add_clause s [ Lit.of_var 0 true; Lit.of_var 1 true ];
+    s
+  in
+  let s = sat () in
+  Alcotest.(check bool) "formula is satisfiable" true (Solver.solve s = Solver.Sat);
+  let s = sat () in
+  Alcotest.(check int) "implied import is admitted" 1
+    (Solver.import_clauses s [ [ Lit.of_var 0 true; Lit.of_var 1 true ] ]);
+  Alcotest.(check bool) "still satisfiable" true (Solver.solve s = Solver.Sat);
+  let s = sat () in
+  (* The corrupted units [~x0], [~x1] are not implied: importing them must
+     flip the verdict, which is what [corrupt_imports] provokes at scale. *)
+  ignore
+    (Solver.import_clauses s [ [ Lit.of_var 0 false ]; [ Lit.of_var 1 false ] ]);
+  Alcotest.(check bool) "corrupted import flips the verdict" true
+    (Solver.solve s = Solver.Unsat)
+
+let test_mutation_battery () =
+  let imports = ref 0 in
+  let divergences = ref 0 in
+  for seed = 0 to 49 do
+    let reference = sequential_verdict seed in
+    let s = Solver.create () in
+    let p =
+      Portfolio.create
+        ~config:(portfolio_config ~share:true ~share_lbd_max:30 ~corrupt:true ())
+        s
+    in
+    load_3sat s seed;
+    let detected =
+      try
+        (* Two races: race 1 fills the persistent exchange, race 2's
+           solve-entry drain then imports corrupted clauses for certain. *)
+        let a = Portfolio.solve p in
+        let b = Portfolio.solve p in
+        a <> reference || b <> reference
+      with Failure _ ->
+        (* Two instances finished with different answers: the agreement
+           tripwire fired, which is a caught divergence too. *)
+        true
+    in
+    imports := !imports + (Portfolio.merged_stats p).Solver.shared_in;
+    if detected then incr divergences
+  done;
+  if !imports = 0 then
+    Alcotest.fail "mutation run never imported a clause: the sweep is vacuous";
+  if !divergences = 0 then
+    Alcotest.failf
+      "corrupted imports went undetected over 50 seeds (%d imports): the \
+       differential battery has a hole"
+      !imports
+
+(* {2 Cancellation, teardown, churn} *)
+
+let pigeonhole_clauses pigeons holes =
+  let v p h = Lit.of_var ((p * holes) + h) true in
+  let at_least_one = List.init pigeons (fun p -> List.init holes (fun h -> v p h)) in
+  let at_most_one =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun q ->
+                if q > p then Some [ Lit.negate (v p h); Lit.negate (v q h) ]
+                else None)
+              (List.init pigeons Fun.id))
+          (List.init pigeons Fun.id))
+      (List.init holes Fun.id)
+  in
+  (pigeons * holes, at_least_one @ at_most_one)
+
+let load_pigeonhole s pigeons holes =
+  let nvars, clauses = pigeonhole_clauses pigeons holes in
+  Solver.ensure_vars s nvars;
+  List.iter (Solver.add_clause s) clauses
+
+let test_stop_flag_observed () =
+  (* A pre-set stop flag must make the solver back out at its first
+     periodic check instead of grinding through the refutation. *)
+  let s = Solver.create () in
+  load_pigeonhole s 9 8;
+  let stop = Atomic.make true in
+  Solver.set_stop s (Some stop);
+  let t0 = Unix.gettimeofday () in
+  (match Solver.solve s with
+  | exception Solver.Stopped -> ()
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "expected Stopped");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "backed out promptly (%.3fs)" elapsed)
+    true (elapsed < 1.0);
+  (* The flag is live state, not a one-shot: clearing it restores the
+     solver, which must then answer normally. *)
+  Atomic.set stop false;
+  Alcotest.(check bool) "solver recovers once the flag clears" true
+    (Solver.solve s = Solver.Unsat)
+
+let test_race_losers_join () =
+  (* The race only returns after every loser joined; a loser that ignored
+     the stop flag would show up as a hang (the CI-level timeout) or as a
+     domain leak in the churn test below.  php-8-7 is hard enough that all
+     four instances are mid-search when the winner finishes. *)
+  let s = Solver.create () in
+  let p = Portfolio.create ~config:(portfolio_config ~share:true ()) s in
+  load_pigeonhole s 8 7;
+  Alcotest.(check bool) "portfolio refutes php-8-7" true
+    (Portfolio.solve p = Solver.Unsat);
+  let w = Portfolio.winner p in
+  Alcotest.(check bool) "winner recorded" true (w >= 0 && w < 4)
+
+let test_race_churn_no_leak () =
+  (* 100 back-to-back races, 3 spawned domains each.  The runtime caps live
+     domains (around 128): if solve ever failed to join its losers, the
+     accumulated live domains would make a later spawn raise — so mere
+     completion is the leak assertion. *)
+  let s = Solver.create () in
+  let p = Portfolio.create ~config:(portfolio_config ~share:true ()) s in
+  load_pigeonhole s 5 4;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "churn race verdict" true (Portfolio.solve p = Solver.Unsat)
+  done;
+  Alcotest.(check int) "all races accounted" 100 (Portfolio.races p)
+
+let test_model_adopted_from_winner () =
+  let s = Solver.create () in
+  let p = Portfolio.create ~config:(portfolio_config ~share:true ()) s in
+  (* Satisfiable implication chain: whoever wins, the primary must expose a
+     model that satisfies every clause. *)
+  Solver.ensure_vars s 10;
+  let clauses =
+    List.init 9 (fun i -> [ Lit.of_var i true; Lit.of_var (i + 1) false ])
+  in
+  List.iter (Solver.add_clause s) clauses;
+  Alcotest.(check bool) "chain is satisfiable" true (Portfolio.solve p = Solver.Sat);
+  List.iter
+    (fun clause ->
+      Alcotest.(check bool) "model satisfies clause" true
+        (List.exists (fun l -> Solver.value s l) clause))
+    clauses
+
+(* {2 Certification under the portfolio}
+
+   With [certify] the engine forces sharing off (imported clauses are not
+   RUP in the importer's DRAT log) but keeps racing; the winner's
+   self-contained log must still check.  Differential seeds 0 and 4 cover
+   both certificate shapes (a replayed counterexample and a DRAT-checked
+   bounded-safe answer). *)
+
+let test_certified_under_portfolio () =
+  List.iter
+    (fun id ->
+      let net = build (random_cfg id) in
+      let options =
+        {
+          Emmver.default_options with
+          Emmver.max_depth = depth_bound;
+          certify = true;
+          domains = 4;
+        }
+      in
+      let o = Emmver.verify ~options ~method_:Emmver.Emm_bmc net ~property:"p" in
+      (match o.Emmver.certificate with
+      | Cert.Certified _ -> ()
+      | c ->
+        Alcotest.failf "design %d: expected a certificate, got %s" id (Cert.label c));
+      match o.Emmver.solver_stats with
+      | None -> Alcotest.fail "no solver stats"
+      | Some s ->
+        Alcotest.(check int)
+          (Printf.sprintf "design %d: no imports under certification" id)
+          0 s.Solver.shared_in)
+    [ 0; 4 ]
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "exchange",
+        [
+          Alcotest.test_case "single-consumer degenerate case" `Quick
+            test_exchange_single_consumer;
+          Alcotest.test_case "publication order and owner filtering" `Quick
+            test_exchange_order_and_filtering;
+          Alcotest.test_case "full ring refuses instead of evicting" `Quick
+            test_exchange_never_evicts;
+          QCheck_alcotest.to_alcotest exchange_model_test;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "50 designs: portfolio = sequential (share on+off)"
+            `Quick test_differential_portfolio;
+          Alcotest.test_case "50 3-SAT seeds: sharing races = sequential" `Quick
+            test_raw_differential_sharing;
+          Alcotest.test_case "corrupted import flips a verdict (direct)" `Quick
+            test_mutation_direct;
+          Alcotest.test_case "corrupted imports are caught by the battery" `Quick
+            test_mutation_battery;
+          Alcotest.test_case "certified verdicts race but never import" `Quick
+            test_certified_under_portfolio;
+        ] );
+      ( "teardown",
+        [
+          Alcotest.test_case "pre-set stop flag backs the solver out" `Quick
+            test_stop_flag_observed;
+          Alcotest.test_case "losers join and a winner is recorded" `Quick
+            test_race_losers_join;
+          Alcotest.test_case "100-race churn leaks no domains" `Quick
+            test_race_churn_no_leak;
+          Alcotest.test_case "winning model is adopted by the primary" `Quick
+            test_model_adopted_from_winner;
+        ] );
+    ]
