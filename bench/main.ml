@@ -25,6 +25,12 @@ let trace_out = ref None
 let domains = ref 1
 let no_share = ref false
 
+(* [--cache-dir DIR] (solver-json only): run the matrix with the persistent
+   verification-result cache rooted at DIR; each row then records whether it
+   was solved or served ("cache": off/miss/hit).  The cold-vs-warm sweep
+   below uses its own throwaway store and runs regardless. *)
+let cache_dir = ref None
+
 (* [--overhead-budget PCT] (solver-json only): fail with exit 6 when this
    run's summed matrix CPU time exceeds the baseline file's recorded
    matrix_cpu_s by more than PCT percent (plus a 2s absolute slack against
@@ -534,21 +540,28 @@ let pigeonhole_clauses pigeons holes =
   in
   (pigeons * holes, at_least_one @ at_most_one)
 
+let cache_status_cell (o : Emmver.outcome) =
+  match o.Emmver.cache with
+  | Emmver.Cache_off -> "off"
+  | Emmver.Cache_miss -> "miss"
+  | Emmver.Cache_hit -> "hit"
+  | Emmver.Cache_dedup -> "dedup"
+
 let json_row ~design ~property ~method_ ~verdict ~time_s ~solve_time_s
     ~encode_time_s ~num_vars ~num_clauses ~vars_saved ~clauses_saved
-    ?(certificate = "unchecked") ?(proof_steps = 0)
+    ?(certificate = "unchecked") ?(proof_steps = 0) ?(cache = "off")
     (s : Satsolver.Solver.stats) =
   Printf.sprintf
     {|    {"design": %S, "property": %S, "method": %S, "verdict": %S,
      "time_s": %.3f, "solve_time_s": %.3f, "encode_time_s": %.3f,
      "num_vars": %d, "num_clauses": %d, "vars_saved": %d, "clauses_saved": %d,
-     "certificate": %S, "proof_steps": %d,
+     "certificate": %S, "proof_steps": %d, "cache": %S,
      "conflicts": %d, "decisions": %d,
      "propagations": %d, "restarts": %d, "learnt": %d, "deleted": %d,
      "minimised_lits": %d, "avg_lbd": %.2f,
      "shared_out": %d, "shared_in": %d}|}
     design property method_ verdict time_s solve_time_s encode_time_s num_vars
-    num_clauses vars_saved clauses_saved certificate proof_steps
+    num_clauses vars_saved clauses_saved certificate proof_steps cache
     s.Satsolver.Solver.conflicts
     s.decisions s.propagations s.restarts s.learnt_clauses s.deleted_clauses
     s.minimised_lits s.avg_lbd s.shared_out s.shared_in
@@ -756,6 +769,68 @@ let domain_sweep () =
         s.shared_in)
     [ (1, true); (2, true); (2, false); (4, true); (4, false) ]
 
+(* Cold-vs-warm result-cache sweep on two matrix rows, against a throwaway
+   store: the cold run solves and records, the warm run must serve the same
+   verdict from the store.  The recorded speedup is the headline number of
+   the caching work (EXPERIMENTS.md); CI separately gates warm wall-clock at
+   25% of cold. *)
+let cache_sweep () =
+  let store =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emmver-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cells =
+    List.filter
+      (fun (d, _, _, _) -> matrix_selected d)
+      [
+        ("quicksort-n3", "P1", Emmver.Emm_bmc, 60);
+        ("fifo", "fifo_data", Emmver.Emm_bmc, 12);
+      ]
+  in
+  if cells = [] then []
+  else begin
+    Format.printf "@.result-cache sweep: cold vs warm against a fresh store@.";
+    Format.printf "%-16s %-12s %10s %10s %9s %7s@." "design" "property" "cold"
+      "warm" "speedup" "agree";
+    let rows =
+      List.map
+        (fun (design, property, method_, max_depth) ->
+          let net = (Designs.Registry.find design).Designs.Registry.build () in
+          let options =
+            {
+              Emmver.default_options with
+              max_depth;
+              timeout_s = Some !timeout;
+              cache = true;
+              cache_dir = Some store;
+            }
+          in
+          let cold, cold_s =
+            time (fun () -> Emmver.verify ~options ~method_ net ~property)
+          in
+          let warm, warm_s =
+            time (fun () -> Emmver.verify ~options ~method_ net ~property)
+          in
+          let concl o = Format.asprintf "%a" Emmver.pp_conclusion o.Emmver.conclusion in
+          let agree = String.equal (concl cold) (concl warm) in
+          let speedup = cold_s /. Float.max 1e-9 warm_s in
+          Format.printf "%-16s %-12s %9.3fs %9.3fs %8.1fx %7b@." design property
+            cold_s warm_s speedup agree;
+          Printf.sprintf
+            {|    {"design": %S, "property": %S, "method": %S,
+     "cold_s": %.3f, "warm_s": %.3f, "cache_speedup": %.1f,
+     "cold_status": %S, "warm_status": %S, "verdicts_agree": %b}|}
+            design property
+            (Emmver.method_to_string method_)
+            cold_s warm_s speedup (cache_status_cell cold) (cache_status_cell warm)
+            agree)
+        cells
+    in
+    ignore (Vcache.clear (Vcache.config ~dir:store ()));
+    (try Unix.rmdir store with _ -> ());
+    rows
+  end
+
 let solver_json () =
   hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
   (* Read the baseline before the run: it may be the very file we are about
@@ -791,6 +866,8 @@ let solver_json () =
             proof_dir = (if !certify then Some proof_dir else None);
             domains = !domains;
             share_clauses = not !no_share;
+            cache = !cache_dir <> None;
+            cache_dir = !cache_dir;
           }
         in
         time (fun () -> Emmver.verify ~options ~method_ net ~property))
@@ -826,7 +903,7 @@ let solver_json () =
            ~encode_time_s:o.Emmver.encode_time_s ~num_vars:o.Emmver.model_vars
            ~num_clauses:o.Emmver.model_clauses ~vars_saved:o.Emmver.vars_saved
            ~clauses_saved:o.Emmver.clauses_saved ~certificate
-           ~proof_steps:o.Emmver.proof_steps s))
+           ~proof_steps:o.Emmver.proof_steps ~cache:(cache_status_cell o) s))
     solver_matrix matrix_outcomes;
   let matrix_cpu_s =
     List.fold_left (fun acc (_, t) -> acc +. t) 0.0 matrix_outcomes
@@ -888,6 +965,7 @@ let solver_json () =
       domain_sweep ()
     else []
   in
+  let cache_rows = cache_sweep () in
   let oc = open_out !out_file in
   output_string oc "{\n  \"rows\": [\n";
   output_string oc (String.concat ",\n" (List.rev !rows));
@@ -903,12 +981,20 @@ let solver_json () =
        !jobs matrix_wall_s matrix_cpu_s
        (Domain.recommended_domain_count ()));
   (match sweep_rows with
-  | [] -> output_string oc "}\n"
+  | [] -> output_string oc "}"
   | rows ->
     output_string oc ",\n  \"domains\": [\n";
     output_string oc (String.concat ",\n" rows);
-    output_string oc "\n  ]}\n");
-  output_string oc "}\n";
+    output_string oc "\n  ]}");
+  (* Cold-vs-warm result-cache telemetry; like the sweep entries, these
+     objects carry no "verdict" field so the baseline reader skips them. *)
+  (match cache_rows with
+  | [] -> ()
+  | rows ->
+    output_string oc ",\n  \"cache\": [\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n  ]");
+  output_string oc "\n}\n";
   close_out oc;
   Format.printf "wrote %s (%d rows)@." !out_file (List.length !rows);
   (match old with
@@ -1023,7 +1109,7 @@ let () =
         | "--certify" -> certify := true
         | "--no-share" -> no_share := true
         | "--timeout" | "--baseline" | "-j" | "--jobs" | "--only" | "--out"
-        | "--trace-out" | "--overhead-budget" | "--domains" ->
+        | "--trace-out" | "--overhead-budget" | "--domains" | "--cache-dir" ->
           () (* value consumed below *)
         | _ ->
           if i > 1 && Sys.argv.(i - 1) = "--timeout" then timeout := float_of_string arg
@@ -1035,6 +1121,7 @@ let () =
             overhead_budget := Some (float_of_string arg)
           else if i > 1 && Sys.argv.(i - 1) = "--domains" then
             domains := max 1 (int_of_string arg)
+          else if i > 1 && Sys.argv.(i - 1) = "--cache-dir" then cache_dir := Some arg
           else if i > 1 && (Sys.argv.(i - 1) = "-j" || Sys.argv.(i - 1) = "--jobs") then
             jobs := max 1 (int_of_string arg)
           else cmds := arg :: !cmds)

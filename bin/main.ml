@@ -143,6 +143,34 @@ let trace_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
 
+let cache_flag_arg =
+  let doc =
+    "Consult and populate the persistent verification-result cache: verdicts \
+     are keyed by the property's canonical cone structure plus the \
+     verdict-relevant options, counterexample hits are replayed before being \
+     believed, and with $(b,--certify) proof hits are only served after their \
+     stored DRAT evidence passes the independent checker again."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Force the result cache off (overrides $(b,--cache) and $(b,--cache-dir))." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Result-cache directory (implies $(b,--cache)). Default: \
+     $(b,\\$EMMVER_CACHE_DIR), else $(b,\\$XDG_CACHE_HOME/emmver), else \
+     $(b,~/.cache/emmver)."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+(* [--cache-dir] implies [--cache]; [--no-cache] beats both (so scripts can
+   export a blanket alias and still switch caching off per run). *)
+let cache_options ?(default = false) ~cache ~no_cache ~cache_dir options =
+  { options with Emmver.cache = (default || cache || cache_dir <> None) && not no_cache;
+    cache_dir }
+
 let fallback_arg =
   let doc =
     "Comma-separated engine fallback chain (e.g. emm,explicit,bdd): run each \
@@ -191,7 +219,8 @@ let print_certificate ?(always = false) outcome =
 
 let verify_cmd =
   let run design method_name property max_depth timeout_s show_trace vcd jobs certify
-      proof_dir conflict_budget learnt_mb_budget fallback trace_out domains no_share =
+      proof_dir conflict_budget learnt_mb_budget fallback trace_out domains no_share
+      cache no_cache cache_dir =
     (* The verdict rank is computed inside [run_with_trace] and [exit]
        happens after it, so the trace file is written on every path. *)
     let rank =
@@ -210,6 +239,7 @@ let verify_cmd =
         domains;
         share_clauses = not no_share;
       }
+      |> cache_options ~cache ~no_cache ~cache_dir
     in
     let policy = policy_of_fallback fallback in
     let props =
@@ -251,7 +281,7 @@ let verify_cmd =
       const run $ design_arg $ method_arg $ property_arg $ depth_arg $ timeout_arg
       $ show_trace_arg $ vcd_arg $ jobs_arg $ certify_arg $ proof_dir_arg
       $ conflict_budget_arg $ learnt_mb_arg $ fallback_arg $ trace_out_arg
-      $ domains_arg $ no_share_arg)
+      $ domains_arg $ no_share_arg $ cache_flag_arg $ no_cache_arg $ cache_dir_arg)
 
 let portfolio_cmd =
   let methods_arg =
@@ -262,7 +292,7 @@ let portfolio_cmd =
     Arg.(value & opt (some string) None & info [ "methods" ] ~docv:"M1,M2,..." ~doc)
   in
   let run design property max_depth timeout_s methods certify trace_out domains
-      no_share =
+      no_share cache no_cache cache_dir =
     let rank =
       Obs.run_with_trace ?out:trace_out ~label:"portfolio" @@ fun () ->
     let net = load_design design in
@@ -285,6 +315,7 @@ let portfolio_cmd =
         domains;
         share_clauses = not no_share;
       }
+      |> cache_options ~cache ~no_cache ~cache_dir
     in
     let props =
       match property with
@@ -321,7 +352,106 @@ let portfolio_cmd =
           the first conclusive verdict wins and the losers are killed")
     Term.(
       const run $ design_arg $ property_arg $ depth_arg $ timeout_arg $ methods_arg
-      $ certify_arg $ trace_out_arg $ domains_arg $ no_share_arg)
+      $ certify_arg $ trace_out_arg $ domains_arg $ no_share_arg $ cache_flag_arg
+      $ no_cache_arg $ cache_dir_arg)
+
+let cache_cmd =
+  let action_arg =
+    let doc = "$(b,stats) (default), $(b,clear), or $(b,gc) (evict oldest entries down to $(b,--max-mb))." in
+    Arg.(
+      value
+      & pos 0 (enum [ ("stats", `Stats); ("clear", `Clear); ("gc", `Gc) ]) `Stats
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let max_mb_arg =
+    let doc = "Size budget for $(b,gc), in MB." in
+    Arg.(value & opt int 512 & info [ "max-mb" ] ~docv:"MB" ~doc)
+  in
+  let run action cache_dir max_mb =
+    let cfg = Vcache.config ?dir:cache_dir () in
+    match action with
+    | `Stats ->
+      let s = Vcache.stats cfg in
+      Format.printf "store: %s@." cfg.Vcache.dir;
+      Format.printf "entries: %d (%.2f MB)@." s.Vcache.entries
+        (float_of_int s.Vcache.bytes /. 1048576.0);
+      Format.printf "  proved: %d, falsified: %d, bounded: %d@." s.Vcache.proved
+        s.Vcache.falsified s.Vcache.bounded;
+      Format.printf "  carrying evidence payloads: %d@." s.Vcache.with_payload
+    | `Clear ->
+      let n = Vcache.clear cfg in
+      Format.printf "deleted %d entries from %s@." n cfg.Vcache.dir
+    | `Gc ->
+      let deleted, kept = Vcache.gc cfg ~max_bytes:(max_mb * 1048576) in
+      Format.printf "gc %s: deleted %d oldest entries, kept %d (budget %d MB)@."
+        cfg.Vcache.dir deleted kept max_mb
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Administer the persistent verification-result cache")
+    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg)
+
+let diff_verify_cmd =
+  let old_design_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"The previously verified design (name or .emn/.aag path).")
+  in
+  let new_design_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"The edited design to re-verify.")
+  in
+  let run old_design new_design method_name max_depth timeout_s jobs trace_out no_cache
+      cache_dir =
+    let rank =
+      Obs.run_with_trace ?out:trace_out ~label:"diff-verify" @@ fun () ->
+    let before = load_design old_design in
+    let net = load_design new_design in
+    let method_ = parse_method method_name in
+    (* Incremental re-verification is the cache's flagship use, so the cache
+       defaults ON here; [--no-cache] still degrades it to a plain full
+       re-run with change annotations. *)
+    let options =
+      { Emmver.default_options with max_depth; timeout_s }
+      |> cache_options ~default:true ~cache:false ~no_cache ~cache_dir
+    in
+    let props = List.map fst (Netlist.properties net) in
+    let worst = ref 0 in
+    let unchanged = ref 0 and hits = ref 0 in
+    List.iter
+      (fun (prop, status, outcome) ->
+        (if status = Emmver.Delta_unchanged then incr unchanged);
+        (if outcome.Emmver.cache = Emmver.Cache_hit then incr hits);
+        Format.printf "@[<v 2>%s [%s, %s%s]:@,%a@]@." prop
+          (Emmver.method_to_string method_)
+          (Emmver.delta_status_to_string status)
+          (match outcome.Emmver.cache with
+          | Emmver.Cache_hit -> ", cache hit"
+          | Emmver.Cache_dedup -> ", deduplicated"
+          | Emmver.Cache_miss -> ", re-verified"
+          | Emmver.Cache_off -> "")
+          Emmver.pp_conclusion outcome.Emmver.conclusion;
+        worst := max !worst (rank_of_outcome outcome))
+      (Emmver.verify_delta ~options ~jobs ~method_ ~before net ~properties:props);
+    Format.printf "%d properties: %d unchanged cones, %d served from cache@."
+      (List.length props) !unchanged !hits;
+    !worst
+    in
+    exit (exit_of_rank rank)
+  in
+  Cmd.v
+    (Cmd.info "diff-verify"
+       ~doc:
+         "Re-verify an edited design incrementally: classify each property's \
+          verification cone as unchanged/changed/added against the old \
+          design, then let the result cache serve every unchanged cone so \
+          only the edit's blast radius reaches a solver")
+    Term.(
+      const run $ old_design_arg $ new_design_arg $ method_arg $ depth_arg $ timeout_arg
+      $ jobs_arg $ trace_out_arg $ no_cache_arg $ cache_dir_arg)
 
 let save_cmd =
   let file_arg =
@@ -404,6 +534,8 @@ let () =
             stats_cmd;
             verify_cmd;
             portfolio_cmd;
+            diff_verify_cmd;
+            cache_cmd;
             solve_cmd;
             save_cmd;
             races_cmd;

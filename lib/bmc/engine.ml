@@ -29,7 +29,19 @@ type stats = {
   solver_stats : Solver.stats;
 }
 
-type result = { verdict : verdict; stats : stats; certificate : Cert.t }
+type cert_artifact = {
+  ca_num_vars : int;
+  ca_original : Lit.t list list;
+  ca_proof : Cert.Drat.step list;
+  ca_obligations : Lit.t list list;
+}
+
+type result = {
+  verdict : verdict;
+  stats : stats;
+  certificate : Cert.t;
+  artifact : cert_artifact option;
+}
 
 type config = {
   max_depth : int;
@@ -358,6 +370,18 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     }
   in
   let act_init = Cnf.act_init unr in
+  (* With no state latches the loop-free-path constraints degenerate to the
+     empty disjunction, which would claim proof diameter 0 for every design
+     from depth 1 on.  That is sound only when latches really are the whole
+     state: a memory's contents evolve outside the latch vector, so
+     latch-free memory designs keep only the depth-0 checks (which involve
+     no distinctness constraints — induction at depth 0 is plain validity
+     of the property) and otherwise fall back to falsification. *)
+  let lfp_meaningful =
+    run.state_latches <> []
+    || List.for_all (fun m -> Netlist.num_write_ports m = 0) (Netlist.memories net)
+  in
+  let proof_checks_at i = config.proof_checks && (lfp_meaningful || i = 0) in
   (* In pure falsification mode the property literal only ever appears under
      negation (the [~p_i] assumption), so the polarity-aware encoder can
      drop the downward implications of its cone.  The proof checks also use
@@ -387,10 +411,10 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
               let p_i = Cnf.lit ~pol:prop_pol unr ~frame:i run.prop in
               (* Loop-free-path constraints only serve the termination
                  checks. *)
-              if config.proof_checks then add_lfp_pairs run i;
+              if proof_checks_at i then add_lfp_pairs run i;
               p_i)
         in
-        if config.proof_checks then begin
+        if proof_checks_at i then begin
           (* Forward termination: no loop-free path of length i from I. *)
           if timed_solve ~what:"lfp" run [ act_init; run.act_lfp ] = Solver.Unsat then
             raise (Done (Proof { depth = i; kind = Forward_diameter }));
@@ -458,7 +482,25 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
       solver_stats = sstats;
     }
   in
-  { verdict; stats; certificate }
+  (* The self-contained evidence behind a DRAT-checked UNSAT verdict —
+     original clauses, derivation and assumption obligations — for layers
+     that persist certificates (lib/vcache) and re-check them independently
+     later.  Only for single-instance runs: under a portfolio, obligations
+     are spread over per-instance derivations and no single artifact
+     re-checks them. *)
+  let artifact =
+    match (certificate, run.portfolio) with
+    | Cert.Certified Cert.Drat_checked, None when run.obligations <> [] ->
+      Some
+        {
+          ca_num_vars = Solver.num_vars solver;
+          ca_original = Solver.export_clauses solver;
+          ca_proof = Solver.proof solver;
+          ca_obligations = List.rev_map (fun (cube, _) -> cube) run.obligations;
+        }
+    | _ -> None
+  in
+  { verdict; stats; certificate; artifact }
 
 (* Multi-property mode: one incremental run over the shared unrolling.  Each
    property carries its own CP activation literal and is retired as soon as a
@@ -502,6 +544,14 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
     }
   in
   let act_init = Cnf.act_init unr in
+  (* Same latch-free-memory guard as [check]: empty loop-free-path
+     constraints must not claim a zero diameter while memory state evolves,
+     but the depth-0 checks involve no distinctness constraints and stay. *)
+  let lfp_meaningful =
+    run.state_latches <> []
+    || List.for_all (fun m -> Netlist.num_write_ports m = 0) (Netlist.memories net)
+  in
+  let proof_checks_at i = config.proof_checks && (lfp_meaningful || i = 0) in
   let prop_pol = if config.proof_checks then Cnf.Both else Cnf.Neg in
   let props =
     List.map
@@ -532,9 +582,9 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
            List.iter
              (fun (_, s, _) -> ignore (Cnf.lit unr ~frame:!i s))
              run.watches;
-           if config.proof_checks then add_lfp_pairs run !i);
+           if proof_checks_at !i then add_lfp_pairs run !i);
        let pending = undecided () in
-       if config.proof_checks then begin
+       if proof_checks_at !i then begin
          (* Forward diameter: settles every remaining property at once. *)
          if timed_solve ~what:"lfp" run [ act_init; run.act_lfp ] = Solver.Unsat
          then begin
@@ -666,7 +716,7 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
               else Bounded_safe config.max_depth)
         in
         let certificate = certificate_of verdict in
-        (p.ps_name, { verdict; stats; certificate }))
+        (p.ps_name, { verdict; stats; certificate; artifact = None }))
       props
   in
   let stats = { stats with cert_time_s = Obs.now () -. cert_t0 } in

@@ -58,6 +58,17 @@ type stats = {
           deleted clauses, average LBD, minimised literals, ...) *)
 }
 
+type cert_artifact = {
+  ca_num_vars : int;
+  ca_original : Satsolver.Lit.t list list;
+  ca_proof : Cert.Drat.step list;
+  ca_obligations : Satsolver.Lit.t list list;
+}
+(** The self-contained evidence behind a DRAT-checked verdict: re-running
+    [Cert.Drat.check] over these fields reproduces the certification with no
+    solver involved.  Persisted by the verification-result cache so a warm
+    hit can be re-checked instead of trusted. *)
+
 type result = {
   verdict : verdict;
   stats : stats;
@@ -65,6 +76,11 @@ type result = {
       (** [Unchecked] unless [config.certify]; otherwise the DRAT-checker
           outcome for UNSAT-backed verdicts and the concrete-design replay
           outcome for counterexamples *)
+  artifact : cert_artifact option;
+      (** present exactly when [certificate = Certified Drat_checked] and the
+          run was single-instance (no Domain portfolio, whose obligations are
+          spread over per-instance derivations); {!check_all} never produces
+          one *)
 }
 
 type config = {

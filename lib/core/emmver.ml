@@ -38,6 +38,8 @@ type options = {
   learnt_mb_budget : float option;
   domains : int;
   share_clauses : bool;
+  cache : bool;
+  cache_dir : string option;
 }
 
 let default_options =
@@ -52,12 +54,16 @@ let default_options =
     learnt_mb_budget = None;
     domains = 1;
     share_clauses = true;
+    cache = false;
+    cache_dir = None;
   }
 
 type conclusion =
   | Proved of { depth : int; induction : bool }
   | Falsified of { depth : int; trace : Bmc.Trace.t option; genuine : bool option }
   | Inconclusive of string
+
+type cache_status = Cache_off | Cache_miss | Cache_hit | Cache_dedup
 
 type outcome = {
   conclusion : conclusion;
@@ -78,6 +84,8 @@ type outcome = {
   proof_steps : int;
   error : Policy.error option;
   degradations : Policy.event list;
+  cache : cache_status;
+  cert_artifact : Bmc.Engine.cert_artifact option;
 }
 
 let deadline_of opts =
@@ -165,6 +173,8 @@ let outcome_of_result ?emm_counts ?abstraction ~model_latches ~time_s replay_net
     proof_steps = stats.Bmc.Engine.proof_steps;
     error = error_of_result result;
     degradations = [];
+    cache = Cache_off;
+    cert_artifact = result.Bmc.Engine.artifact;
   }
 
 let num_latches net = List.length (Netlist.latches net)
@@ -185,7 +195,7 @@ let proof_file_of options ~method_ ~property =
       (Filename.concat dir
          (Printf.sprintf "%s-%s.drat" (sanitize property) (method_to_string method_)))
 
-let rec verify ?(options = default_options) ~method_ net ~property =
+let rec verify_uncached ?(options = default_options) ~method_ net ~property =
   Obs.span "verify"
     ~attrs:
       [
@@ -262,6 +272,8 @@ let rec verify ?(options = default_options) ~method_ net ~property =
       proof_steps = 0;
       error;
       degradations = [];
+      cache = Cache_off;
+      cert_artifact = None;
     })
 
 and verify_pba ~options ~use_emm net ~property ~t0 =
@@ -293,6 +305,7 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
             solver_stats = Satsolver.Solver.empty_stats;
           };
         certificate = Cert.Unchecked "pba discovery verdict";
+        artifact = None;
       }
     in
     outcome_of_result ~model_latches:(num_latches net) ~time_s:(elapsed ()) net result
@@ -304,6 +317,196 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
     outcome_of_result ~emm_counts:counts ~abstraction
       ~model_latches:(List.length abstraction.Pba.kept_latches)
       ~time_s:(elapsed ()) net result
+
+(* {2 The verification-result cache} *)
+
+(* Generation tag of the whole encoding stack, part of every cache key.
+   Bump on any change to the unroller, the EMM constraint generator, the
+   explicit expansion, PBA discovery or the BDD engine that can change a
+   verdict for the same (cone, options) pair. *)
+let encoding_version = "1"
+
+let cache_config (options : options) =
+  if options.cache then Some (Vcache.config ?dir:options.cache_dir ()) else None
+
+(* The verdict-relevant option attributes.  Deliberately absent: [certify]
+   (changes the evidence, never the verdict), [timeout_s] / conflict and
+   learnt budgets (runs they cut short carry a typed error and are never
+   cached; runs they don't cut short are identical), [domains] /
+   [share_clauses] (a portfolio race returns the same verdict), [proof_dir]. *)
+let cache_attrs options ~method_ =
+  let base =
+    [
+      ("engine", method_to_string method_);
+      ("max_depth", string_of_int options.max_depth);
+      ("encoder", encoding_version);
+    ]
+  in
+  match method_ with
+  | Emm_pba | Explicit_pba -> ("stability", string_of_int options.stability) :: base
+  | Bdd_reach -> ("max_bdd_nodes", string_of_int options.max_bdd_nodes) :: base
+  | Emm_bmc | Emm_falsify | Explicit_bmc | Abstract_bmc -> base
+
+let cone_of net ~property =
+  match Netlist.find_property net property with
+  | root -> Some (Netlist.cone_signature net root)
+  | exception _ -> None
+
+let cache_key options ~method_ net ~property =
+  Option.map
+    (fun cone -> Vcache.Key.make ~cone ~attrs:(cache_attrs options ~method_))
+    (cone_of net ~property)
+
+(* Is this outcome safe to persist?  Only verdicts that are deterministic
+   functions of (cone, key attributes): proofs, genuine counterexamples with
+   their trace, and honest bound-exhausted inconclusives.  Anything carrying
+   a typed error — timeouts, resource budgets, dead workers, refuted
+   certificates — depends on machine load or luck and is never cached. *)
+let entry_of_outcome options ~method_ (o : outcome) =
+  if o.error <> None then None
+  else
+    let unsat_payload =
+      match o.cert_artifact with
+      | Some a -> Vcache.Drat_payload a
+      | None -> Vcache.No_payload
+    in
+    let verdict_payload =
+      match o.conclusion with
+      | Proved { depth; induction } ->
+        Some (Vcache.Proved { depth; induction }, unsat_payload)
+      | Falsified { depth; trace = Some t; genuine } when genuine <> Some false ->
+        Some (Vcache.Falsified { depth }, Vcache.Trace_payload t)
+      | Falsified _ -> None
+      | Inconclusive reason ->
+        Some (Vcache.Bounded { depth = options.max_depth; reason }, unsat_payload)
+    in
+    Option.map
+      (fun (e_verdict, e_payload) ->
+        {
+          Vcache.e_method = method_to_string method_;
+          e_verdict;
+          e_time_s = o.time_s;
+          e_solve_time_s = o.solve_time_s;
+          e_model_vars = o.model_vars;
+          e_model_clauses = o.model_clauses;
+          e_model_latches = o.model_latches;
+          e_cert = Cert.label o.certificate;
+          e_created = Unix.gettimeofday ();
+          e_payload;
+        })
+      verdict_payload
+
+(* A loaded entry is evidence, not gospel: [Stale] evidence contradicts the
+   live design (entry removed, solved fresh); [Unusable] evidence cannot
+   satisfy the caller's certification demand (entry kept, solved fresh). *)
+type hit = Hit of outcome | Stale | Unusable
+
+let outcome_of_entry ~certify ~t0 net ~property (e : Vcache.entry) =
+  let base conclusion certificate proof_steps =
+    {
+      conclusion;
+      time_s = Obs.now () -. t0;
+      solve_time_s = 0.0;
+      encode_time_s = 0.0;
+      memory_mb = 0.0;
+      model_latches = e.Vcache.e_model_latches;
+      model_vars = e.Vcache.e_model_vars;
+      model_clauses = e.Vcache.e_model_clauses;
+      vars_saved = 0;
+      clauses_saved = 0;
+      emm_counts = None;
+      abstraction = None;
+      solver_stats = None;
+      certificate;
+      proof_steps;
+      error = None;
+      degradations = [];
+      cache = Cache_hit;
+      cert_artifact = None;
+    }
+  in
+  let uncertified =
+    Cert.Unchecked (Printf.sprintf "cache hit (recorded: %s)" e.Vcache.e_cert)
+  in
+  (* Proofs and bound-exhausted answers rest on UNSAT queries: accept as-is
+     when the caller does not demand certification, otherwise re-run the
+     independent DRAT checker over the stored evidence. *)
+  let unsat_backed conclusion =
+    if not certify then Hit (base conclusion uncertified 0)
+    else
+      match e.Vcache.e_payload with
+      | Vcache.Drat_payload a -> (
+        match
+          Cert.Drat.check ~num_vars:a.Bmc.Engine.ca_num_vars
+            ~original:a.Bmc.Engine.ca_original ~proof:a.Bmc.Engine.ca_proof
+            ~obligations:a.Bmc.Engine.ca_obligations ()
+        with
+        | Cert.Drat.Valid r ->
+          Hit (base conclusion (Cert.Certified Cert.Drat_checked) r.Cert.Drat.steps)
+        | Cert.Drat.Invalid _ -> Stale
+        | exception _ -> Stale)
+      | Vcache.No_payload | Vcache.Trace_payload _ -> Unusable
+  in
+  match e.Vcache.e_verdict with
+  | Vcache.Proved { depth; induction } -> unsat_backed (Proved { depth; induction })
+  | Vcache.Bounded { reason; _ } -> unsat_backed (Inconclusive reason)
+  | Vcache.Falsified { depth } -> (
+    match e.Vcache.e_payload with
+    | Vcache.Trace_payload t -> (
+      (* A counterexample self-validates: replay it on the live design.  A
+         trace recorded against an isomorphic-but-renamed design fails the
+         replay and degrades to a miss — never to a wrong verdict. *)
+      let t = { t with Bmc.Trace.property } in
+      if certify then
+        match Bmc.Trace.certify net t with
+        | Cert.Certified _ as c ->
+          Hit (base (Falsified { depth; trace = Some t; genuine = Some true }) c 0)
+        | Cert.Refuted _ | Cert.Unchecked _ -> Stale
+        | exception _ -> Stale
+      else
+        match Bmc.Trace.replay net t with
+        | true ->
+          Hit
+            (base
+               (Falsified { depth; trace = Some t; genuine = Some true })
+               uncertified 0)
+        | false -> Stale
+        | exception _ -> Stale)
+    | Vcache.No_payload | Vcache.Drat_payload _ -> Stale)
+
+let verify ?(options = default_options) ~method_ net ~property =
+  (* The artifact exists to feed the store; never let it escape (outcomes
+     cross process boundaries in the worker pools). *)
+  let finish o = { o with cert_artifact = None } in
+  let uncached status =
+    finish { (verify_uncached ~options ~method_ net ~property) with cache = status }
+  in
+  match cache_config options with
+  | None -> uncached Cache_off
+  | Some cfg -> (
+    let t0 = Obs.now () in
+    match cache_key options ~method_ net ~property with
+    | None -> uncached Cache_off
+    | Some key -> (
+      let solve_and_store () =
+        let o = verify_uncached ~options ~method_ net ~property in
+        (match entry_of_outcome options ~method_ o with
+        | Some entry -> Vcache.store cfg key entry
+        | None -> ());
+        finish { o with cache = Cache_miss }
+      in
+      match Vcache.load cfg key with
+      | None -> solve_and_store ()
+      | Some e -> (
+        match outcome_of_entry ~certify:options.certify ~t0 net ~property e with
+        | Hit o -> o
+        | Stale ->
+          Obs.counter_add "vcache.stale" 1;
+          Vcache.remove cfg key;
+          solve_and_store ()
+        | Unusable ->
+          Obs.counter_add "vcache.uncertifiable_hits" 1;
+          solve_and_store ())))
 
 (* {2 Parallel fan-out} *)
 
@@ -329,6 +532,8 @@ let killed_outcome ~elapsed_s msg =
     proof_steps = 0;
     error = Some (Policy.Worker_killed msg);
     degradations = [];
+    cache = Cache_off;
+    cert_artifact = None;
   }
 
 let is_infix ~affix s =
@@ -448,6 +653,26 @@ let verify_resilient ?(options = default_options) ?(policy = Policy.default) ?in
       degradations = events;
     }
 
+(* Transfer the representative's outcome to a structurally identical
+   property.  The verdict transfers by cone isomorphism; the concrete trace
+   transfers only when it replays under the duplicate's names (with
+   hash-consing, duplicates usually share the very nodes, so it does). *)
+let retarget_dup net ~property (o : outcome) =
+  Obs.counter_add "vcache.dedup" 1;
+  let conclusion =
+    match o.conclusion with
+    | Falsified { depth; trace = Some t; genuine } -> (
+      let t = { t with Bmc.Trace.property } in
+      match genuine with
+      | Some true ->
+        if try Bmc.Trace.replay net t with _ -> false then
+          Falsified { depth; trace = Some t; genuine = Some true }
+        else Falsified { depth; trace = None; genuine = Some true }
+      | g -> Falsified { depth; trace = Some t; genuine = g })
+    | c -> c
+  in
+  { o with conclusion; cache = Cache_dedup }
+
 let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ?policy ~method_
     net ~properties =
   let verify_one property =
@@ -455,23 +680,75 @@ let verify_many ?(options = default_options) ?(jobs = 1) ?job_timeout_s ?policy 
     | None -> verify ~options ~method_ net ~property
     | Some policy -> verify_resilient ~options ~policy net ~property
   in
-  if jobs <= 1 then
-    List.map (fun property -> (property, verify_one property)) properties
-  else
-    Obs.span "verify_many"
-      ~attrs:[ ("jobs", Obs.Int jobs); ("properties", Obs.Int (List.length properties)) ]
-      (fun () ->
-        let pool = Parallel.create ~jobs () in
-        Parallel.run
-          ?job_timeout_s:
-            (match policy with
-            | None -> hard_deadline options job_timeout_s
-            | Some _ ->
-              (* The resilient path forks and deadlines its own attempts; a
-                 pool deadline would kill the whole chain mid-fallback. *)
-              job_timeout_s)
-          pool ~f:verify_one properties
-        |> List.map2 slot_outcome properties)
+  (* Intra-batch structural dedup: properties whose cones have identical
+     canonical signatures are solved once and the verdict fanned out —
+     independent of (and composing with) the persistent cache.  Off under
+     [certify] (every property deserves its own checked evidence) and under
+     a policy (fallback chains are per-property). *)
+  let dedup_on = policy = None && (not options.certify) && List.length properties > 1 in
+  let plan =
+    let seen = Hashtbl.create 16 in
+    List.map
+      (fun p ->
+        match if dedup_on then cone_of net ~property:p else None with
+        | None -> (p, None)
+        | Some s -> (
+          match Hashtbl.find_opt seen s with
+          | Some rep -> (p, Some rep)
+          | None ->
+            Hashtbl.add seen s p;
+            (p, None)))
+      properties
+  in
+  let to_solve = List.filter_map (fun (p, rep) -> if rep = None then Some p else None) plan in
+  let solved =
+    if jobs <= 1 then List.map (fun property -> (property, verify_one property)) to_solve
+    else
+      Obs.span "verify_many"
+        ~attrs:[ ("jobs", Obs.Int jobs); ("properties", Obs.Int (List.length to_solve)) ]
+        (fun () ->
+          let pool = Parallel.create ~jobs () in
+          Parallel.run
+            ?job_timeout_s:
+              (match policy with
+              | None -> hard_deadline options job_timeout_s
+              | Some _ ->
+                (* The resilient path forks and deadlines its own attempts; a
+                   pool deadline would kill the whole chain mid-fallback. *)
+                job_timeout_s)
+            pool ~f:verify_one to_solve
+          |> List.map2 slot_outcome to_solve)
+  in
+  List.map
+    (fun (p, rep) ->
+      match rep with
+      | None -> (p, List.assoc p solved)
+      | Some rep -> (p, retarget_dup net ~property:p (List.assoc rep solved)))
+    plan
+
+(* {2 Incremental re-verification} *)
+
+type delta_status = Delta_unchanged | Delta_changed | Delta_added
+
+let delta_status_to_string = function
+  | Delta_unchanged -> "unchanged"
+  | Delta_changed -> "changed"
+  | Delta_added -> "added"
+
+let verify_delta ?(options = default_options) ?(jobs = 1) ?job_timeout_s ~method_ ~before
+    net ~properties =
+  let statuses =
+    List.map
+      (fun p ->
+        match (cone_of before ~property:p, cone_of net ~property:p) with
+        | None, _ -> (p, Delta_added)
+        | Some _, None -> (p, Delta_changed)
+        | Some old_sig, Some new_sig ->
+          (p, if String.equal old_sig new_sig then Delta_unchanged else Delta_changed))
+      properties
+  in
+  let outcomes = verify_many ~options ~jobs ?job_timeout_s ~method_ net ~properties in
+  List.map2 (fun (p, st) (_, o) -> (p, st, o)) statuses outcomes
 
 (* A conclusive verdict settles the property: a proof, or a counterexample
    not known to be spurious.  [Inconclusive] and replay-refuted
@@ -572,6 +849,11 @@ let pp_outcome ppf o =
      %d vars, %d clauses (saved %d vars, %d clauses)@]"
     pp_conclusion o.conclusion o.time_s o.solve_time_s o.encode_time_s o.memory_mb
     o.model_latches o.model_vars o.model_clauses o.vars_saved o.clauses_saved;
+  (match o.cache with
+  | Cache_off -> ()
+  | Cache_miss -> Format.fprintf ppf "@,cache: miss (recorded)"
+  | Cache_hit -> Format.fprintf ppf "@,cache: hit"
+  | Cache_dedup -> Format.fprintf ppf "@,cache: deduplicated within batch");
   (match o.solver_stats with
   | None -> ()
   | Some s ->

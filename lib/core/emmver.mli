@@ -58,11 +58,21 @@ type options = {
       (** exchange learnt glue clauses between portfolio instances (default
           [true]; forced off under [certify], where imports would invalidate
           the DRAT logs) *)
+  cache : bool;
+      (** consult and populate the persistent content-addressed result cache
+          (see {!Vcache}): before encoding anything, {!verify} looks the
+          property's canonical cone signature plus the verdict-relevant
+          options up in the on-disk store, validates what it finds (replaying
+          counterexamples, re-checking DRAT evidence under [certify]) and
+          only reaches the solver on a miss.  Default [false] *)
+  cache_dir : string option;
+      (** cache store directory; [None] selects {!Vcache.default_dir} *)
 }
 
 val default_options : options
 (** [max_depth = 100], no timeout, stability 10, 2M BDD nodes, certification
-    off, no proof dir, no budgets, sequential solving ([domains = 1]). *)
+    off, no proof dir, no budgets, sequential solving ([domains = 1]),
+    caching off. *)
 
 type conclusion =
   | Proved of { depth : int; induction : bool }
@@ -70,6 +80,15 @@ type conclusion =
       (** [genuine] = the trace replays on the concrete design ([None] when
           no trace is available, e.g. from the BDD engine) *)
   | Inconclusive of string
+
+type cache_status =
+  | Cache_off  (** caching disabled, or no key could be computed *)
+  | Cache_miss  (** store consulted, nothing usable; the verdict was solved
+                    fresh and recorded when cacheable *)
+  | Cache_hit  (** verdict served from the store and validated *)
+  | Cache_dedup
+      (** verdict transferred from a structurally identical property solved
+          earlier in the same {!verify_many} batch *)
 
 type outcome = {
   conclusion : conclusion;
@@ -107,12 +126,41 @@ type outcome = {
       (** resilience events (engine fallbacks, worker retries) accumulated on
           the way to this outcome, chronological; empty outside
           {!verify_resilient} / policy-driven entry points *)
+  cache : cache_status;
+      (** how the result cache participated in this outcome; on a hit,
+          [time_s] is the lookup-and-validate wall clock while
+          [solve_time_s] / [encode_time_s] are 0 and the [model_*] fields
+          replay the recording run's statistics *)
+  cert_artifact : Bmc.Engine.cert_artifact option;
+      (** DRAT evidence produced by a certifying run, consumed (and cleared)
+          by the cache store; always [None] on outcomes returned by
+          {!verify} and the entry points built on it *)
 }
 
 val verify : ?options:options -> method_:method_ -> Netlist.t -> property:string -> outcome
 (** Check one safety property of the design with the chosen engine.
     Counterexample traces are replayed on the given netlist to classify them
-    as genuine or spurious. *)
+    as genuine or spurious.
+
+    With [options.cache] set, the property's canonical cone signature
+    ({!Netlist.cone_signature}) plus the verdict-relevant options key a
+    lookup in the persistent store before anything is encoded.  A hit is
+    validated, not trusted: counterexamples are replayed on the live design,
+    and under [options.certify] proofs and bounded answers are only served
+    when their stored DRAT evidence passes the independent checker again
+    (otherwise the engine solves fresh).  Entries that contradict the live
+    design are evicted.  On a miss, deterministic verdicts — proofs, genuine
+    counterexamples, bound-exhausted inconclusives — are recorded; outcomes
+    carrying a typed [error] (timeouts, budgets, dead workers) never are. *)
+
+val cache_config : options -> Vcache.config option
+(** The store configuration {!verify} uses, [None] when [options.cache] is
+    unset — exposed so front ends administer the same store they verify
+    against. *)
+
+val cache_key : options -> method_:method_ -> Netlist.t -> property:string -> Vcache.Key.t option
+(** The cache key {!verify} would use for this run; [None] when the property
+    does not exist in the design. *)
 
 val verify_resilient :
   ?options:options ->
@@ -152,7 +200,41 @@ val verify_many :
     [Inconclusive "worker killed: ..."] carrying the elapsed wall clock,
     without disturbing the other properties.  With [policy], each property
     runs through {!verify_resilient} instead (and the pool's own kill
-    deadline is suppressed so it cannot truncate a fallback chain). *)
+    deadline is suppressed so it cannot truncate a fallback chain).
+
+    Properties whose verification cones are structurally identical (equal
+    {!Netlist.cone_signature}) are solved once per batch; the others receive
+    the representative's verdict with [cache = Cache_dedup], their trace
+    re-replayed under their own name.  The dedup needs no store and works
+    with caching off; it is disabled under [options.certify] (each property
+    deserves its own checked evidence) and under [policy] (fallback chains
+    are per-property), and never changes verdicts — only how often the
+    solver runs. *)
+
+type delta_status =
+  | Delta_unchanged  (** same canonical cone in both designs *)
+  | Delta_changed  (** the cone's structure differs *)
+  | Delta_added  (** the property does not exist in the old design *)
+
+val delta_status_to_string : delta_status -> string
+
+val verify_delta :
+  ?options:options ->
+  ?jobs:int ->
+  ?job_timeout_s:float ->
+  method_:method_ ->
+  before:Netlist.t ->
+  Netlist.t ->
+  properties:string list ->
+  (string * delta_status * outcome) list
+(** Incremental re-verification after a design edit: classify each property
+    by comparing its canonical cone signature in [before] against the new
+    design, then verify the new design via {!verify_many}.  With
+    [options.cache] set and the store warm from verifying [before] (or any
+    earlier revision), every [Delta_unchanged] property is served from the
+    cache and only changed or added cones reach a solver — the classification
+    itself never skips a property, so a cold cache merely loses the speedup,
+    never soundness. *)
 
 val killed_outcome : elapsed_s:float -> string -> outcome
 (** The outcome substituted for a worker that died without producing one:

@@ -272,6 +272,239 @@ let support_latches t roots =
   List.iter (fun s -> visit (node_of s)) roots;
   List.rev_map (fun id -> signal_of_node id false) !order
 
+(* {2 Canonical cone signatures}
+
+   A construction-order-independent serialization of a signal's sequential
+   fan-in cone, used as the content-address of verification results
+   (lib/vcache).  Two requirements pull in opposite directions:
+
+   - {e no false hits}: non-isomorphic cones must serialize differently,
+     including sharing (the same input feeding two gates is not the same
+     cone as two distinct inputs doing so);
+   - {e maximal hits}: node ids, construction order and instance names must
+     not leak into the signature, so the same design rebuilt in a different
+     order — or a structurally identical twin (symmetric ports) — keys to
+     the same entry.
+
+   The implementation is the classic two-phase scheme: (1) Weisfeiler–Leman
+   style iterated refinement assigns every cone node a structural hash that
+   converges to the orbit partition (names excluded; latch inits, memory
+   descriptors, port and bit indices included); (2) a deterministic DFS from
+   the property root — visiting AND children in refined-hash order, memory
+   ports in index order, discovered latches/memories in FIFO discovery
+   order — assigns canonical ids and serializes exact node records over
+   them.  Phase 2 captures sharing exactly; phase 1 only decides traversal
+   order, so a hash collision can at worst flip a tie-break and cause a
+   spurious {e miss}, never a false hit between cones whose serializations
+   are compared in full. *)
+
+let mix a b =
+  let h = (a * 0x9e3779b1) lxor b in
+  let h = h lxor (h lsr 29) in
+  (h * 0x85ebca77) land max_int
+
+let cone_signature t root =
+  (* Phase 0: collect the sequential cone — through latch next-states, and
+     through whole memory modules (EMM and explicit expansion both encode
+     every port of a memory the cone reads). *)
+  let in_cone = Hashtbl.create 256 in
+  let mems = Hashtbl.create 4 in
+  let rec collect id =
+    if not (Hashtbl.mem in_cone id) then begin
+      Hashtbl.add in_cone id ();
+      match t.nodes.(id) with
+      | INconst | INinput _ -> ()
+      | INand (a, b) ->
+        collect (node_of a);
+        collect (node_of b)
+      | INlatch { next; _ } -> if next >= 0 then collect (node_of next)
+      | INmem_out { mem; _ } ->
+        if not (Hashtbl.mem mems mem) then begin
+          let m = List.find (fun m -> m.mem_id = mem) t.rev_memories in
+          Hashtbl.add mems mem m;
+          List.iter (fun s -> collect (node_of s)) (memory_interface_signals m);
+          List.iter
+            (fun p -> Array.iter (fun s -> collect (node_of s)) p.r_out)
+            m.rports
+        end
+    end
+  in
+  collect (node_of root);
+  let descr_hash m =
+    let h = mix (mix 7 m.addr_width) m.data_width in
+    let h =
+      mix h
+        (match m.minit with
+        | Zeros -> 11
+        | Arbitrary -> 13
+        | Words a -> Array.fold_left (fun h w -> mix h (w + 1)) 17 a)
+    in
+    mix (mix h (List.length m.wports)) (List.length m.rports)
+  in
+  (* Phase 1: WL refinement to a stable partition. *)
+  let h0 id =
+    match t.nodes.(id) with
+    | INconst -> 3
+    | INinput _ -> 5
+    | INlatch { linit; _ } ->
+      mix 19 (match linit with None -> 0 | Some false -> 1 | Some true -> 2)
+    | INand _ -> 23
+    | INmem_out { mem; port; bit } ->
+      mix (mix (mix 29 (descr_hash (Hashtbl.find mems mem))) port) bit
+  in
+  let cur = Hashtbl.create 256 in
+  Hashtbl.iter (fun id () -> Hashtbl.add cur id (h0 id)) in_cone;
+  let shash tbl s =
+    mix (Hashtbl.find tbl (node_of s)) (if is_complement s then 1 else 2)
+  in
+  let mem_hash tbl m =
+    let f h s = mix h (shash tbl s) in
+    let h = descr_hash m in
+    let h =
+      List.fold_left
+        (fun h p ->
+          Array.fold_left f (Array.fold_left f (f (mix h 31) p.w_enable) p.w_addr)
+            p.w_data)
+        h (List.rev m.wports)
+    in
+    List.fold_left
+      (fun h p -> Array.fold_left f (f (mix h 37) p.r_enable) p.r_addr)
+      h (List.rev m.rports)
+  in
+  let distinct tbl =
+    let seen = Hashtbl.create 256 in
+    Hashtbl.iter (fun _ h -> Hashtbl.replace seen h ()) tbl;
+    Hashtbl.length seen
+  in
+  let refine () =
+    let mem_hashes = Hashtbl.create 4 in
+    Hashtbl.iter (fun id m -> Hashtbl.add mem_hashes id (mem_hash cur m)) mems;
+    let next = Hashtbl.create (Hashtbl.length cur) in
+    Hashtbl.iter
+      (fun id old ->
+        let h =
+          match t.nodes.(id) with
+          | INconst | INinput _ -> old
+          | INand (a, b) ->
+            let x = shash cur a and y = shash cur b in
+            let x, y = if x <= y then (x, y) else (y, x) in
+            mix (mix old x) y
+          | INlatch { next = nx; _ } ->
+            if nx >= 0 then mix old (shash cur nx) else mix old 41
+          | INmem_out { mem; _ } -> mix old (Hashtbl.find mem_hashes mem)
+        in
+        Hashtbl.add next id h)
+      cur;
+    next
+  in
+  let classes = ref (distinct cur) in
+  (let continue = ref true and rounds = ref 0 in
+   while !continue && !rounds < 1024 do
+     incr rounds;
+     let next = refine () in
+     Hashtbl.reset cur;
+     Hashtbl.iter (Hashtbl.add cur) next;
+     let c = distinct cur in
+     if c <= !classes then continue := false else classes := c
+   done);
+  (* Phase 2: canonical ids by deterministic DFS, exact serialization. *)
+  let buf = Buffer.create 4096 in
+  let canon = Hashtbl.create 256 in
+  let mem_canon = Hashtbl.create 4 in
+  let queue = Queue.create () in
+  let canon_id id =
+    match Hashtbl.find_opt canon id with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length canon in
+      Hashtbl.add canon id c;
+      c
+  in
+  let mem_id_canon mem =
+    match Hashtbl.find_opt mem_canon mem with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length mem_canon in
+      Hashtbl.add mem_canon mem c;
+      Queue.add (`Mem mem) queue;
+      c
+  in
+  let sref s = Printf.sprintf "%d%c" (canon_id (node_of s)) (if is_complement s then '-' else '+') in
+  let rec ser s =
+    let id = node_of s in
+    if not (Hashtbl.mem canon id) then begin
+      match t.nodes.(id) with
+      | INconst -> Buffer.add_string buf (Printf.sprintf "c%d;" (canon_id id))
+      | INinput _ -> Buffer.add_string buf (Printf.sprintf "i%d;" (canon_id id))
+      | INlatch { linit; _ } ->
+        let c = canon_id id in
+        Queue.add (`Latch id) queue;
+        Buffer.add_string buf
+          (Printf.sprintf "l%d:%s;" c
+             (match linit with None -> "x" | Some false -> "0" | Some true -> "1"))
+      | INand (a, b) ->
+        let ka = (Hashtbl.find cur (node_of a), is_complement a)
+        and kb = (Hashtbl.find cur (node_of b), is_complement b) in
+        let x, y = if ka <= kb then (a, b) else (b, a) in
+        ser x;
+        ser y;
+        Buffer.add_string buf
+          (Printf.sprintf "a%d=%s,%s;" (canon_id id) (sref x) (sref y))
+      | INmem_out { mem; port; bit } ->
+        let mc = mem_id_canon mem in
+        Buffer.add_string buf
+          (Printf.sprintf "o%d=m%d.r%d.b%d;" (canon_id id) mc port bit)
+    end
+  in
+  ser (signal_of_node (node_of root) false);
+  Buffer.add_string buf (Printf.sprintf "root=%s;" (sref root));
+  let ser_bus prefix arr =
+    Array.iter ser arr;
+    Buffer.add_string buf prefix;
+    Array.iter (fun s -> Buffer.add_string buf (sref s); Buffer.add_char buf ',') arr
+  in
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | `Latch id ->
+      let c = canon_id id in
+      (match t.nodes.(id) with
+      | INlatch { next; _ } when next >= 0 ->
+        ser next;
+        Buffer.add_string buf (Printf.sprintf "n%d=%s;" c (sref next))
+      | _ -> Buffer.add_string buf (Printf.sprintf "n%d=?;" c))
+    | `Mem mem ->
+      let m = Hashtbl.find mems mem in
+      let mc = Hashtbl.find mem_canon mem in
+      Buffer.add_string buf
+        (Printf.sprintf "m%d:aw%d,dw%d,init%s;" mc m.addr_width m.data_width
+           (match m.minit with
+           | Zeros -> "z"
+           | Arbitrary -> "a"
+           | Words a ->
+             String.concat "," (Array.to_list (Array.map string_of_int a))));
+      List.iteri
+        (fun j p ->
+          ser_bus (Printf.sprintf "w%d.%d:" mc j) p.w_addr;
+          ser_bus "|" p.w_data;
+          ser p.w_enable;
+          Buffer.add_string buf ("|" ^ sref p.w_enable ^ ";"))
+        (List.rev m.wports);
+      List.iteri
+        (fun r p ->
+          ser_bus (Printf.sprintf "r%d.%d:" mc r) p.r_addr;
+          ser p.r_enable;
+          Buffer.add_string buf ("|" ^ sref p.r_enable ^ "|");
+          Array.iter
+            (fun s ->
+              ser s;
+              Buffer.add_string buf (sref s);
+              Buffer.add_char buf ',')
+            p.r_out;
+          Buffer.add_char buf ';')
+        (List.rev m.rports)
+  done;
+  Buffer.contents buf
+
 type stats = {
   num_inputs : int;
   num_latches : int;

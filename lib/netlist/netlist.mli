@@ -141,6 +141,26 @@ val support_latches : t -> signal list -> signal list
     (following latch next-state functions and memory-port control to a fixed
     point). *)
 
+val cone_signature : t -> signal -> string
+(** A canonical serialization of the signal's {e sequential} fan-in cone —
+    the content-address of a verification sub-problem (see [Vcache]).  The
+    cone follows latch next-state functions and, at a memory read, the whole
+    memory module (every port's address/data/enable cone), exactly the model
+    slice any engine encodes for a property rooted at the signal.
+
+    The serialization is construction-order independent and name-free:
+    node ids, insertion order and instance names do not appear; canonical
+    ids are assigned by a deterministic traversal ordered by an iterated
+    structural refinement (AND children in refined-hash order, memory ports
+    and bus bits in index order — write-port order is semantically
+    significant, the last enabled write wins).  Two signals with equal
+    signatures have isomorphic cones, so every verification verdict
+    transfers between them; the converse holds up to hash-tie ambiguity,
+    which can only cause a spurious inequality (a cache miss), never a
+    false equality.  Latch initial values, memory descriptors (widths,
+    initial contents, port counts) and sharing structure are all captured,
+    so flipping any of them changes the signature. *)
+
 type stats = {
   num_inputs : int;
   num_latches : int;
