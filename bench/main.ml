@@ -831,6 +831,122 @@ let cache_sweep () =
     rows
   end
 
+(* End-to-end daemon throughput: a throwaway daemon on a private socket with
+   a fresh cache store, the fifo matrix row submitted N times sequentially
+   over one connection.  The first round trip is the cold price (protocol +
+   scheduling + fork + solve + cache record); the mean of the rest is the
+   service-level price of an already-verified property, where the forked
+   worker answers from the warm store.  The emitted object carries no
+   "verdict" field, so the baseline reader skips it (timing-only telemetry,
+   like the "cache" rows above). *)
+let serve_sweep () =
+  if not (matrix_selected "fifo") then []
+  else begin
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "emmver-bench-serve-%d" (Unix.getpid ()))
+    in
+    Unix.mkdir dir 0o700;
+    let socket = Filename.concat dir "daemon.sock" in
+    let cache_dir = Filename.concat dir "cache" in
+    let cfg =
+      Serve.Server.config ~workers:1 ~cache_dir:(Some cache_dir) ~quiet:true
+        ~socket ()
+    in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try Serve.Server.run cfg with _ -> Unix._exit 1);
+      Unix._exit 0
+    | pid ->
+      let cleanup () =
+        (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore
+          (try Unix.waitpid [] pid
+           with Unix.Unix_error _ -> (pid, Unix.WEXITED 0));
+        ignore (Vcache.clear (Vcache.config ~dir:cache_dir ()));
+        (try Sys.remove socket with Sys_error _ -> ());
+        (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      in
+      Fun.protect ~finally:cleanup (fun () ->
+          let rec wait_socket n =
+            if Sys.file_exists socket then ()
+            else if n = 0 then failwith "bench daemon never bound its socket"
+            else begin
+              Unix.sleepf 0.02;
+              wait_socket (n - 1)
+            end
+          in
+          wait_socket 250;
+          let c =
+            match Serve.Client.connect ~client:"bench" socket with
+            | Ok c -> c
+            | Error e -> failwith ("bench daemon connect: " ^ e)
+          in
+          let design = "fifo" and property = "fifo_data" in
+          let round i =
+            let req =
+              Serve.Proto.Submit
+                {
+                  Serve.Proto.s_id = Printf.sprintf "bench-%d" i;
+                  s_design = design;
+                  s_property = Some property;
+                  s_method = "emm";
+                  s_max_depth = Some 12;
+                  s_timeout_s = Some !timeout;
+                  s_cache = Some true;
+                }
+            in
+            let t0 = Obs.now () in
+            (match Serve.Client.request ~timeout_s:120.0 c req with
+            | Ok (Serve.Proto.Accepted _) -> ()
+            | Ok r ->
+              failwith ("bench submit: " ^ Serve.Proto.reply_to_string r)
+            | Error e -> failwith ("bench submit: " ^ e));
+            let rec result () =
+              match Serve.Client.read_reply ~timeout_s:120.0 c with
+              | Ok (Serve.Proto.Result r) -> r
+              | Ok _ -> result ()
+              | Error e -> failwith ("bench result: " ^ e)
+            in
+            let r = result () in
+            (Obs.now () -. t0, r.Serve.Proto.r_cache, r.Serve.Proto.r_verdict)
+          in
+          let n = 6 in
+          let rounds = List.init n round in
+          Serve.Client.close c;
+          let cold_s, _, cold_verdict = List.hd rounds in
+          let warm = List.tl rounds in
+          let warm_mean_s =
+            List.fold_left (fun acc (t, _, _) -> acc +. t) 0.0 warm
+            /. float_of_int (List.length warm)
+          in
+          let warm_hits =
+            List.length (List.filter (fun (_, c, _) -> c = "hit") warm)
+          in
+          let agree =
+            List.for_all (fun (_, _, v) -> String.equal v cold_verdict) warm
+          in
+          Format.printf
+            "@.serve throughput: %s/%s x%d over one connection@." design
+            property n;
+          Format.printf
+            "cold %.3fs, warm mean %.3fs (%.1fx), %d/%d warm cache hits, agree %b@."
+            cold_s warm_mean_s
+            (cold_s /. Float.max 1e-9 warm_mean_s)
+            warm_hits (List.length warm) agree;
+          [
+            Printf.sprintf
+              {|    {"design": %S, "property": %S, "method": "emm", "submissions": %d,
+     "cold_s": %.3f, "warm_mean_s": %.3f, "serve_speedup": %.1f,
+     "warm_hits": %d, "verdicts_agree": %b}|}
+              design property n cold_s warm_mean_s
+              (cold_s /. Float.max 1e-9 warm_mean_s)
+              warm_hits agree;
+          ])
+  end
+
 let solver_json () =
   hr "solver-json: CDCL telemetry over the bench matrix -> BENCH_solver.json";
   (* Read the baseline before the run: it may be the very file we are about
@@ -960,6 +1076,10 @@ let solver_json () =
      only runs for the default configuration (no --domains/--no-share
      override) and only when its headline row is in the selected matrix
      (CI smoke restricts with [--only]). *)
+  (* The serve sweep forks a daemon, which OCaml forbids once other domains
+     have ever been spawned — so it must run before the domain portfolio
+     sweep below. *)
+  let serve_rows = serve_sweep () in
   let sweep_rows =
     if !domains = 1 && (not !no_share) && matrix_selected "quicksort-n3" then
       domain_sweep ()
@@ -992,6 +1112,14 @@ let solver_json () =
   | [] -> ()
   | rows ->
     output_string oc ",\n  \"cache\": [\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n  ]");
+  (* Daemon round-trip telemetry — also verdict-free, also skipped by the
+     baseline reader. *)
+  (match serve_rows with
+  | [] -> ()
+  | rows ->
+    output_string oc ",\n  \"serve\": [\n";
     output_string oc (String.concat ",\n" rows);
     output_string oc "\n  ]");
   output_string oc "\n}\n";

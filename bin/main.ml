@@ -18,19 +18,11 @@ let design_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc)
 
 let load_design name =
-  if Filename.check_suffix name ".emn" || Filename.check_suffix name ".aag" then begin
-    try
-      if Filename.check_suffix name ".emn" then Netio.load name else Aiger.load name
-    with e ->
-      Format.eprintf "cannot load %s: %s@." name (Printexc.to_string e);
-      exit 2
-  end
-  else
-    match Designs.Registry.find name with
-    | e -> e.Designs.Registry.build ()
-    | exception Not_found ->
-      Format.eprintf "unknown design %S; try `emmver list`@." name;
-      exit 2
+  match Serve.load_design name with
+  | Ok net -> net
+  | Error msg ->
+    Format.eprintf "%s@." msg;
+    exit 2
 
 let props_cmd =
   let run design =
@@ -367,7 +359,13 @@ let cache_cmd =
     let doc = "Size budget for $(b,gc), in MB." in
     Arg.(value & opt int 512 & info [ "max-mb" ] ~docv:"MB" ~doc)
   in
-  let run action cache_dir max_mb =
+  let max_age_h_arg =
+    let doc =
+      "With $(b,gc), also evict entries not used (loaded) for this many hours."
+    in
+    Arg.(value & opt (some float) None & info [ "max-age-h" ] ~docv:"HOURS" ~doc)
+  in
+  let run action cache_dir max_mb max_age_h =
     let cfg = Vcache.config ?dir:cache_dir () in
     match action with
     | `Stats ->
@@ -382,14 +380,35 @@ let cache_cmd =
       let n = Vcache.clear cfg in
       Format.printf "deleted %d entries from %s@." n cfg.Vcache.dir
     | `Gc ->
-      let deleted, kept = Vcache.gc cfg ~max_bytes:(max_mb * 1048576) in
-      Format.printf "gc %s: deleted %d oldest entries, kept %d (budget %d MB)@."
-        cfg.Vcache.dir deleted kept max_mb
+      (* Say which directory was resolved and be honest when there is
+         nothing to collect — a typo'd --cache-dir used to "succeed". *)
+      if not (Sys.file_exists cfg.Vcache.dir) then begin
+        Format.printf "gc %s: store directory does not exist, nothing to collect@."
+          cfg.Vcache.dir;
+        exit 0
+      end;
+      let policy =
+        Vcache.gc_policy ~max_bytes:(max_mb * 1048576)
+          ?max_age_s:(Option.map (fun h -> h *. 3600.0) max_age_h)
+          ()
+      in
+      let r = Vcache.maintain cfg policy in
+      if r.Vcache.evicted_age + r.Vcache.evicted_size + r.Vcache.kept = 0 then
+        Format.printf "gc %s: store is empty, nothing to collect@." cfg.Vcache.dir
+      else
+        Format.printf
+          "gc %s: evicted %d least-recently-used entries (%d by age, %d by \
+           size), kept %d (%.2f MB, budget %d MB)@."
+          cfg.Vcache.dir
+          (r.Vcache.evicted_age + r.Vcache.evicted_size)
+          r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.kept
+          (float_of_int r.Vcache.kept_bytes /. 1048576.0)
+          max_mb
   in
   Cmd.v
     (Cmd.info "cache"
        ~doc:"Administer the persistent verification-result cache")
-    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg)
+    Term.(const run $ action_arg $ cache_dir_arg $ max_mb_arg $ max_age_h_arg)
 
 let diff_verify_cmd =
   let old_design_arg =
@@ -522,6 +541,281 @@ let solve_cmd =
     (Cmd.info "solve" ~doc:"Run the built-in CDCL solver on a DIMACS file")
     Term.(const run $ file_arg)
 
+let socket_arg =
+  let doc =
+    "Unix-domain socket path of the daemon. Default: $(b,\\$EMMVER_SOCKET), \
+     else /tmp/emmver-<uid>.sock."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let workers_arg =
+    let doc = "Concurrent forked job workers. Default: the machine's core count." in
+    Arg.(value & opt (some int) None & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let max_queue_arg =
+    let doc = "Queued-job bound; beyond it submissions get an immediate $(b,busy) reply." in
+    Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+  in
+  let gc_max_mb_arg =
+    let doc = "Cache size watermark in MB: the server loop evicts LRU entries down to it." in
+    Arg.(value & opt (some int) None & info [ "gc-max-mb" ] ~docv:"MB" ~doc)
+  in
+  let gc_max_age_h_arg =
+    let doc = "Cache age watermark in hours: entries not used for this long are evicted." in
+    Arg.(value & opt (some float) None & info [ "gc-max-age-h" ] ~docv:"HOURS" ~doc)
+  in
+  let gc_interval_arg =
+    let doc = "Seconds between cache-maintenance sweeps." in
+    Arg.(value & opt float 60.0 & info [ "gc-interval" ] ~docv:"SECONDS" ~doc)
+  in
+  let budget_wall_arg =
+    let doc = "Per-job wall-clock ceiling in seconds; submissions are clamped to it." in
+    Arg.(value & opt (some float) None & info [ "budget-wall" ] ~docv:"SECONDS" ~doc)
+  in
+  let budget_depth_arg =
+    let doc = "Per-job BMC depth ceiling; submissions are clamped to it." in
+    Arg.(value & opt (some int) None & info [ "budget-depth" ] ~docv:"DEPTH" ~doc)
+  in
+  let budget_conflicts_arg =
+    let doc = "Conflict budget forced onto every job's SAT queries." in
+    Arg.(value & opt (some int) None & info [ "budget-conflicts" ] ~docv:"N" ~doc)
+  in
+  let budget_learnt_mb_arg =
+    let doc = "Learnt-clause ceiling in MB forced onto every job." in
+    Arg.(value & opt (some float) None & info [ "budget-learnt-mb" ] ~docv:"MB" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the per-event log lines on stdout." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run socket workers max_queue no_cache cache_dir gc_max_mb gc_max_age_h
+      gc_interval budget_wall budget_depth budget_conflicts budget_learnt_mb quiet =
+    let socket = match socket with Some s -> s | None -> Serve.default_socket () in
+    let cache_dir =
+      if no_cache then Some None else Option.map Option.some cache_dir
+    in
+    let gc_policy =
+      Vcache.gc_policy
+        ?max_bytes:(Option.map (fun mb -> mb * 1048576) gc_max_mb)
+        ?max_age_s:(Option.map (fun h -> h *. 3600.0) gc_max_age_h)
+        ()
+    in
+    let budgets =
+      {
+        Policy.wall_s = budget_wall;
+        conflicts = budget_conflicts;
+        learnt_mb = budget_learnt_mb;
+        max_depth = budget_depth;
+      }
+    in
+    let cfg =
+      Serve.Server.config ?workers ~max_queue ?cache_dir ~gc_policy
+        ~gc_interval_s:gc_interval ~budgets ~quiet ~socket ()
+    in
+    match Serve.Server.run cfg with
+    | () -> ()
+    | exception Failure msg ->
+      Format.eprintf "%s@." msg;
+      exit 5
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: a long-lived process on a Unix-domain \
+          socket that serves $(b,emmver client) submissions from a bounded \
+          fair queue of forked workers, keeps the result cache warm and \
+          self-maintained, and drains gracefully on SIGTERM (in-flight jobs \
+          finish, queued jobs get shutdown replies)")
+    Term.(
+      const run $ socket_arg $ workers_arg $ max_queue_arg $ no_cache_arg
+      $ cache_dir_arg $ gc_max_mb_arg $ gc_max_age_h_arg $ gc_interval_arg
+      $ budget_wall_arg $ budget_depth_arg $ budget_conflicts_arg
+      $ budget_learnt_mb_arg $ quiet_arg)
+
+(* The client cannot see the server-side [Policy.error]; it ranks from the
+   wire fields instead: a genuine falsification beats everything, a killed
+   worker is an infrastructure error, any other inconclusive is honest. *)
+let rank_of_result (r : Serve.Proto.result_line) =
+  match (r.Serve.Proto.r_verdict, r.Serve.Proto.r_genuine, r.Serve.Proto.r_reason) with
+  | "falsified", Some false, _ -> 0
+  | "falsified", _, _ -> 3
+  | _, _, Some why when String.length why >= 13 && String.sub why 0 13 = "worker killed" -> 2
+  | _ -> 0
+
+let client_cmd =
+  let action_arg =
+    let doc =
+      "$(b,ping), $(b,submit) DESIGN, $(b,poll) JOB, $(b,metrics), or \
+       $(b,shutdown)."
+    in
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [
+                  ("ping", `Ping);
+                  ("submit", `Submit);
+                  ("poll", `Poll);
+                  ("metrics", `Metrics);
+                  ("shutdown", `Shutdown);
+                ]))
+          None
+      & info [] ~docv:"ACTION" ~doc)
+  in
+  let arg_arg =
+    let doc = "The design to submit, or the job id to poll." in
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG" ~doc)
+  in
+  let client_id_arg =
+    let doc = "Client (tenant) id declared to the server's fairness scheduler." in
+    Arg.(value & opt (some string) None & info [ "client" ] ~docv:"ID" ~doc)
+  in
+  let request_id_arg =
+    let doc = "Request id echoed in every reply." in
+    Arg.(value & opt string "cli" & info [ "id" ] ~docv:"ID" ~doc)
+  in
+  let client_depth_arg =
+    let doc = "Maximum BMC depth requested (the server may clamp it)." in
+    Arg.(value & opt (some int) None & info [ "k"; "max-depth" ] ~docv:"DEPTH" ~doc)
+  in
+  let reply_timeout_arg =
+    let doc = "Seconds to wait for each reply line." in
+    Arg.(value & opt float 600.0 & info [ "reply-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run action arg socket client property method_name max_depth timeout_s
+      no_cache request_id reply_timeout =
+    let socket = match socket with Some s -> s | None -> Serve.default_socket () in
+    let fail code msg =
+      Format.eprintf "%s@." msg;
+      exit code
+    in
+    match Serve.Client.connect ?client socket with
+    | Error msg -> fail 7 msg
+    | Ok c -> (
+      let finish code =
+        Serve.Client.close c;
+        exit code
+      in
+      let request req =
+        match Serve.Client.request ~timeout_s:reply_timeout c req with
+        | Ok reply -> reply
+        | Error msg -> fail 5 msg
+      in
+      let unexpected r =
+        fail 5 ("unexpected reply: " ^ Serve.Proto.reply_to_string r)
+      in
+      match action with
+      | `Ping -> (
+        match request Serve.Proto.Ping with
+        | Serve.Proto.Pong ->
+          print_endline "pong";
+          finish 0
+        | r -> unexpected r)
+      | `Metrics -> (
+        match request Serve.Proto.Metrics with
+        | Serve.Proto.Metrics_reply _ as r ->
+          (* The canonical line, as greppable JSON. *)
+          print_endline (Serve.Proto.reply_to_string r);
+          finish 0
+        | r -> unexpected r)
+      | `Shutdown -> (
+        match request Serve.Proto.Shutdown with
+        | Serve.Proto.Draining ->
+          print_endline "draining";
+          finish 0
+        | r -> unexpected r)
+      | `Poll -> (
+        let job =
+          match arg with
+          | Some s -> (
+            match int_of_string_opt s with
+            | Some j -> j
+            | None -> fail 2 "poll needs a numeric job id")
+          | None -> fail 2 "poll needs a job id"
+        in
+        match request (Serve.Proto.Poll job) with
+        | Serve.Proto.Status { job; state } ->
+          Format.printf "job %d: %s@." job state;
+          finish 0
+        | r -> unexpected r)
+      | `Submit -> (
+        let design =
+          match arg with
+          | Some d -> d
+          | None -> fail 2 "submit needs a design (name or .emn/.aag path)"
+        in
+        let s =
+          {
+            Serve.Proto.s_id = request_id;
+            s_design = design;
+            s_property = property;
+            s_method = method_name;
+            s_max_depth = max_depth;
+            s_timeout_s = timeout_s;
+            s_cache = (if no_cache then Some false else None);
+          }
+        in
+        match request (Serve.Proto.Submit s) with
+        | Serve.Proto.Busy { queue_depth; max_queue; _ } ->
+          fail 7 (Printf.sprintf "server busy: queue %d/%d full, retry later"
+                    queue_depth max_queue)
+        | Serve.Proto.Shutdown_reply _ -> fail 7 "server is draining"
+        | Serve.Proto.Error { message; _ } -> fail 5 message
+        | Serve.Proto.Accepted { jobs; queue_depth; _ } ->
+          Format.printf "accepted %d job(s), queue depth %d@." (List.length jobs)
+            queue_depth;
+          let remaining = ref (List.map fst jobs) in
+          let worst = ref 0 in
+          while !remaining <> [] do
+            match Serve.Client.read_reply ~timeout_s:reply_timeout c with
+            | Error msg -> fail 5 msg
+            | Ok (Serve.Proto.Result r) when List.mem r.Serve.Proto.r_job !remaining ->
+              remaining := List.filter (fun j -> j <> r.Serve.Proto.r_job) !remaining;
+              let open Serve.Proto in
+              let detail =
+                match (r.r_verdict, r.r_depth, r.r_reason) with
+                | "proved", Some d, _ ->
+                  Printf.sprintf "proved (depth %d%s)" d
+                    (if r.r_induction = Some true then ", by induction" else "")
+                | "falsified", Some d, _ ->
+                  Printf.sprintf "falsified at depth %d%s" d
+                    (match r.r_genuine with
+                    | Some true -> " (genuine)"
+                    | Some false -> " (spurious)"
+                    | None -> "")
+                | _, _, Some why -> "inconclusive: " ^ why
+                | v, _, None -> v
+              in
+              Format.printf "%s [%s%s]: %s in %.3fs@." r.r_property r.r_method
+                (match r.r_cache with
+                | "hit" -> ", cache hit"
+                | "dedup" -> ", deduplicated"
+                | _ -> "")
+                detail r.r_time_s;
+              worst := max !worst (rank_of_result r)
+            | Ok (Serve.Proto.Shutdown_reply { job = Some j; _ }) ->
+              remaining := List.filter (fun j' -> j' <> j) !remaining;
+              Format.eprintf "job %d dropped: server draining@." j;
+              worst := max !worst 2
+            | Ok _ -> ()
+          done;
+          finish (exit_of_rank !worst)
+        | r -> unexpected r))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,emmver serve) daemon: submit a design and \
+          stream back per-property results, poll a job, fetch the metrics \
+          snapshot, or start a graceful drain. Exit codes follow \
+          $(b,emmver verify), plus 7 when the daemon is busy or unreachable")
+    Term.(
+      const run $ action_arg $ arg_arg $ socket_arg $ client_id_arg
+      $ property_arg $ method_arg $ client_depth_arg $ timeout_arg
+      $ no_cache_arg $ request_id_arg $ reply_timeout_arg)
+
 let () =
   let doc = "verification of embedded memory systems using efficient memory modeling" in
   let info = Cmd.info "emmver" ~version:"1.0.0" ~doc in
@@ -535,6 +829,8 @@ let () =
             verify_cmd;
             portfolio_cmd;
             diff_verify_cmd;
+            serve_cmd;
+            client_cmd;
             cache_cmd;
             solve_cmd;
             save_cmd;

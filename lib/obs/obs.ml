@@ -133,6 +133,13 @@ let counter_set name v =
     let old = match Hashtbl.find_opt r.totals name with Some v -> v | None -> 0.0 in
     bump r name (Float.max old v)
 
+let counter_total t name =
+  match Hashtbl.find_opt t.totals name with Some v -> v | None -> 0.0
+
+let counter_totals t =
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) t.totals []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* {2 Worker support} *)
 
 let worker_scope f =

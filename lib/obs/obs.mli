@@ -120,6 +120,15 @@ val counter_set : string -> float -> unit
 (** Raise a named monotonic counter to the given total; values below the
     current total are clamped (the counter never goes backwards). *)
 
+val counter_total : t -> string -> float
+(** The recorder's current total for a named counter ([0.0] if it was
+    never bumped) — a snapshot accessor for long-running services that
+    report metrics without exporting a trace. *)
+
+val counter_totals : t -> (string * float) list
+(** Every counter's current total, sorted by name (deterministic for
+    golden output). *)
+
 (** {1 Worker support} *)
 
 val worker_scope : (unit -> 'a) -> 'a * row list

@@ -272,6 +272,48 @@ let drive t ~job_timeout_s ~f ~on_done xs =
 let run ?job_timeout_s t ~f xs =
   drive t ~job_timeout_s ~f ~on_done:(fun _ _ -> `Continue) xs
 
+(* {2 Incremental (daemon) interface}
+
+   [drive] owns its select loop, which suits batch callers; a long-running
+   server multiplexes worker pipes with client sockets in one loop of its
+   own, so it needs the pieces individually: spawn one job, select on its
+   pipe, drain bytes when readable, settle on EOF.  The handle wraps the
+   same [worker] record and the same [post_mortem], so crash containment,
+   deadline kills and trace-row ingestion behave identically to [run]. *)
+
+module Async = struct
+  type 'b handle = { w : worker; mutable settled : bool }
+
+  let spawn t ?job_timeout_s ~f x = { w = spawn t ~job_timeout_s ~f 0 x; settled = false }
+
+  let fd h = h.w.fd
+  let pid h = h.w.pid
+  let elapsed_s h = Unix.gettimeofday () -. h.w.started
+
+  let kill _t h reason = if h.w.killed = None then kill_worker h.w reason
+
+  let cancel t h = kill t h Cancelled
+
+  let check_deadline t h =
+    match h.w.kill_at with
+    | Some ka when h.w.killed = None && ka <= Unix.gettimeofday () ->
+      kill t h (Timed_out (ka -. h.w.started))
+    | _ -> ()
+
+  let service t h =
+    if h.settled then invalid_arg "Parallel.Async.service: handle already settled";
+    let chunk = Bytes.create 65536 in
+    let k = retry_eintr (fun () -> Unix.read h.w.fd chunk 0 (Bytes.length chunk)) in
+    if k = 0 then begin
+      h.settled <- true;
+      Some (post_mortem t h.w)
+    end
+    else begin
+      Buffer.add_subbytes h.w.buf chunk 0 k;
+      None
+    end
+end
+
 let map ?jobs ?job_timeout_s ~f xs = run ?job_timeout_s (create ?jobs ()) ~f xs
 
 let race ?job_timeout_s t ~f ~conclusive xs =

@@ -101,6 +101,47 @@ val map :
   ?jobs:int -> ?job_timeout_s:float -> f:('a -> 'b) -> 'a list -> 'b job_result list
 (** One-shot convenience: [map ~jobs ~f xs = run (create ~jobs ()) ~f xs]. *)
 
+(** {2 Incremental jobs}
+
+    The daemon-facing interface: the serve layer multiplexes worker pipes
+    with client sockets in one select loop of its own, so it spawns jobs
+    one at a time and services each pipe as it becomes readable.  The same
+    worker machinery as {!run} backs it — crash containment, SIGKILL
+    deadlines and trace-row ingestion behave identically. *)
+
+module Async : sig
+  type 'b handle
+  (** One live forked job computing a ['b]. *)
+
+  val spawn : t -> ?job_timeout_s:float -> f:('a -> 'b) -> 'a -> 'b handle
+  (** Fork one worker computing [f x].  Counts against the pool's
+      cumulative {!stats} but {e not} against its concurrency cap — the
+      caller schedules admission. *)
+
+  val fd : _ handle -> Unix.file_descr
+  (** The parent's read end of the result pipe: select on this. *)
+
+  val pid : _ handle -> int
+
+  val elapsed_s : _ handle -> float
+  (** Wall-clock seconds since the fork. *)
+
+  val service : t -> 'b handle -> 'b job_result option
+  (** Call when {!fd} is readable: drains available result bytes.  [None]
+      while the worker is still producing; [Some result] once the pipe hit
+      EOF — the child is then reaped, the fd closed, and the handle must
+      not be serviced again ([Invalid_argument] if it is). *)
+
+  val cancel : t -> _ handle -> unit
+  (** SIGKILL the worker; its eventual {!service} settles with
+      [Cancelled].  Idempotent, and a no-op after a deadline kill. *)
+
+  val check_deadline : t -> _ handle -> unit
+  (** SIGKILL the worker if its [job_timeout_s] deadline has passed; the
+      eventual {!service} then settles with [Timed_out].  The caller's
+      loop invokes this on its own tick. *)
+end
+
 (** {2 Racing}
 
     The portfolio combinator: run all candidates concurrently and stop as

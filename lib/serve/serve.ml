@@ -1,0 +1,1288 @@
+(* Verification-as-a-service daemon.  See serve.mli for the contract and
+   doc/protocol.mld for the wire format.
+
+   Architecture: one single-threaded select loop multiplexes the listening
+   socket, every client connection (buffered line reader + backpressured
+   writer) and the result pipes of the forked job workers
+   (Parallel.Async).  All blocking work — encoding, SAT solving, cache
+   validation — happens in the workers; the loop only parses lines,
+   schedules jobs and shuffles bytes, so a wedged client or a crashing job
+   can never stall the service. *)
+
+let protocol_version = 1
+
+let default_socket () =
+  match Sys.getenv_opt "EMMVER_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ -> Printf.sprintf "/tmp/emmver-%d.sock" (Unix.getuid ())
+
+let load_design name =
+  if Filename.check_suffix name ".emn" || Filename.check_suffix name ".aag" then
+    try
+      Ok (if Filename.check_suffix name ".emn" then Netio.load name else Aiger.load name)
+    with e -> Error (Printf.sprintf "cannot load %s: %s" name (Printexc.to_string e))
+  else
+    match Designs.Registry.find name with
+    | e -> Ok (e.Designs.Registry.build ())
+    | exception Not_found ->
+      Error (Printf.sprintf "unknown design %S; try `emmver list`" name)
+
+(* {1 Wire protocol} *)
+
+module Proto = struct
+  type submit = {
+    s_id : string;
+    s_design : string;
+    s_property : string option;
+    s_method : string;
+    s_max_depth : int option;
+    s_timeout_s : float option;
+    s_cache : bool option;
+  }
+
+  type request =
+    | Hello of string
+    | Ping
+    | Submit of submit
+    | Poll of int
+    | Metrics
+    | Shutdown
+
+  type result_line = {
+    r_job : int;
+    r_id : string;
+    r_property : string;
+    r_method : string;
+    r_verdict : string;
+    r_depth : int option;
+    r_induction : bool option;
+    r_genuine : bool option;
+    r_reason : string option;
+    r_time_s : float;
+    r_cache : string;
+    r_certificate : string;
+  }
+
+  type metrics_line = {
+    m_uptime_s : float;
+    m_queue_depth : int;
+    m_running : int;
+    m_clients : int;
+    m_accepted : int;
+    m_completed : int;
+    m_failed : int;
+    m_cancelled : int;
+    m_rejected_busy : int;
+    m_rejected_shutdown : int;
+    m_protocol_errors : int;
+    m_cache_hits : int;
+    m_cache_misses : int;
+    m_cache_entries : int;
+    m_cache_bytes : int;
+    m_gc_runs : int;
+    m_gc_evicted : int;
+    m_methods : (string * int * float) list;
+  }
+
+  type reply =
+    | Hello_ok of { server : string; version : int }
+    | Pong
+    | Accepted of { id : string; jobs : (int * string) list; queue_depth : int }
+    | Busy of { id : string; queue_depth : int; max_queue : int }
+    | Shutdown_reply of { id : string; job : int option }
+    | Error of { id : string option; message : string }
+    | Result of result_line
+    | Status of { job : int; state : string }
+    | Metrics_reply of metrics_line
+    | Draining
+
+  (* {2 Rendering}
+
+     Field order and number format are fixed: the protocol golden tests
+     compare rendered bytes against recorded transcripts, so any drift
+     here breaks CI before it breaks a deployed client.  Times travel with
+     millisecond precision — plenty for wall clocks, and deterministic. *)
+
+  let add_jstring b s =
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 32 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"'
+
+  let add_field b ~first name f =
+    if not first then Buffer.add_char b ',';
+    add_jstring b name;
+    Buffer.add_char b ':';
+    f b
+
+  let jint n b = Buffer.add_string b (string_of_int n)
+  let jfloat x b = Buffer.add_string b (Printf.sprintf "%.3f" x)
+  let jbool v b = Buffer.add_string b (if v then "true" else "false")
+  let jstr s b = add_jstring b s
+
+  let render f =
+    let b = Buffer.create 128 in
+    Buffer.add_char b '{';
+    f b;
+    Buffer.add_char b '}';
+    Buffer.contents b
+
+  let request_to_string = function
+    | Hello client ->
+      render (fun b ->
+          add_field b ~first:true "op" (jstr "hello");
+          add_field b ~first:false "client" (jstr client))
+    | Ping -> render (fun b -> add_field b ~first:true "op" (jstr "ping"))
+    | Submit s ->
+      render (fun b ->
+          add_field b ~first:true "op" (jstr "submit");
+          add_field b ~first:false "id" (jstr s.s_id);
+          add_field b ~first:false "design" (jstr s.s_design);
+          (match s.s_property with
+          | Some p -> add_field b ~first:false "property" (jstr p)
+          | None -> ());
+          add_field b ~first:false "method" (jstr s.s_method);
+          (match s.s_max_depth with
+          | Some d -> add_field b ~first:false "max_depth" (jint d)
+          | None -> ());
+          (match s.s_timeout_s with
+          | Some t -> add_field b ~first:false "timeout_s" (jfloat t)
+          | None -> ());
+          (match s.s_cache with
+          | Some c -> add_field b ~first:false "cache" (jbool c)
+          | None -> ()))
+    | Poll job ->
+      render (fun b ->
+          add_field b ~first:true "op" (jstr "poll");
+          add_field b ~first:false "job" (jint job))
+    | Metrics -> render (fun b -> add_field b ~first:true "op" (jstr "metrics"))
+    | Shutdown -> render (fun b -> add_field b ~first:true "op" (jstr "shutdown"))
+
+  let reply_to_string = function
+    | Hello_ok { server; version } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "hello");
+          add_field b ~first:false "server" (jstr server);
+          add_field b ~first:false "version" (jint version))
+    | Pong -> render (fun b -> add_field b ~first:true "reply" (jstr "pong"))
+    | Accepted { id; jobs; queue_depth } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "accepted");
+          add_field b ~first:false "id" (jstr id);
+          add_field b ~first:false "jobs" (fun b ->
+              Buffer.add_char b '[';
+              List.iteri
+                (fun i (job, property) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Buffer.add_char b '{';
+                  add_field b ~first:true "job" (jint job);
+                  add_field b ~first:false "property" (jstr property);
+                  Buffer.add_char b '}')
+                jobs;
+              Buffer.add_char b ']');
+          add_field b ~first:false "queue_depth" (jint queue_depth))
+    | Busy { id; queue_depth; max_queue } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "busy");
+          add_field b ~first:false "id" (jstr id);
+          add_field b ~first:false "queue_depth" (jint queue_depth);
+          add_field b ~first:false "max_queue" (jint max_queue))
+    | Shutdown_reply { id; job } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "shutdown");
+          add_field b ~first:false "id" (jstr id);
+          match job with
+          | Some j -> add_field b ~first:false "job" (jint j)
+          | None -> ())
+    | Error { id; message } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "error");
+          (match id with
+          | Some id -> add_field b ~first:false "id" (jstr id)
+          | None -> ());
+          add_field b ~first:false "message" (jstr message))
+    | Result r ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "result");
+          add_field b ~first:false "job" (jint r.r_job);
+          add_field b ~first:false "id" (jstr r.r_id);
+          add_field b ~first:false "property" (jstr r.r_property);
+          add_field b ~first:false "method" (jstr r.r_method);
+          add_field b ~first:false "verdict" (jstr r.r_verdict);
+          (match r.r_depth with
+          | Some d -> add_field b ~first:false "depth" (jint d)
+          | None -> ());
+          (match r.r_induction with
+          | Some i -> add_field b ~first:false "induction" (jbool i)
+          | None -> ());
+          (match r.r_genuine with
+          | Some g -> add_field b ~first:false "genuine" (jbool g)
+          | None -> ());
+          (match r.r_reason with
+          | Some why -> add_field b ~first:false "reason" (jstr why)
+          | None -> ());
+          add_field b ~first:false "time_s" (jfloat r.r_time_s);
+          add_field b ~first:false "cache" (jstr r.r_cache);
+          add_field b ~first:false "certificate" (jstr r.r_certificate))
+    | Status { job; state } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "status");
+          add_field b ~first:false "job" (jint job);
+          add_field b ~first:false "state" (jstr state))
+    | Metrics_reply m ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "metrics");
+          add_field b ~first:false "uptime_s" (jfloat m.m_uptime_s);
+          add_field b ~first:false "queue_depth" (jint m.m_queue_depth);
+          add_field b ~first:false "running" (jint m.m_running);
+          add_field b ~first:false "clients" (jint m.m_clients);
+          add_field b ~first:false "jobs" (fun b ->
+              Buffer.add_char b '{';
+              add_field b ~first:true "accepted" (jint m.m_accepted);
+              add_field b ~first:false "completed" (jint m.m_completed);
+              add_field b ~first:false "failed" (jint m.m_failed);
+              add_field b ~first:false "cancelled" (jint m.m_cancelled);
+              add_field b ~first:false "rejected_busy" (jint m.m_rejected_busy);
+              add_field b ~first:false "rejected_shutdown" (jint m.m_rejected_shutdown);
+              add_field b ~first:false "protocol_errors" (jint m.m_protocol_errors);
+              Buffer.add_char b '}');
+          add_field b ~first:false "cache" (fun b ->
+              Buffer.add_char b '{';
+              add_field b ~first:true "hits" (jint m.m_cache_hits);
+              add_field b ~first:false "misses" (jint m.m_cache_misses);
+              add_field b ~first:false "entries" (jint m.m_cache_entries);
+              add_field b ~first:false "bytes" (jint m.m_cache_bytes);
+              add_field b ~first:false "gc_runs" (jint m.m_gc_runs);
+              add_field b ~first:false "gc_evicted" (jint m.m_gc_evicted);
+              Buffer.add_char b '}');
+          add_field b ~first:false "methods" (fun b ->
+              Buffer.add_char b '[';
+              List.iteri
+                (fun i (name, jobs, wall_s) ->
+                  if i > 0 then Buffer.add_char b ',';
+                  Buffer.add_char b '{';
+                  add_field b ~first:true "method" (jstr name);
+                  add_field b ~first:false "jobs" (jint jobs);
+                  add_field b ~first:false "wall_s" (jfloat wall_s);
+                  Buffer.add_char b '}')
+                m.m_methods;
+              Buffer.add_char b ']'))
+    | Draining -> render (fun b -> add_field b ~first:true "reply" (jstr "draining"))
+
+  (* {2 Parsing} *)
+
+  open Obs.Json
+
+  let str_field name o =
+    match member name o with Some (Str s) -> Some s | _ -> None
+
+  let int_field name o =
+    match member name o with Some (Num n) -> Some (int_of_float n) | _ -> None
+
+  let num_field name o = match member name o with Some (Num n) -> Some n | _ -> None
+
+  let bool_field name o =
+    match member name o with Some (Bool v) -> Some v | _ -> None
+
+  let required what = function
+    | Some v -> Ok v
+    | None -> Stdlib.Error (Printf.sprintf "missing or ill-typed field %S" what)
+
+  let ( let* ) r f = match r with Ok v -> f v | Stdlib.Error _ as e -> e
+
+  let request_of_string line =
+    match parse line with
+    | Stdlib.Error e -> Stdlib.Error ("bad JSON: " ^ e)
+    | Ok o -> (
+      let* op = required "op" (str_field "op" o) in
+      match op with
+      | "hello" ->
+        let* client = required "client" (str_field "client" o) in
+        Ok (Hello client)
+      | "ping" -> Ok Ping
+      | "submit" ->
+        let* design = required "design" (str_field "design" o) in
+        Ok
+          (Submit
+             {
+               s_id = Option.value (str_field "id" o) ~default:"";
+               s_design = design;
+               s_property = str_field "property" o;
+               s_method = Option.value (str_field "method" o) ~default:"emm";
+               s_max_depth = int_field "max_depth" o;
+               s_timeout_s = num_field "timeout_s" o;
+               s_cache = bool_field "cache" o;
+             })
+      | "poll" ->
+        let* job = required "job" (int_field "job" o) in
+        Ok (Poll job)
+      | "metrics" -> Ok Metrics
+      | "shutdown" -> Ok Shutdown
+      | op -> Stdlib.Error (Printf.sprintf "unknown op %S" op))
+
+  let reply_of_string line =
+    match parse line with
+    | Stdlib.Error e -> Stdlib.Error ("bad JSON: " ^ e)
+    | Ok o -> (
+      let* reply = required "reply" (str_field "reply" o) in
+      match reply with
+      | "hello" ->
+        let* server = required "server" (str_field "server" o) in
+        let* version = required "version" (int_field "version" o) in
+        Ok (Hello_ok { server; version })
+      | "pong" -> Ok Pong
+      | "accepted" ->
+        let* id = required "id" (str_field "id" o) in
+        let* jobs =
+          match member "jobs" o with
+          | Some (Arr l) ->
+            List.fold_left
+              (fun acc j ->
+                let* acc = acc in
+                let* job = required "job" (int_field "job" j) in
+                let* property = required "property" (str_field "property" j) in
+                Ok ((job, property) :: acc))
+              (Ok []) l
+            |> Result.map List.rev
+          | _ -> Stdlib.Error "missing jobs array"
+        in
+        let* queue_depth = required "queue_depth" (int_field "queue_depth" o) in
+        Ok (Accepted { id; jobs; queue_depth })
+      | "busy" ->
+        let* id = required "id" (str_field "id" o) in
+        let* queue_depth = required "queue_depth" (int_field "queue_depth" o) in
+        let* max_queue = required "max_queue" (int_field "max_queue" o) in
+        Ok (Busy { id; queue_depth; max_queue })
+      | "shutdown" ->
+        let* id = required "id" (str_field "id" o) in
+        Ok (Shutdown_reply { id; job = int_field "job" o })
+      | "error" ->
+        let* message = required "message" (str_field "message" o) in
+        Ok (Error { id = str_field "id" o; message })
+      | "result" ->
+        let* r_job = required "job" (int_field "job" o) in
+        let* r_id = required "id" (str_field "id" o) in
+        let* r_property = required "property" (str_field "property" o) in
+        let* r_method = required "method" (str_field "method" o) in
+        let* r_verdict = required "verdict" (str_field "verdict" o) in
+        let* r_time_s = required "time_s" (num_field "time_s" o) in
+        let* r_cache = required "cache" (str_field "cache" o) in
+        let* r_certificate = required "certificate" (str_field "certificate" o) in
+        Ok
+          (Result
+             {
+               r_job;
+               r_id;
+               r_property;
+               r_method;
+               r_verdict;
+               r_depth = int_field "depth" o;
+               r_induction = bool_field "induction" o;
+               r_genuine = bool_field "genuine" o;
+               r_reason = str_field "reason" o;
+               r_time_s;
+               r_cache;
+               r_certificate;
+             })
+      | "status" ->
+        let* job = required "job" (int_field "job" o) in
+        let* state = required "state" (str_field "state" o) in
+        Ok (Status { job; state })
+      | "metrics" ->
+        let obj name =
+          match member name o with Some (Obj _ as v) -> Some v | _ -> None
+        in
+        let* jobs = required "jobs" (obj "jobs") in
+        let* cache = required "cache" (obj "cache") in
+        let* m_uptime_s = required "uptime_s" (num_field "uptime_s" o) in
+        let* m_queue_depth = required "queue_depth" (int_field "queue_depth" o) in
+        let* m_running = required "running" (int_field "running" o) in
+        let* m_clients = required "clients" (int_field "clients" o) in
+        let need name v = required name (int_field name v) in
+        let* m_accepted = need "accepted" jobs in
+        let* m_completed = need "completed" jobs in
+        let* m_failed = need "failed" jobs in
+        let* m_cancelled = need "cancelled" jobs in
+        let* m_rejected_busy = need "rejected_busy" jobs in
+        let* m_rejected_shutdown = need "rejected_shutdown" jobs in
+        let* m_protocol_errors = need "protocol_errors" jobs in
+        let* m_cache_hits = need "hits" cache in
+        let* m_cache_misses = need "misses" cache in
+        let* m_cache_entries = need "entries" cache in
+        let* m_cache_bytes = need "bytes" cache in
+        let* m_gc_runs = need "gc_runs" cache in
+        let* m_gc_evicted = need "gc_evicted" cache in
+        let* m_methods =
+          match member "methods" o with
+          | Some (Arr l) ->
+            List.fold_left
+              (fun acc e ->
+                let* acc = acc in
+                let* name = required "method" (str_field "method" e) in
+                let* jobs = required "jobs" (int_field "jobs" e) in
+                let* wall_s = required "wall_s" (num_field "wall_s" e) in
+                Ok ((name, jobs, wall_s) :: acc))
+              (Ok []) l
+            |> Result.map List.rev
+          | _ -> Stdlib.Error "missing methods array"
+        in
+        Ok
+          (Metrics_reply
+             {
+               m_uptime_s;
+               m_queue_depth;
+               m_running;
+               m_clients;
+               m_accepted;
+               m_completed;
+               m_failed;
+               m_cancelled;
+               m_rejected_busy;
+               m_rejected_shutdown;
+               m_protocol_errors;
+               m_cache_hits;
+               m_cache_misses;
+               m_cache_entries;
+               m_cache_bytes;
+               m_gc_runs;
+               m_gc_evicted;
+               m_methods;
+             })
+      | "draining" -> Ok Draining
+      | r -> Stdlib.Error (Printf.sprintf "unknown reply %S" r))
+end
+
+(* {1 Shared socket plumbing} *)
+
+let rec retry_eintr f =
+  try f () with Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + retry_eintr (fun () -> Unix.write fd b !pos (n - !pos))
+  done
+
+(* {1 The client} *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; mutable pending : string }
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+  let send t req =
+    try
+      write_all t.fd (Proto.request_to_string req ^ "\n");
+      Ok ()
+    with
+    | Unix.Unix_error (e, _, _) -> Error ("send: " ^ Unix.error_message e)
+    | Sys_error e -> Error ("send: " ^ e)
+
+  let rec take_line t =
+    match String.index_opt t.pending '\n' with
+    | Some i ->
+      let line = String.sub t.pending 0 i in
+      t.pending <- String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+      Some line
+    | None -> None
+
+  and read_reply ?(timeout_s = 60.0) t =
+    match take_line t with
+    | Some line -> Proto.reply_of_string line
+    | None ->
+      let deadline = Unix.gettimeofday () +. timeout_s in
+      let chunk = Bytes.create 65536 in
+      let rec wait () =
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining <= 0.0 then Error "timed out waiting for a reply"
+        else
+          let readable, _, _ =
+            retry_eintr (fun () -> Unix.select [ t.fd ] [] [] remaining)
+          in
+          if readable = [] then Error "timed out waiting for a reply"
+          else
+            match retry_eintr (fun () -> Unix.read t.fd chunk 0 (Bytes.length chunk)) with
+            | 0 -> Error "connection closed by server"
+            | k ->
+              t.pending <- t.pending ^ Bytes.sub_string chunk 0 k;
+              (match take_line t with
+              | Some line -> Proto.reply_of_string line
+              | None -> wait ())
+            | exception Unix.Unix_error (e, _, _) ->
+              Error ("read: " ^ Unix.error_message e)
+      in
+      wait ()
+
+  let request ?timeout_s t req =
+    match send t req with Ok () -> read_reply ?timeout_s t | Error _ as e -> e
+
+  let connect ?client path =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      { fd; pending = "" }
+    with
+    | t -> (
+      match client with
+      | None -> Ok t
+      | Some c -> (
+        match request t (Proto.Hello c) with
+        | Ok (Proto.Hello_ok _) -> Ok t
+        | Ok r ->
+          close t;
+          Error ("unexpected hello reply: " ^ Proto.reply_to_string r)
+        | Error e ->
+          close t;
+          Error e))
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "cannot connect to %s: %s" path (Unix.error_message e))
+end
+
+(* {1 The daemon} *)
+
+module Server = struct
+  type config = {
+    socket : string;
+    workers : int;
+    max_queue : int;
+    cache_dir : string option;
+    gc_policy : Vcache.gc_policy;
+    gc_interval_s : float;
+    budgets : Policy.budgets;
+    kill_grace_s : float;
+    quiet : bool;
+    runner :
+      (Proto.submit -> property:string -> options:Emmver.options -> Emmver.outcome)
+      option;
+  }
+
+  let config ?workers ?(max_queue = 64) ?cache_dir ?(gc_policy = Vcache.gc_policy ())
+      ?(gc_interval_s = 60.0) ?(budgets = Policy.unlimited) ?(kill_grace_s = 10.0)
+      ?(quiet = false) ?runner ~socket () =
+    {
+      socket;
+      workers = (match workers with Some w -> max 1 w | None -> Parallel.default_jobs ());
+      max_queue = max 1 max_queue;
+      cache_dir =
+        (match cache_dir with Some d -> d | None -> Some (Vcache.default_dir ()));
+      gc_policy;
+      gc_interval_s;
+      budgets;
+      kill_grace_s;
+      quiet;
+      runner;
+    }
+
+  type conn = {
+    fd : Unix.file_descr;
+    cid : int;
+    mutable client : string;
+    inbuf : Buffer.t;
+    mutable out : string;  (* pending unwritten reply bytes *)
+    mutable out_pos : int;
+    mutable closed : bool;
+  }
+
+  type job_state = Queued | Running | Done
+
+  type job = {
+    j_id : int;
+    j_req : string;  (* the submit's request id, echoed in replies *)
+    j_conn : int;
+    j_property : string;
+    j_method : string;
+    j_kill_s : float option;
+    mutable j_run : unit -> Emmver.outcome;
+    mutable j_state : job_state;
+    mutable j_abandoned : bool;  (* submitting connection went away *)
+  }
+
+  type metrics = {
+    mutable accepted : int;
+    mutable completed : int;
+    mutable failed : int;
+    mutable cancelled : int;
+    mutable rejected_busy : int;
+    mutable rejected_shutdown : int;
+    mutable protocol_errors : int;
+    mutable cache_hits : int;
+    mutable cache_misses : int;
+    mutable gc_runs : int;
+    mutable gc_evicted : int;
+    method_wall : (string, int * float) Hashtbl.t;
+  }
+
+  type state = {
+    cfg : config;
+    pool : Parallel.t;
+    listen_fd : Unix.file_descr;
+    conns : (int, conn) Hashtbl.t;
+    queues : (string, job Queue.t) Hashtbl.t;
+    mutable rotation : string list;  (* round-robin order of client ids *)
+    mutable queued : int;
+    jobs_tbl : (int, job) Hashtbl.t;
+    mutable running : (job * Emmver.outcome Parallel.Async.handle) list;
+    mutable draining : bool;
+    mutable drain_since : float;
+    mutable next_job : int;
+    mutable next_conn : int;
+    mutable last_gc : float;
+    started : float;
+    clients_seen : (string, unit) Hashtbl.t;
+    m : metrics;
+  }
+
+  let log st fmt =
+    Format.ksprintf
+      (fun s ->
+        if not st.cfg.quiet then begin
+          print_string ("serve: " ^ s ^ "\n");
+          flush stdout
+        end)
+      fmt
+
+  (* {2 Connection plumbing} *)
+
+  let push_reply st conn reply =
+    if not conn.closed then begin
+      conn.out <- conn.out ^ Proto.reply_to_string reply ^ "\n";
+      ignore st
+    end
+
+  let flush_conn conn =
+    if (not conn.closed) && String.length conn.out > conn.out_pos then
+      match
+        Unix.write_substring conn.fd conn.out conn.out_pos
+          (String.length conn.out - conn.out_pos)
+      with
+      | n ->
+        conn.out_pos <- conn.out_pos + n;
+        if conn.out_pos = String.length conn.out then begin
+          conn.out <- "";
+          conn.out_pos <- 0
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+        ->
+        ()
+      | exception Unix.Unix_error _ -> conn.closed <- true
+
+  let pending_out conn = (not conn.closed) && String.length conn.out > conn.out_pos
+
+  (* A connection's death cancels its footprint: queued jobs are dropped,
+     running jobs are SIGKILLed — a caller that went away should not keep
+     burning worker slots.  Everything is counted as [cancelled]. *)
+  let drop_conn st conn =
+    if not conn.closed then conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Hashtbl.remove st.conns conn.cid;
+    Hashtbl.iter
+      (fun _ q ->
+        let keep = Queue.create () in
+        Queue.iter
+          (fun j ->
+            if j.j_conn = conn.cid then begin
+              j.j_state <- Done;
+              j.j_run <- (fun () -> assert false);
+              st.queued <- st.queued - 1;
+              st.m.cancelled <- st.m.cancelled + 1;
+              Obs.counter_add "serve.cancelled" 1
+            end
+            else Queue.add j keep)
+          q;
+        Queue.clear q;
+        Queue.transfer keep q)
+      st.queues;
+    List.iter
+      (fun (j, h) ->
+        if j.j_conn = conn.cid && not j.j_abandoned then begin
+          j.j_abandoned <- true;
+          Parallel.Async.cancel st.pool h
+        end)
+      st.running;
+    List.iter
+      (fun j ->
+        if j.j_conn = conn.cid && j.j_state = Queued then j.j_abandoned <- true)
+      [];
+    log st "client %s (conn %d) disconnected" conn.client conn.cid
+
+  (* {2 Submission} *)
+
+  let clamp_options st (s : Proto.submit) =
+    let b = st.cfg.budgets in
+    let o = Emmver.default_options in
+    let max_depth =
+      match (s.s_max_depth, b.Policy.max_depth) with
+      | Some d, Some cap -> min d cap
+      | Some d, None -> d
+      | None, Some cap -> min cap o.Emmver.max_depth
+      | None, None -> o.Emmver.max_depth
+    in
+    let timeout_s =
+      match (s.s_timeout_s, b.Policy.wall_s) with
+      | Some t, Some cap -> Some (Float.min t cap)
+      | Some t, None -> Some t
+      | None, cap -> cap
+    in
+    let cache_available = st.cfg.cache_dir <> None in
+    {
+      o with
+      Emmver.max_depth;
+      timeout_s;
+      conflict_budget = b.Policy.conflicts;
+      learnt_mb_budget = b.Policy.learnt_mb;
+      cache =
+        (match s.s_cache with
+        | Some c -> c && cache_available
+        | None -> cache_available);
+      cache_dir = st.cfg.cache_dir;
+    }
+
+  let enqueue st (j : job) client =
+    let q =
+      match Hashtbl.find_opt st.queues client with
+      | Some q -> q
+      | None ->
+        let q = Queue.create () in
+        Hashtbl.replace st.queues client q;
+        st.rotation <- st.rotation @ [ client ];
+        q
+    in
+    Queue.add j q;
+    st.queued <- st.queued + 1
+
+  (* Round-robin across client ids: take the head client, rotate it to the
+     tail, serve one job from its queue if it has one.  Bounded by the
+     rotation length, so clients with empty queues just pass their turn. *)
+  let pick_next st =
+    let rec go tries =
+      if tries = 0 then None
+      else
+        match st.rotation with
+        | [] -> None
+        | c :: rest -> (
+          st.rotation <- rest @ [ c ];
+          match Hashtbl.find_opt st.queues c with
+          | Some q when not (Queue.is_empty q) ->
+            let j = Queue.pop q in
+            st.queued <- st.queued - 1;
+            Some j
+          | _ -> go (tries - 1))
+    in
+    go (List.length st.rotation)
+
+  let handle_submit st conn (s : Proto.submit) =
+    if st.draining then begin
+      st.m.rejected_shutdown <- st.m.rejected_shutdown + 1;
+      Obs.counter_add "serve.rejected_shutdown" 1;
+      push_reply st conn (Proto.Shutdown_reply { id = s.s_id; job = None })
+    end
+    else
+      let reject message =
+        st.m.protocol_errors <- st.m.protocol_errors + 1;
+        push_reply st conn (Proto.Error { id = Some s.s_id; message })
+      in
+      match Emmver.method_of_string s.s_method with
+      | Error msg -> reject msg
+      | Ok method_ -> (
+        match load_design s.s_design with
+        | Error msg -> reject msg
+        | Ok net -> (
+          let props =
+            match s.s_property with
+            | Some p ->
+              if List.mem_assoc p (Netlist.properties net) then Ok [ p ]
+              else
+                Stdlib.Error
+                  (Printf.sprintf "design %s has no property %S" s.s_design p)
+            | None -> (
+              match List.map fst (Netlist.properties net) with
+              | [] -> Stdlib.Error (s.s_design ^ " has no properties")
+              | ps -> Ok ps)
+          in
+          match props with
+          | Error msg -> reject msg
+          | Ok props ->
+            let n = List.length props in
+            if st.queued + n > st.cfg.max_queue then begin
+              (* Explicit backpressure: the daemon never buffers beyond
+                 [max_queue] — the caller retries or backs off. *)
+              st.m.rejected_busy <- st.m.rejected_busy + 1;
+              Obs.counter_add "serve.rejected_busy" 1;
+              push_reply st conn
+                (Proto.Busy
+                   {
+                     id = s.s_id;
+                     queue_depth = st.queued;
+                     max_queue = st.cfg.max_queue;
+                   })
+            end
+            else begin
+              let options = clamp_options st s in
+              let kill_s =
+                match options.Emmver.timeout_s with
+                | Some t -> Some (t +. st.cfg.kill_grace_s)
+                | None -> None
+              in
+              let client = conn.client in
+              Hashtbl.replace st.clients_seen client ();
+              let jobs =
+                List.map
+                  (fun property ->
+                    let id = st.next_job in
+                    st.next_job <- st.next_job + 1;
+                    let run =
+                      match st.cfg.runner with
+                      | Some r -> fun () -> r s ~property ~options
+                      | None ->
+                        fun () -> Emmver.verify ~options ~method_ net ~property
+                    in
+                    let j =
+                      {
+                        j_id = id;
+                        j_req = s.s_id;
+                        j_conn = conn.cid;
+                        j_property = property;
+                        j_method = s.s_method;
+                        j_kill_s = kill_s;
+                        j_run = run;
+                        j_state = Queued;
+                        j_abandoned = false;
+                      }
+                    in
+                    Hashtbl.replace st.jobs_tbl id j;
+                    enqueue st j client;
+                    j)
+                  props
+              in
+              st.m.accepted <- st.m.accepted + n;
+              Obs.counter_add "serve.accepted" n;
+              log st "accepted %d job(s) for %s from %s (queue %d)" n s.s_design
+                client st.queued;
+              push_reply st conn
+                (Proto.Accepted
+                   {
+                     id = s.s_id;
+                     jobs = List.map (fun j -> (j.j_id, j.j_property)) jobs;
+                     queue_depth = st.queued;
+                   })
+            end))
+
+  (* {2 Results} *)
+
+  let result_of_outcome (j : job) (o : Emmver.outcome) =
+    let verdict, depth, induction, genuine, reason =
+      match o.Emmver.conclusion with
+      | Emmver.Proved { depth; induction } ->
+        ("proved", Some depth, Some induction, None, None)
+      | Emmver.Falsified { depth; genuine; _ } ->
+        ("falsified", Some depth, None, genuine, None)
+      | Emmver.Inconclusive why -> ("inconclusive", None, None, None, Some why)
+    in
+    {
+      Proto.r_job = j.j_id;
+      r_id = j.j_req;
+      r_property = j.j_property;
+      r_method = j.j_method;
+      r_verdict = verdict;
+      r_depth = depth;
+      r_induction = induction;
+      r_genuine = genuine;
+      r_reason = reason;
+      r_time_s = o.Emmver.time_s;
+      r_cache =
+        (match o.Emmver.cache with
+        | Emmver.Cache_off -> "off"
+        | Emmver.Cache_miss -> "miss"
+        | Emmver.Cache_hit -> "hit"
+        | Emmver.Cache_dedup -> "dedup");
+      r_certificate = Cert.label o.Emmver.certificate;
+    }
+
+  let deliver st (j : job) (r : Emmver.outcome Parallel.job_result) =
+    j.j_state <- Done;
+    j.j_run <- (fun () -> assert false);
+    let conn = Hashtbl.find_opt st.conns j.j_conn in
+    let bump_method wall_s =
+      let jobs, wall =
+        match Hashtbl.find_opt st.m.method_wall j.j_method with
+        | Some (n, w) -> (n, w)
+        | None -> (0, 0.0)
+      in
+      Hashtbl.replace st.m.method_wall j.j_method (jobs + 1, wall +. wall_s)
+    in
+    match r with
+    | _ when j.j_abandoned ->
+      st.m.cancelled <- st.m.cancelled + 1;
+      Obs.counter_add "serve.cancelled" 1;
+      log st "job %d cancelled (client gone)" j.j_id
+    | Ok o ->
+      st.m.completed <- st.m.completed + 1;
+      Obs.counter_add "serve.completed" 1;
+      (match o.Emmver.cache with
+      | Emmver.Cache_hit | Emmver.Cache_dedup ->
+        st.m.cache_hits <- st.m.cache_hits + 1;
+        Obs.counter_add "serve.cache_hits" 1
+      | Emmver.Cache_miss ->
+        st.m.cache_misses <- st.m.cache_misses + 1;
+        Obs.counter_add "serve.cache_misses" 1
+      | Emmver.Cache_off -> ());
+      bump_method o.Emmver.time_s;
+      let line = result_of_outcome j o in
+      log st "job %d (%s/%s) %s in %.3fs [cache %s]" j.j_id line.Proto.r_property
+        j.j_method line.Proto.r_verdict line.Proto.r_time_s line.Proto.r_cache;
+      Option.iter (fun c -> push_reply st c (Proto.Result line)) conn
+    | Error f ->
+      st.m.failed <- st.m.failed + 1;
+      Obs.counter_add "serve.failed" 1;
+      bump_method f.Parallel.elapsed_s;
+      let why = "worker killed: " ^ Parallel.failure_message f in
+      log st "job %d failed: %s" j.j_id why;
+      Option.iter
+        (fun c ->
+          push_reply st c
+            (Proto.Result
+               {
+                 Proto.r_job = j.j_id;
+                 r_id = j.j_req;
+                 r_property = j.j_property;
+                 r_method = j.j_method;
+                 r_verdict = "inconclusive";
+                 r_depth = None;
+                 r_induction = None;
+                 r_genuine = None;
+                 r_reason = Some why;
+                 r_time_s = f.Parallel.elapsed_s;
+                 r_cache = "off";
+                 r_certificate = "unchecked";
+               }))
+        conn
+
+  (* {2 Metrics} *)
+
+  let metrics_line st =
+    let entries, bytes =
+      match st.cfg.cache_dir with
+      | None -> (0, 0)
+      | Some dir ->
+        let s = Vcache.stats (Vcache.config ~dir ()) in
+        (s.Vcache.entries, s.Vcache.bytes)
+    in
+    let methods =
+      Hashtbl.fold (fun name (jobs, wall) acc -> (name, jobs, wall) :: acc)
+        st.m.method_wall []
+      |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+    in
+    {
+      Proto.m_uptime_s = Obs.now () -. st.started;
+      m_queue_depth = st.queued;
+      m_running = List.length st.running;
+      m_clients = Hashtbl.length st.clients_seen;
+      m_accepted = st.m.accepted;
+      m_completed = st.m.completed;
+      m_failed = st.m.failed;
+      m_cancelled = st.m.cancelled;
+      m_rejected_busy = st.m.rejected_busy;
+      m_rejected_shutdown = st.m.rejected_shutdown;
+      m_protocol_errors = st.m.protocol_errors;
+      m_cache_hits = st.m.cache_hits;
+      m_cache_misses = st.m.cache_misses;
+      m_cache_entries = entries;
+      m_cache_bytes = bytes;
+      m_gc_runs = st.m.gc_runs;
+      m_gc_evicted = st.m.gc_evicted;
+      m_methods = methods;
+    }
+
+  (* {2 Drain} *)
+
+  let enter_drain st reason =
+    if not st.draining then begin
+      st.draining <- true;
+      st.drain_since <- Unix.gettimeofday ();
+      log st "draining (%s): %d running, %d queued" reason
+        (List.length st.running) st.queued;
+      (* Queued jobs are refused with [shutdown] replies; in-flight jobs
+         run to completion and deliver normally. *)
+      Hashtbl.iter
+        (fun _ q ->
+          Queue.iter
+            (fun j ->
+              j.j_state <- Done;
+              j.j_run <- (fun () -> assert false);
+              st.m.rejected_shutdown <- st.m.rejected_shutdown + 1;
+              Obs.counter_add "serve.rejected_shutdown" 1;
+              match Hashtbl.find_opt st.conns j.j_conn with
+              | Some c ->
+                push_reply st c
+                  (Proto.Shutdown_reply { id = j.j_req; job = Some j.j_id })
+              | None -> ())
+            q;
+          Queue.clear q)
+        st.queues;
+      st.queued <- 0
+    end
+
+  (* {2 Request dispatch} *)
+
+  let handle_request st conn = function
+    | Proto.Hello client ->
+      conn.client <- client;
+      Hashtbl.replace st.clients_seen client ();
+      push_reply st conn
+        (Proto.Hello_ok { server = "emmver"; version = protocol_version })
+    | Proto.Ping -> push_reply st conn Proto.Pong
+    | Proto.Submit s -> handle_submit st conn s
+    | Proto.Poll job ->
+      let state =
+        match Hashtbl.find_opt st.jobs_tbl job with
+        | Some { j_state = Queued; _ } -> "queued"
+        | Some { j_state = Running; _ } -> "running"
+        | Some { j_state = Done; _ } -> "done"
+        | None -> "unknown"
+      in
+      push_reply st conn (Proto.Status { job; state })
+    | Proto.Metrics -> push_reply st conn (Proto.Metrics_reply (metrics_line st))
+    | Proto.Shutdown ->
+      push_reply st conn Proto.Draining;
+      enter_drain st "shutdown request"
+
+  let handle_line st conn line =
+    let line = String.trim line in
+    if line <> "" then
+      match Proto.request_of_string line with
+      | Ok req -> handle_request st conn req
+      | Error message ->
+        st.m.protocol_errors <- st.m.protocol_errors + 1;
+        Obs.counter_add "serve.protocol_errors" 1;
+        push_reply st conn (Proto.Error { id = None; message })
+
+  let read_conn st conn =
+    let chunk = Bytes.create 65536 in
+    let rec drain () =
+      match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+      | 0 -> drop_conn st conn
+      | k ->
+        Buffer.add_subbytes conn.inbuf chunk 0 k;
+        drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      | exception Unix.Unix_error _ -> drop_conn st conn
+    in
+    drain ();
+    (* Process every complete line buffered so far. *)
+    let data = Buffer.contents conn.inbuf in
+    Buffer.clear conn.inbuf;
+    let rec split from =
+      match String.index_from_opt data from '\n' with
+      | Some i ->
+        handle_line st conn (String.sub data from (i - from));
+        split (i + 1)
+      | None ->
+        Buffer.add_string conn.inbuf
+          (String.sub data from (String.length data - from))
+    in
+    if data <> "" then split 0
+
+  (* {2 Scheduling} *)
+
+  let start_jobs st =
+    while List.length st.running < st.cfg.workers && st.queued > 0 do
+      match pick_next st with
+      | None -> st.queued <- 0 (* defensive: rotation lost track *)
+      | Some j ->
+        let run = j.j_run in
+        let h =
+          Parallel.Async.spawn st.pool ?job_timeout_s:j.j_kill_s
+            ~f:(fun () -> run ())
+            ()
+        in
+        j.j_state <- Running;
+        st.running <- (j, h) :: st.running;
+        log st "job %d (%s) started [%d/%d workers]" j.j_id j.j_property
+          (List.length st.running) st.cfg.workers
+    done
+
+  let service_workers st readable =
+    let still = ref [] in
+    List.iter
+      (fun (j, h) ->
+        if List.mem (Parallel.Async.fd h) readable then
+          match Parallel.Async.service st.pool h with
+          | Some result -> deliver st j result
+          | None -> still := (j, h) :: !still
+        else begin
+          Parallel.Async.check_deadline st.pool h;
+          still := (j, h) :: !still
+        end)
+      st.running;
+    st.running <- List.rev !still
+
+  let maybe_gc st =
+    match st.cfg.cache_dir with
+    | Some dir
+      when (st.cfg.gc_policy.Vcache.max_bytes <> None
+           || st.cfg.gc_policy.Vcache.max_age_s <> None)
+           && Unix.gettimeofday () -. st.last_gc >= st.cfg.gc_interval_s ->
+      st.last_gc <- Unix.gettimeofday ();
+      let r = Vcache.maintain (Vcache.config ~dir ()) st.cfg.gc_policy in
+      st.m.gc_runs <- st.m.gc_runs + 1;
+      let evicted = r.Vcache.evicted_age + r.Vcache.evicted_size in
+      st.m.gc_evicted <- st.m.gc_evicted + evicted;
+      if evicted > 0 then
+        log st "cache gc: evicted %d (age %d, size %d), kept %d (%.2f MB)" evicted
+          r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.kept
+          (float_of_int r.Vcache.kept_bytes /. 1048576.0)
+    | _ -> ()
+
+  (* {2 The loop} *)
+
+  let bind_socket cfg =
+    if Sys.file_exists cfg.socket then begin
+      (* A live daemon answers a connect; a stale file left by a dead one
+         refuses it and is safe to replace. *)
+      match Client.connect cfg.socket with
+      | Ok c ->
+        Client.close c;
+        failwith (Printf.sprintf "socket %s is already served by a live daemon" cfg.socket)
+      | Error _ -> ( try Sys.remove cfg.socket with Sys_error _ -> ())
+    end;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX cfg.socket);
+    Unix.listen fd 64;
+    fd
+
+  let run cfg =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let term = ref false in
+    let old_term =
+      Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> term := true))
+    in
+    let old_int =
+      Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> term := true))
+    in
+    let listen_fd = bind_socket cfg in
+    let st =
+      {
+        cfg;
+        pool = Parallel.create ~jobs:cfg.workers ();
+        listen_fd;
+        conns = Hashtbl.create 16;
+        queues = Hashtbl.create 16;
+        rotation = [];
+        queued = 0;
+        jobs_tbl = Hashtbl.create 64;
+        running = [];
+        draining = false;
+        drain_since = 0.0;
+        next_job = 1;
+        next_conn = 1;
+        last_gc = Unix.gettimeofday ();
+        started = Obs.now ();
+        clients_seen = Hashtbl.create 16;
+        m =
+          {
+            accepted = 0;
+            completed = 0;
+            failed = 0;
+            cancelled = 0;
+            rejected_busy = 0;
+            rejected_shutdown = 0;
+            protocol_errors = 0;
+            cache_hits = 0;
+            cache_misses = 0;
+            gc_runs = 0;
+            gc_evicted = 0;
+            method_wall = Hashtbl.create 8;
+          };
+      }
+    in
+    log st "listening on %s (%d workers, queue %d, cache %s)" cfg.socket
+      cfg.workers cfg.max_queue
+      (match cfg.cache_dir with Some d -> d | None -> "off");
+    let finished () =
+      st.draining && st.queued = 0 && st.running = []
+      && not (Hashtbl.fold (fun _ c acc -> acc || pending_out c) st.conns false)
+    in
+    let drain_expired () =
+      (* A drain must terminate even if a client never reads its replies. *)
+      st.draining && Unix.gettimeofday () -. st.drain_since > 30.0
+    in
+    while not (finished () || drain_expired ()) do
+      if !term then enter_drain st "SIGTERM";
+      if not st.draining then start_jobs st;
+      let conn_fds =
+        Hashtbl.fold (fun _ c acc -> if c.closed then acc else c.fd :: acc) st.conns []
+      in
+      let write_fds =
+        Hashtbl.fold
+          (fun _ c acc -> if pending_out c then c.fd :: acc else acc)
+          st.conns []
+      in
+      let worker_fds = List.map (fun (_, h) -> Parallel.Async.fd h) st.running in
+      let read_fds =
+        (if st.draining then [] else [ st.listen_fd ]) @ conn_fds @ worker_fds
+      in
+      let readable, writable, _ =
+        match Unix.select read_fds write_fds [] 0.25 with
+        | r -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if (not st.draining) && List.mem st.listen_fd readable then begin
+        match Unix.accept st.listen_fd with
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          let cid = st.next_conn in
+          st.next_conn <- st.next_conn + 1;
+          Hashtbl.replace st.conns cid
+            {
+              fd;
+              cid;
+              client = Printf.sprintf "conn-%d" cid;
+              inbuf = Buffer.create 256;
+              out = "";
+              out_pos = 0;
+              closed = false;
+            }
+        | exception Unix.Unix_error _ -> ()
+      end;
+      Hashtbl.fold (fun _ c acc -> c :: acc) st.conns []
+      |> List.iter (fun c ->
+             if (not c.closed) && List.mem c.fd readable then read_conn st c);
+      service_workers st readable;
+      Hashtbl.iter
+        (fun _ c ->
+          if List.mem c.fd writable || pending_out c then flush_conn c)
+        st.conns;
+      Hashtbl.fold
+        (fun _ c acc -> if c.closed then c :: acc else acc)
+        st.conns []
+      |> List.iter (fun c -> drop_conn st c);
+      maybe_gc st
+    done;
+    Hashtbl.iter
+      (fun _ c ->
+        flush_conn c;
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      st.conns;
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    (try Sys.remove cfg.socket with Sys_error _ -> ());
+    Sys.set_signal Sys.sigterm old_term;
+    Sys.set_signal Sys.sigint old_int;
+    log st "drained: %d completed, %d failed, %d cancelled, %d cache hits"
+      st.m.completed st.m.failed st.m.cancelled st.m.cache_hits
+end

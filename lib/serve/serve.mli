@@ -1,0 +1,209 @@
+(** Verification-as-a-service: the [emmver serve] daemon and its client.
+
+    One long-running process amortizes everything the platform built for a
+    single CLI invocation across many callers: the content-addressed result
+    cache ({!Vcache}) stays warm, the fork worker pool ({!Parallel})
+    absorbs crashes and deadline kills, and {!Obs} counters become a live
+    metrics endpoint.  The daemon listens on a {e Unix-domain socket} and
+    speaks a newline-delimited JSON {e line protocol} — one request or
+    reply per line, no framing beyond ['\n'], no dependencies beyond
+    [unix].
+
+    Scheduling model:
+
+    - a {b bounded job queue} with explicit backpressure: when the queue is
+      full a [submit] gets an immediate [busy] reply — the daemon never
+      buffers without bound;
+    - {b per-client fairness}: queued jobs are organized per client id and
+      dispatched round-robin across clients, so a flooding tenant cannot
+      starve the others;
+    - {b per-job budgets} from {!Policy.budgets}: the server clamps every
+      submission's depth/timeout to its configured ceilings and enforces
+      the wall budget with a SIGKILL deadline on the worker;
+    - {b crash containment}: each job runs in a forked worker
+      ({!Parallel.Async}); a crashing or overrunning job reports an
+      [inconclusive] result for itself and nothing else;
+    - {b graceful drain}: on SIGTERM/SIGINT (or a [shutdown] request)
+      in-flight jobs finish and deliver their results, queued jobs receive
+      [shutdown] replies, then the daemon exits cleanly;
+    - {b cache maintenance}: the server loop periodically runs
+      {!Vcache.maintain} with configurable size/age watermarks, so the
+      store is administered without an operator.
+
+    The wire protocol is specified in the {{!page-protocol}protocol
+    manual}; operating the daemon is covered in the
+    {{!page-operations}operations manual}. *)
+
+val protocol_version : int
+(** Version tag carried by [hello] replies; bumped on breaking protocol
+    changes. *)
+
+val default_socket : unit -> string
+(** [$EMMVER_SOCKET], else [/tmp/emmver-<uid>.sock] — shared default of
+    [emmver serve] and [emmver client]. *)
+
+val load_design : string -> (Netlist.t, string) result
+(** Resolve a design reference the way the CLI does — a registry name (see
+    [emmver list]), or a path to an [.emn] / [.aag] file — without
+    exiting. *)
+
+(** {1 Wire protocol} *)
+
+module Proto : sig
+  (** Message types plus their canonical JSON codec.  Rendering is
+      deterministic (fixed field order, fixed number format), so recorded
+      transcripts can be checked byte-for-byte — the golden tests in
+      [test_serve.ml] do exactly that, and any drift in the codec breaks
+      them rather than deployed clients. *)
+
+  type submit = {
+    s_id : string;  (** client-chosen request id, echoed in every reply *)
+    s_design : string;  (** registry name or [.emn]/[.aag] path *)
+    s_property : string option;  (** [None] = every property of the design *)
+    s_method : string;  (** engine name; default ["emm"] *)
+    s_max_depth : int option;
+    s_timeout_s : float option;
+    s_cache : bool option;  (** override the server's cache default *)
+  }
+
+  type request =
+    | Hello of string  (** declare a client (tenant) id for fairness *)
+    | Ping
+    | Submit of submit
+    | Poll of int  (** job id *)
+    | Metrics
+    | Shutdown  (** begin a graceful drain, as SIGTERM does *)
+
+  type result_line = {
+    r_job : int;
+    r_id : string;
+    r_property : string;
+    r_method : string;
+    r_verdict : string;  (** ["proved"], ["falsified"] or ["inconclusive"] *)
+    r_depth : int option;
+    r_induction : bool option;
+    r_genuine : bool option;
+    r_reason : string option;  (** inconclusive explanation, if any *)
+    r_time_s : float;
+    r_cache : string;  (** ["off"], ["miss"], ["hit"] or ["dedup"] *)
+    r_certificate : string;
+  }
+
+  type metrics_line = {
+    m_uptime_s : float;
+    m_queue_depth : int;
+    m_running : int;
+    m_clients : int;  (** distinct client ids seen since start *)
+    m_accepted : int;
+    m_completed : int;
+    m_failed : int;  (** worker crashed or hit its kill deadline *)
+    m_cancelled : int;  (** dropped by client disconnect or drain *)
+    m_rejected_busy : int;
+    m_rejected_shutdown : int;
+    m_protocol_errors : int;
+    m_cache_hits : int;
+    m_cache_misses : int;
+    m_cache_entries : int;  (** current store size, from {!Vcache.stats} *)
+    m_cache_bytes : int;
+    m_gc_runs : int;
+    m_gc_evicted : int;
+    m_methods : (string * int * float) list;
+        (** per-method [(name, jobs, wall_s)] aggregates, sorted by name *)
+  }
+
+  type reply =
+    | Hello_ok of { server : string; version : int }
+    | Pong
+    | Accepted of { id : string; jobs : (int * string) list; queue_depth : int }
+        (** jobs as [(job id, property)]; results stream back later *)
+    | Busy of { id : string; queue_depth : int; max_queue : int }
+        (** queue full — resubmit later; nothing was enqueued *)
+    | Shutdown_reply of { id : string; job : int option }
+        (** the daemon is draining: with [job = None] the submission was
+            refused, with [Some j] a previously queued job was dropped *)
+    | Error of { id : string option; message : string }
+    | Result of result_line
+    | Status of { job : int; state : string }
+        (** [state]: ["queued"], ["running"], ["done"] or ["unknown"] *)
+    | Metrics_reply of metrics_line
+    | Draining  (** acknowledgment of a [shutdown] request *)
+
+  val request_to_string : request -> string
+  (** One line of JSON, without the trailing newline. *)
+
+  val request_of_string : string -> (request, string) result
+  val reply_to_string : reply -> string
+  val reply_of_string : string -> (reply, string) result
+end
+
+(** {1 The daemon} *)
+
+module Server : sig
+  type config = {
+    socket : string;
+    workers : int;  (** concurrent forked jobs *)
+    max_queue : int;  (** queued-job bound; beyond it submissions get [busy] *)
+    cache_dir : string option;  (** [None] disables the result cache *)
+    gc_policy : Vcache.gc_policy;
+    gc_interval_s : float;  (** seconds between {!Vcache.maintain} runs *)
+    budgets : Policy.budgets;
+        (** per-job ceilings: submissions are clamped to [max_depth] /
+            [wall_s], and [conflicts] / [learnt_mb] are forced onto every
+            job's options *)
+    kill_grace_s : float;
+        (** slack added to a job's wall budget before the SIGKILL deadline
+            fires, so the engine's own timeout gets to return a clean
+            [Inconclusive] first *)
+    quiet : bool;  (** suppress the per-event log lines on stdout *)
+    runner : (Proto.submit -> property:string -> options:Emmver.options ->
+             Emmver.outcome) option;
+        (** test seam: replaces [Emmver.verify] as the forked job body;
+            [None] (the default) runs the real engine *)
+  }
+
+  val config :
+    ?workers:int ->
+    ?max_queue:int ->
+    ?cache_dir:string option ->
+    ?gc_policy:Vcache.gc_policy ->
+    ?gc_interval_s:float ->
+    ?budgets:Policy.budgets ->
+    ?kill_grace_s:float ->
+    ?quiet:bool ->
+    ?runner:(Proto.submit -> property:string -> options:Emmver.options ->
+            Emmver.outcome) ->
+    socket:string ->
+    unit ->
+    config
+  (** Defaults: [workers = Parallel.default_jobs ()], [max_queue = 64],
+      [cache_dir = Some (Vcache.default_dir ())], no watermarks,
+      [gc_interval_s = 60.], unlimited budgets, [kill_grace_s = 10.]. *)
+
+  val run : config -> unit
+  (** Bind the socket and serve until a graceful drain completes.  Installs
+      SIGTERM/SIGINT handlers (drain) and ignores SIGPIPE.  Raises
+      [Failure] if the socket path is already served by a live daemon;
+      a stale socket file left by a dead one is replaced. *)
+end
+
+(** {1 The client} *)
+
+module Client : sig
+  type t
+
+  val connect : ?client:string -> string -> (t, string) result
+  (** Connect to a daemon's socket; with [client], introduce the given
+      tenant id via [hello] (and check the reply) before returning. *)
+
+  val close : t -> unit
+
+  val send : t -> Proto.request -> (unit, string) result
+
+  val read_reply : ?timeout_s:float -> t -> (Proto.reply, string) result
+  (** Next reply line, in arrival order — [submit] acknowledgments and
+      streamed [result] lines come through the same channel.  [Error] on
+      timeout, EOF or an unparsable line. *)
+
+  val request : ?timeout_s:float -> t -> Proto.request -> (Proto.reply, string) result
+  (** [send] then [read_reply]. *)
+end

@@ -514,6 +514,12 @@ let load cfg key =
       | Some (entry, bytes) ->
         Obs.counter_add "vcache.hits" 1;
         Obs.counter_add "vcache.bytes_read" bytes;
+        (* Refresh the entry's clock: watermark GC ([maintain], [gc])
+           orders evictions by mtime, so a hit renews the entry's lease —
+           entries that keep earning hits survive the size watermark,
+           entries nobody asks for age out.  Best-effort: a read-only
+           store still serves hits. *)
+        (try Unix.utimes (entry_path cfg key) 0.0 0.0 with _ -> ());
         Some entry
       | None ->
         Obs.counter_add "vcache.misses" 1;
@@ -567,6 +573,82 @@ let clear cfg =
   List.fold_left
     (fun n path -> match Sys.remove path with () -> n + 1 | exception _ -> n)
     0 (entry_files cfg)
+
+(* {2 Daemon-grade maintenance}
+
+   The serve loop runs [maintain] periodically: an age watermark drops
+   entries not used (loaded or written) for [max_age_s], then a size
+   watermark evicts least-recently-used entries until the store fits
+   [max_bytes].  Because [load] refreshes an entry's mtime, both
+   watermarks are hit-rate-aware: a hot entry is never older than its
+   last hit. *)
+
+type gc_policy = { max_bytes : int option; max_age_s : float option }
+
+let gc_policy ?max_bytes ?max_age_s () = { max_bytes; max_age_s }
+
+type maintain_report = {
+  evicted_age : int;
+  evicted_size : int;
+  kept : int;
+  kept_bytes : int;
+}
+
+let maintain cfg policy =
+  Obs.span "cache.maintain" (fun () ->
+      let now = Unix.gettimeofday () in
+      let files =
+        List.filter_map
+          (fun path ->
+            match Unix.stat path with
+            | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size)
+            | exception _ -> None)
+          (entry_files cfg)
+      in
+      (* Oldest last-use first — eviction order for both watermarks. *)
+      let files = List.sort (fun (_, a, _) (_, b, _) -> compare a b) files in
+      let evicted_age = ref 0 and evicted_size = ref 0 in
+      let survivors =
+        match policy.max_age_s with
+        | None -> files
+        | Some age ->
+          List.filter
+            (fun (path, mtime, _) ->
+              if now -. mtime > age then (
+                (match Sys.remove path with
+                | () -> incr evicted_age
+                | exception _ -> ());
+                false)
+              else true)
+            files
+      in
+      let remaining =
+        ref (List.fold_left (fun acc (_, _, s) -> acc + s) 0 survivors)
+      in
+      let kept = ref 0 and kept_bytes = ref 0 in
+      List.iter
+        (fun (path, _, size) ->
+          match policy.max_bytes with
+          | Some budget when !remaining > budget -> (
+            match Sys.remove path with
+            | () ->
+              incr evicted_size;
+              remaining := !remaining - size
+            | exception _ ->
+              incr kept;
+              kept_bytes := !kept_bytes + size)
+          | _ ->
+            incr kept;
+            kept_bytes := !kept_bytes + size)
+        survivors;
+      Obs.counter_add "vcache.gc_evicted_age" !evicted_age;
+      Obs.counter_add "vcache.gc_evicted_size" !evicted_size;
+      {
+        evicted_age = !evicted_age;
+        evicted_size = !evicted_size;
+        kept = !kept;
+        kept_bytes = !kept_bytes;
+      })
 
 let gc cfg ~max_bytes =
   let files =

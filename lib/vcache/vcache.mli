@@ -111,5 +111,37 @@ val clear : config -> int
 (** Delete every entry; returns the number deleted. *)
 
 val gc : config -> max_bytes:int -> int * int
-(** [gc cfg ~max_bytes] deletes oldest entries (by recording time) until the
-    store fits the byte budget; returns [(deleted, kept)]. *)
+(** [gc cfg ~max_bytes] deletes least-recently-used entries (a {!load} hit
+    refreshes an entry's clock) until the store fits the byte budget;
+    returns [(deleted, kept)]. *)
+
+(** {1 Daemon-grade maintenance}
+
+    A long-running server cannot rely on an operator running [cache gc] by
+    hand; it calls {!maintain} periodically from its event loop.  Both
+    watermarks order evictions by {e last use}, not creation: {!load}
+    refreshes a served entry's mtime, so entries that keep earning hits
+    survive while cold entries age out — hit-rate-aware eviction without
+    any bookkeeping beyond the filesystem's. *)
+
+type gc_policy = {
+  max_bytes : int option;  (** size watermark: evict LRU entries down to this *)
+  max_age_s : float option;
+      (** age watermark: evict entries not used for this many seconds *)
+}
+
+val gc_policy : ?max_bytes:int -> ?max_age_s:float -> unit -> gc_policy
+(** Both watermarks default to off ([None]). *)
+
+type maintain_report = {
+  evicted_age : int;  (** entries dropped by the age watermark *)
+  evicted_size : int;  (** entries dropped by the size watermark *)
+  kept : int;
+  kept_bytes : int;
+}
+
+val maintain : config -> gc_policy -> maintain_report
+(** Apply the age watermark, then the size watermark (LRU order).  Never
+    raises; unremovable files are kept and counted.  Instrumented with the
+    [cache.maintain] span and [vcache.gc_evicted_age]/[vcache.gc_evicted_size]
+    counters. *)

@@ -1,0 +1,568 @@
+(* The verification daemon: protocol codec golden tests, then live-server
+   behaviour — backpressure, fairness, crash containment, disconnect
+   cleanup, warm cache, SIGTERM drain.
+
+   Live tests fork a real daemon (Serve.Server.run in a child process) on a
+   socket in a fresh temp directory and talk to it through Serve.Client.
+   Scripted job bodies are injected via the server's [runner] seam; the
+   submit's request id encodes the behaviour ("sleep:0.3", "crash", ...),
+   while the design/property resolution stays the real one. *)
+
+let tmpdir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emmver-serve-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Unix.mkdir dir 0o700;
+  dir
+
+(* {1 Protocol golden tests} *)
+
+let submit_full =
+  {
+    Serve.Proto.s_id = "r1";
+    s_design = "fifo";
+    s_property = Some "fifo_data";
+    s_method = "emm";
+    s_max_depth = Some 12;
+    s_timeout_s = Some 1.5;
+    s_cache = Some true;
+  }
+
+let submit_min =
+  {
+    Serve.Proto.s_id = "r2";
+    s_design = "fifo";
+    s_property = None;
+    s_method = "emm";
+    s_max_depth = None;
+    s_timeout_s = None;
+    s_cache = None;
+  }
+
+(* Recorded transcripts: every request and reply form, byte for byte.  The
+   rendering is part of the wire contract — fixed field order, %.3f floats
+   — so any codec drift must fail here, not against a deployed client. *)
+let golden_requests =
+  [
+    (Serve.Proto.Hello "alice", {|{"op":"hello","client":"alice"}|});
+    (Serve.Proto.Ping, {|{"op":"ping"}|});
+    ( Serve.Proto.Submit submit_full,
+      {|{"op":"submit","id":"r1","design":"fifo","property":"fifo_data","method":"emm","max_depth":12,"timeout_s":1.500,"cache":true}|}
+    );
+    ( Serve.Proto.Submit submit_min,
+      {|{"op":"submit","id":"r2","design":"fifo","method":"emm"}|} );
+    (Serve.Proto.Poll 7, {|{"op":"poll","job":7}|});
+    (Serve.Proto.Metrics, {|{"op":"metrics"}|});
+    (Serve.Proto.Shutdown, {|{"op":"shutdown"}|});
+  ]
+
+let golden_replies =
+  [
+    ( Serve.Proto.Hello_ok { server = "emmver"; version = 1 },
+      {|{"reply":"hello","server":"emmver","version":1}|} );
+    (Serve.Proto.Pong, {|{"reply":"pong"}|});
+    ( Serve.Proto.Accepted
+        { id = "r1"; jobs = [ (1, "fifo_data"); (2, "fifo_count") ]; queue_depth = 2 },
+      {|{"reply":"accepted","id":"r1","jobs":[{"job":1,"property":"fifo_data"},{"job":2,"property":"fifo_count"}],"queue_depth":2}|}
+    );
+    ( Serve.Proto.Busy { id = "r9"; queue_depth = 4; max_queue = 4 },
+      {|{"reply":"busy","id":"r9","queue_depth":4,"max_queue":4}|} );
+    ( Serve.Proto.Shutdown_reply { id = "r1"; job = Some 3 },
+      {|{"reply":"shutdown","id":"r1","job":3}|} );
+    ( Serve.Proto.Shutdown_reply { id = "r1"; job = None },
+      {|{"reply":"shutdown","id":"r1"}|} );
+    ( Serve.Proto.Error { id = Some "r1"; message = "unknown design \"nope\"" },
+      {|{"reply":"error","id":"r1","message":"unknown design \"nope\""}|} );
+    ( Serve.Proto.Error { id = None; message = "bad JSON: truncated" },
+      {|{"reply":"error","message":"bad JSON: truncated"}|} );
+    ( Serve.Proto.Result
+        {
+          r_job = 1;
+          r_id = "r1";
+          r_property = "fifo_data";
+          r_method = "emm";
+          r_verdict = "proved";
+          r_depth = Some 12;
+          r_induction = Some true;
+          r_genuine = None;
+          r_reason = None;
+          r_time_s = 0.103;
+          r_cache = "hit";
+          r_certificate = "drat-checked";
+        },
+      {|{"reply":"result","job":1,"id":"r1","property":"fifo_data","method":"emm","verdict":"proved","depth":12,"induction":true,"time_s":0.103,"cache":"hit","certificate":"drat-checked"}|}
+    );
+    ( Serve.Proto.Result
+        {
+          r_job = 2;
+          r_id = "r1";
+          r_property = "fifo_data";
+          r_method = "emm";
+          r_verdict = "inconclusive";
+          r_depth = None;
+          r_induction = None;
+          r_genuine = None;
+          r_reason = Some "worker killed: timed out";
+          r_time_s = 2.0;
+          r_cache = "off";
+          r_certificate = "unchecked";
+        },
+      {|{"reply":"result","job":2,"id":"r1","property":"fifo_data","method":"emm","verdict":"inconclusive","reason":"worker killed: timed out","time_s":2.000,"cache":"off","certificate":"unchecked"}|}
+    );
+    ( Serve.Proto.Status { job = 7; state = "running" },
+      {|{"reply":"status","job":7,"state":"running"}|} );
+    ( Serve.Proto.Metrics_reply
+        {
+          m_uptime_s = 12.5;
+          m_queue_depth = 1;
+          m_running = 2;
+          m_clients = 3;
+          m_accepted = 10;
+          m_completed = 7;
+          m_failed = 1;
+          m_cancelled = 1;
+          m_rejected_busy = 2;
+          m_rejected_shutdown = 0;
+          m_protocol_errors = 1;
+          m_cache_hits = 4;
+          m_cache_misses = 3;
+          m_cache_entries = 3;
+          m_cache_bytes = 981;
+          m_gc_runs = 1;
+          m_gc_evicted = 2;
+          m_methods = [ ("bdd", 2, 0.5); ("emm", 8, 3.25) ];
+        },
+      {|{"reply":"metrics","uptime_s":12.500,"queue_depth":1,"running":2,"clients":3,"jobs":{"accepted":10,"completed":7,"failed":1,"cancelled":1,"rejected_busy":2,"rejected_shutdown":0,"protocol_errors":1},"cache":{"hits":4,"misses":3,"entries":3,"bytes":981,"gc_runs":1,"gc_evicted":2},"methods":[{"method":"bdd","jobs":2,"wall_s":0.500},{"method":"emm","jobs":8,"wall_s":3.250}]}|}
+    );
+    (Serve.Proto.Draining, {|{"reply":"draining"}|});
+  ]
+
+let test_golden_requests () =
+  List.iter
+    (fun (req, expected) ->
+      Alcotest.(check string) expected expected (Serve.Proto.request_to_string req);
+      match Serve.Proto.request_of_string expected with
+      | Ok back ->
+        Alcotest.(check string)
+          ("round-trip " ^ expected)
+          expected
+          (Serve.Proto.request_to_string back)
+      | Error e -> Alcotest.failf "cannot parse %s: %s" expected e)
+    golden_requests
+
+let test_golden_replies () =
+  List.iter
+    (fun (reply, expected) ->
+      Alcotest.(check string) expected expected (Serve.Proto.reply_to_string reply);
+      match Serve.Proto.reply_of_string expected with
+      | Ok back ->
+        Alcotest.(check string)
+          ("round-trip " ^ expected)
+          expected
+          (Serve.Proto.reply_to_string back)
+      | Error e -> Alcotest.failf "cannot parse %s: %s" expected e)
+    golden_replies
+
+let test_protocol_errors () =
+  (match Serve.Proto.request_of_string "not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage accepted");
+  (match Serve.Proto.request_of_string {|{"op":"warp"}|} with
+  | Error e -> Alcotest.(check bool) "names op" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "unknown op accepted");
+  (match Serve.Proto.request_of_string {|{"op":"submit"}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "submit without design accepted");
+  match Serve.Proto.reply_of_string {|{"reply":"result","job":1}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated result accepted"
+
+(* {1 Live-server harness} *)
+
+(* A scripted job body: the submit's request id selects the behaviour.
+   Runs inside the server's forked worker, so crashes and sleeps exercise
+   the real containment machinery. *)
+let scripted (s : Serve.Proto.submit) ~property ~options:_ =
+  ignore property;
+  let proved =
+    {
+      (Emmver.killed_outcome ~elapsed_s:0.01 "scripted") with
+      Emmver.conclusion = Emmver.Proved { depth = 1; induction = false };
+      error = None;
+    }
+  in
+  match String.split_on_char ':' s.Serve.Proto.s_id with
+  | "sleep" :: d :: _ ->
+    Unix.sleepf (float_of_string d);
+    proved
+  | "crash" :: _ -> Unix._exit 42
+  | _ -> proved
+
+let with_server ?(workers = 2) ?(max_queue = 8) ?(cache = false) ?budgets ?runner f
+    =
+  let dir = tmpdir () in
+  let socket = Filename.concat dir "daemon.sock" in
+  let cache_dir = if cache then Some (Filename.concat dir "cache") else None in
+  let cfg =
+    Serve.Server.config ~workers ~max_queue ~cache_dir ?budgets ~quiet:true
+      ?runner ~socket ()
+  in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try Serve.Server.run cfg with _ -> Unix._exit 1);
+    Unix._exit 0
+  | pid ->
+    let rec wait_socket n =
+      if Sys.file_exists socket then ()
+      else if n = 0 then Alcotest.fail "daemon never bound its socket"
+      else begin
+        Unix.sleepf 0.02;
+        wait_socket (n - 1)
+      end
+    in
+    wait_socket 250;
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (try Unix.waitpid [] pid with Unix.Unix_error _ -> (pid, Unix.WEXITED 0)))
+      (fun () -> f ~socket ~pid)
+
+let connect ?client socket =
+  match Serve.Client.connect ?client socket with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "connect: %s" e
+
+let request c req =
+  match Serve.Client.request ~timeout_s:30.0 c req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request: %s" e
+
+let submit_one ?(id = "job") ?(property = "fifo_data") c =
+  match
+    request c
+      (Serve.Proto.Submit
+         {
+           Serve.Proto.s_id = id;
+           s_design = "fifo";
+           s_property = Some property;
+           s_method = "emm";
+           s_max_depth = Some 5;
+           s_timeout_s = None;
+           s_cache = None;
+         })
+  with
+  | Serve.Proto.Accepted { jobs = [ (j, _) ]; _ } -> j
+  | r -> Alcotest.failf "expected accepted: %s" (Serve.Proto.reply_to_string r)
+
+let read_result c =
+  let rec go () =
+    match Serve.Client.read_reply ~timeout_s:30.0 c with
+    | Ok (Serve.Proto.Result r) -> r
+    | Ok _ -> go ()
+    | Error e -> Alcotest.failf "read_result: %s" e
+  in
+  go ()
+
+let metrics c =
+  match request c Serve.Proto.Metrics with
+  | Serve.Proto.Metrics_reply m -> m
+  | r -> Alcotest.failf "expected metrics: %s" (Serve.Proto.reply_to_string r)
+
+let wait_state c job state =
+  let rec go n =
+    if n = 0 then Alcotest.failf "job %d never reached %s" job state
+    else
+      match request c (Serve.Proto.Poll job) with
+      | Serve.Proto.Status { state = s; _ } when s = state -> ()
+      | Serve.Proto.Status _ ->
+        Unix.sleepf 0.05;
+        go (n - 1)
+      | r -> Alcotest.failf "expected status: %s" (Serve.Proto.reply_to_string r)
+  in
+  go 200
+
+(* {1 Live tests} *)
+
+let test_hello_ping () =
+  with_server ~runner:scripted (fun ~socket ~pid:_ ->
+      let c = connect ~client:"alice" socket in
+      (match request c Serve.Proto.Ping with
+      | Serve.Proto.Pong -> ()
+      | r -> Alcotest.failf "expected pong: %s" (Serve.Proto.reply_to_string r));
+      (match request c (Serve.Proto.Poll 99) with
+      | Serve.Proto.Status { state = "unknown"; _ } -> ()
+      | r -> Alcotest.failf "expected unknown: %s" (Serve.Proto.reply_to_string r));
+      (* A garbage line earns an error reply, not a dropped connection. *)
+      (match Serve.Client.send c Serve.Proto.Ping with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      ignore (Serve.Client.read_reply ~timeout_s:5.0 c);
+      Serve.Client.close c)
+
+let test_concurrent_clients () =
+  with_server ~workers:2 ~runner:scripted (fun ~socket ~pid:_ ->
+      let clients =
+        List.init 4 (fun i -> (i, connect ~client:(Printf.sprintf "tenant-%d" i) socket))
+      in
+      let jobs =
+        List.map (fun (i, c) -> (c, submit_one ~id:(Printf.sprintf "c%d" i) c)) clients
+      in
+      List.iter
+        (fun (c, j) ->
+          let r = read_result c in
+          Alcotest.(check int) "result for own job" j r.Serve.Proto.r_job;
+          Alcotest.(check string) "proved" "proved" r.Serve.Proto.r_verdict)
+        jobs;
+      let c0 = snd (List.hd clients) in
+      let m = metrics c0 in
+      Alcotest.(check int) "all completed" 4 m.Serve.Proto.m_completed;
+      Alcotest.(check bool) "clients counted" true (m.Serve.Proto.m_clients >= 4);
+      List.iter (fun (_, c) -> Serve.Client.close c) clients)
+
+let test_backpressure () =
+  with_server ~workers:1 ~max_queue:2 ~runner:scripted (fun ~socket ~pid:_ ->
+      let c = connect ~client:"flood" socket in
+      let j1 = submit_one ~id:"sleep:2.0" c in
+      wait_state c j1 "running";
+      let _j2 = submit_one ~id:"sleep:0.1" c in
+      let _j3 = submit_one ~id:"sleep:0.1" c in
+      (match
+         request c
+           (Serve.Proto.Submit
+              {
+                Serve.Proto.s_id = "overflow";
+                s_design = "fifo";
+                s_property = Some "fifo_data";
+                s_method = "emm";
+                s_max_depth = None;
+                s_timeout_s = None;
+                s_cache = None;
+              })
+       with
+      | Serve.Proto.Busy { queue_depth; max_queue; _ } ->
+        Alcotest.(check int) "queue reported full" 2 queue_depth;
+        Alcotest.(check int) "max reported" 2 max_queue
+      | r -> Alcotest.failf "expected busy: %s" (Serve.Proto.reply_to_string r));
+      (* An all-or-nothing batch: both fifo properties would overflow the
+         one remaining... queue is already full, so nothing is enqueued. *)
+      let m = metrics c in
+      Alcotest.(check int) "busy rejection counted" 1 m.Serve.Proto.m_rejected_busy;
+      Alcotest.(check int) "nothing extra queued" 2 m.Serve.Proto.m_queue_depth;
+      Serve.Client.close c)
+
+let test_fairness () =
+  with_server ~workers:1 ~runner:scripted (fun ~socket ~pid:_ ->
+      let flood = connect ~client:"flood" socket in
+      let polite = connect ~client:"polite" socket in
+      let j1 = submit_one ~id:"sleep:0.3" flood in
+      wait_state flood j1 "running";
+      let flood_jobs =
+        List.init 3 (fun _ -> submit_one ~id:"sleep:0.3" flood)
+      in
+      let pj = submit_one ~id:"sleep:0.3" polite in
+      (* Round-robin: the polite tenant's single job must not wait behind
+         the flooder's whole backlog. *)
+      let r = read_result polite in
+      Alcotest.(check int) "polite job done" pj r.Serve.Proto.r_job;
+      let undone =
+        List.filter
+          (fun j ->
+            match request polite (Serve.Proto.Poll j) with
+            | Serve.Proto.Status { state = "done"; _ } -> false
+            | _ -> true)
+          flood_jobs
+      in
+      Alcotest.(check bool)
+        "flooder still has work after polite finished" true
+        (List.length undone >= 1);
+      Serve.Client.close flood;
+      Serve.Client.close polite)
+
+let test_crash_containment () =
+  with_server ~workers:1 ~runner:scripted (fun ~socket ~pid:_ ->
+      let c = connect ~client:"crash" socket in
+      let j = submit_one ~id:"crash" c in
+      let r = read_result c in
+      Alcotest.(check int) "crashed job answered" j r.Serve.Proto.r_job;
+      Alcotest.(check string) "inconclusive" "inconclusive" r.Serve.Proto.r_verdict;
+      (match r.Serve.Proto.r_reason with
+      | Some why ->
+        Alcotest.(check bool) "reason names the kill" true
+          (String.length why >= 13 && String.sub why 0 13 = "worker killed")
+      | None -> Alcotest.fail "no reason on crashed job");
+      (* The daemon survives and serves the next job normally. *)
+      let j2 = submit_one ~id:"after" c in
+      let r2 = read_result c in
+      Alcotest.(check int) "next job fine" j2 r2.Serve.Proto.r_job;
+      Alcotest.(check string) "proved" "proved" r2.Serve.Proto.r_verdict;
+      let m = metrics c in
+      Alcotest.(check int) "failure counted" 1 m.Serve.Proto.m_failed;
+      Alcotest.(check int) "completion counted" 1 m.Serve.Proto.m_completed;
+      Serve.Client.close c)
+
+let test_disconnect_cancels () =
+  with_server ~workers:1 ~runner:scripted (fun ~socket ~pid:_ ->
+      let doomed = connect ~client:"doomed" socket in
+      let j = submit_one ~id:"sleep:30" doomed in
+      wait_state doomed j "running";
+      Serve.Client.close doomed;
+      (* The abandoned worker is killed, not waited for 30 s. *)
+      let c = connect ~client:"watcher" socket in
+      let rec wait n =
+        if n = 0 then Alcotest.fail "abandoned job never cancelled"
+        else
+          let m = metrics c in
+          if m.Serve.Proto.m_cancelled >= 1 && m.Serve.Proto.m_running = 0 then ()
+          else begin
+            Unix.sleepf 0.05;
+            wait (n - 1)
+          end
+      in
+      wait 200;
+      let j2 = submit_one ~id:"after" c in
+      let r = read_result c in
+      Alcotest.(check int) "worker slot freed" j2 r.Serve.Proto.r_job;
+      Serve.Client.close c)
+
+let test_warm_cache () =
+  with_server ~workers:1 ~cache:true (fun ~socket ~pid:_ ->
+      let c = connect ~client:"cache" socket in
+      let _ = submit_one ~id:"cold" c in
+      let cold = read_result c in
+      Alcotest.(check string) "cold run misses" "miss" cold.Serve.Proto.r_cache;
+      let _ = submit_one ~id:"warm" c in
+      let warm = read_result c in
+      Alcotest.(check string) "warm run hits" "hit" warm.Serve.Proto.r_cache;
+      Alcotest.(check string)
+        "same verdict" cold.Serve.Proto.r_verdict warm.Serve.Proto.r_verdict;
+      let m = metrics c in
+      Alcotest.(check int) "hit counted" 1 m.Serve.Proto.m_cache_hits;
+      Alcotest.(check int) "miss counted" 1 m.Serve.Proto.m_cache_misses;
+      Alcotest.(check bool) "store populated" true (m.Serve.Proto.m_cache_entries >= 1);
+      Serve.Client.close c)
+
+let test_sigterm_drain () =
+  with_server ~workers:1 ~runner:scripted (fun ~socket ~pid ->
+      let c = connect ~client:"drain" socket in
+      let j1 = submit_one ~id:"sleep:0.5" c in
+      wait_state c j1 "running";
+      let j2 = submit_one ~id:"queued" c in
+      Unix.kill pid Sys.sigterm;
+      (* The in-flight job delivers its result; the queued one is dropped
+         with a shutdown reply; then the daemon exits 0. *)
+      let got_result = ref false and got_shutdown = ref false in
+      let rec collect n =
+        if n > 0 && not (!got_result && !got_shutdown) then begin
+          (match Serve.Client.read_reply ~timeout_s:10.0 c with
+          | Ok (Serve.Proto.Result r) ->
+            Alcotest.(check int) "running job finished" j1 r.Serve.Proto.r_job;
+            Alcotest.(check string) "proved" "proved" r.Serve.Proto.r_verdict;
+            got_result := true
+          | Ok (Serve.Proto.Shutdown_reply { job = Some j; _ }) ->
+            Alcotest.(check int) "queued job dropped" j2 j;
+            got_shutdown := true
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "during drain: %s" e);
+          collect (n - 1)
+        end
+      in
+      collect 10;
+      Alcotest.(check bool) "result delivered" true !got_result;
+      Alcotest.(check bool) "shutdown reply delivered" true !got_shutdown;
+      (match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d" n
+      | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) ->
+        Alcotest.fail "daemon killed, not drained");
+      Serve.Client.close c)
+
+let test_budget_clamp () =
+  (* The server clamps submissions to its policy ceilings; the runner seam
+     observes the clamped options. *)
+  let seen = ref None in
+  let probe (s : Serve.Proto.submit) ~property ~options =
+    ignore s;
+    ignore property;
+    seen := Some options;
+    {
+      (Emmver.killed_outcome
+         ~elapsed_s:
+           (match options.Emmver.timeout_s with Some t -> t | None -> 0.0)
+         "probe")
+      with
+      Emmver.conclusion =
+        Emmver.Inconclusive
+          (Printf.sprintf "depth=%d timeout=%s" options.Emmver.max_depth
+             (match options.Emmver.timeout_s with
+             | Some t -> Printf.sprintf "%.1f" t
+             | None -> "none"));
+      error = None;
+    }
+  in
+  let budgets =
+    { Policy.wall_s = Some 5.0; conflicts = None; learnt_mb = None; max_depth = Some 10 }
+  in
+  ignore seen;
+  with_server ~workers:1 ~budgets ~runner:probe (fun ~socket ~pid:_ ->
+      let c = connect ~client:"clamp" socket in
+      let _ =
+        match
+          request c
+            (Serve.Proto.Submit
+               {
+                 Serve.Proto.s_id = "want-more";
+                 s_design = "fifo";
+                 s_property = Some "fifo_data";
+                 s_method = "emm";
+                 s_max_depth = Some 1000;
+                 s_timeout_s = Some 3600.0;
+                 s_cache = None;
+               })
+        with
+        | Serve.Proto.Accepted _ -> ()
+        | r -> Alcotest.failf "expected accepted: %s" (Serve.Proto.reply_to_string r)
+      in
+      let r = read_result c in
+      (match r.Serve.Proto.r_reason with
+      | Some why ->
+        Alcotest.(check string) "clamped to ceilings" "depth=10 timeout=5.0" why
+      | None -> Alcotest.fail "probe reason lost");
+      Serve.Client.close c)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "golden requests, byte-for-byte" `Quick
+            test_golden_requests;
+          Alcotest.test_case "golden replies, byte-for-byte" `Quick
+            test_golden_replies;
+          Alcotest.test_case "malformed lines are rejected" `Quick
+            test_protocol_errors;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "hello, ping, poll unknown" `Quick test_hello_ping;
+          Alcotest.test_case "concurrent clients each get their results" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "queue-full submissions get busy" `Quick
+            test_backpressure;
+          Alcotest.test_case "round-robin fairness under a flooding tenant"
+            `Quick test_fairness;
+          Alcotest.test_case "worker crash is contained to its job" `Quick
+            test_crash_containment;
+          Alcotest.test_case "client disconnect cancels its jobs" `Quick
+            test_disconnect_cancels;
+          Alcotest.test_case "second submission is served warm" `Quick
+            test_warm_cache;
+          Alcotest.test_case "SIGTERM drains gracefully" `Quick
+            test_sigterm_drain;
+          Alcotest.test_case "submissions are clamped to policy budgets" `Quick
+            test_budget_clamp;
+        ] );
+    ]

@@ -333,6 +333,62 @@ let test_stats_gc_clear () =
   Alcotest.(check int) "clear" 2 (Vcache.clear cfg);
   Alcotest.(check int) "empty after clear" 0 (Vcache.stats cfg).Vcache.entries
 
+(* The daemon-grade watermarks: age and size evict by last use, and a
+   [load] hit refreshes an entry's lease so hot entries survive. *)
+let test_maintain_watermarks () =
+  let dir = tmp_store "maintain" in
+  Fun.protect ~finally:(fun () -> drop_store dir) @@ fun () ->
+  let cfg = Vcache.config ~dir () in
+  let entry =
+    {
+      Vcache.e_method = "emm";
+      e_verdict = Vcache.Proved { depth = 3; induction = true };
+      e_time_s = 1.0;
+      e_solve_time_s = 0.5;
+      e_model_vars = 10;
+      e_model_clauses = 20;
+      e_model_latches = 3;
+      e_cert = "unchecked";
+      e_created = 0.0;
+      e_payload = Vcache.No_payload;
+    }
+  in
+  let key i = Vcache.Key.make ~cone:"c" ~attrs:[ ("i", string_of_int i) ] in
+  let path i = Filename.concat dir (Vcache.Key.to_hex (key i) ^ ".json") in
+  let set_age i seconds =
+    let t = Unix.gettimeofday () -. seconds in
+    Unix.utimes (path i) t t
+  in
+  List.iter (fun i -> Vcache.store cfg (key i) entry) [ 0; 1; 2 ];
+  (* No watermarks: nothing moves. *)
+  let r = Vcache.maintain cfg (Vcache.gc_policy ()) in
+  Alcotest.(check int) "no policy evicts nothing"
+    0
+    (r.Vcache.evicted_age + r.Vcache.evicted_size);
+  Alcotest.(check int) "all kept" 3 r.Vcache.kept;
+  (* Age watermark: only the entry unused for 100s falls. *)
+  set_age 0 100.0;
+  let r = Vcache.maintain cfg (Vcache.gc_policy ~max_age_s:50.0 ()) in
+  Alcotest.(check int) "age watermark evicts the stale entry" 1 r.Vcache.evicted_age;
+  Alcotest.(check int) "age watermark keeps the rest" 2 r.Vcache.kept;
+  Alcotest.(check bool) "stale entry gone" true (Vcache.load cfg (key 0) = None);
+  (* Size watermark is LRU, and a hit refreshes the lease: make key 1 the
+     older of the two survivors, then load it (refresh) — the watermark
+     must now evict key 2 instead. *)
+  set_age 1 30.0;
+  set_age 2 20.0;
+  (match Vcache.load cfg (key 1) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected key 1 to load");
+  let bytes_of_one = (Unix.stat (path 2)).Unix.st_size in
+  let r = Vcache.maintain cfg (Vcache.gc_policy ~max_bytes:bytes_of_one ()) in
+  Alcotest.(check int) "size watermark evicts one" 1 r.Vcache.evicted_size;
+  Alcotest.(check int) "size watermark keeps one" 1 r.Vcache.kept;
+  Alcotest.(check bool) "hit-refreshed entry survives" true
+    (Vcache.load cfg (key 1) <> None);
+  Alcotest.(check bool) "cold entry evicted" true (Vcache.load cfg (key 2) = None);
+  Alcotest.(check int) "kept bytes accounted" bytes_of_one r.Vcache.kept_bytes
+
 let test_default_dir_env_override () =
   let saved = Sys.getenv_opt "EMMVER_CACHE_DIR" in
   Unix.putenv "EMMVER_CACHE_DIR" "/tmp/emmver-env-test";
@@ -553,6 +609,8 @@ let () =
           Alcotest.test_case "forged trace is evicted and re-solved" `Quick
             test_forged_trace_is_stale;
           Alcotest.test_case "stats/gc/clear administration" `Quick test_stats_gc_clear;
+          Alcotest.test_case "maintain: age/size watermarks, LRU hit refresh" `Quick
+            test_maintain_watermarks;
           Alcotest.test_case "EMMVER_CACHE_DIR overrides the default" `Quick
             test_default_dir_env_override;
         ] );
