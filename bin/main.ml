@@ -397,11 +397,12 @@ let cache_cmd =
         Format.printf "gc %s: store is empty, nothing to collect@." cfg.Vcache.dir
       else
         Format.printf
-          "gc %s: evicted %d least-recently-used entries (%d by age, %d by \
-           size), kept %d (%.2f MB, budget %d MB)@."
+          "gc %s: evicted %d entries (%d by age, %d by size of which %d \
+           never-hit), kept %d (%.2f MB, budget %d MB)@."
           cfg.Vcache.dir
           (r.Vcache.evicted_age + r.Vcache.evicted_size)
-          r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.kept
+          r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.evicted_cold
+          r.Vcache.kept
           (float_of_int r.Vcache.kept_bytes /. 1048576.0)
           max_mb
   in
@@ -589,9 +590,28 @@ let serve_cmd =
     let doc = "Suppress the per-event log lines on stdout." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
+  let journal_arg =
+    let doc =
+      "Write-ahead job journal path. Accepted jobs and undelivered results \
+       survive a daemon crash or restart. Default: $(i,SOCKET).journal."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"PATH" ~doc)
+  in
+  let no_journal_arg =
+    let doc =
+      "Disable the job journal: a restart forgets the queue and client \
+       disconnects cancel their jobs (the pre-v2 behavior)."
+    in
+    Arg.(value & flag & info [ "no-journal" ] ~doc)
+  in
   let run socket workers max_queue no_cache cache_dir gc_max_mb gc_max_age_h
-      gc_interval budget_wall budget_depth budget_conflicts budget_learnt_mb quiet =
+      gc_interval budget_wall budget_depth budget_conflicts budget_learnt_mb
+      quiet journal no_journal =
     let socket = match socket with Some s -> s | None -> Serve.default_socket () in
+    let journal =
+      if no_journal then None
+      else Some (match journal with Some p -> p | None -> socket ^ ".journal")
+    in
     let cache_dir =
       if no_cache then Some None else Option.map Option.some cache_dir
     in
@@ -611,7 +631,7 @@ let serve_cmd =
     in
     let cfg =
       Serve.Server.config ?workers ~max_queue ?cache_dir ~gc_policy
-        ~gc_interval_s:gc_interval ~budgets ~quiet ~socket ()
+        ~gc_interval_s:gc_interval ~budgets ~quiet ?journal ~socket ()
     in
     match Serve.Server.run cfg with
     | () -> ()
@@ -626,12 +646,15 @@ let serve_cmd =
           socket that serves $(b,emmver client) submissions from a bounded \
           fair queue of forked workers, keeps the result cache warm and \
           self-maintained, and drains gracefully on SIGTERM (in-flight jobs \
-          finish, queued jobs get shutdown replies)")
+          finish, queued jobs get shutdown replies). A write-ahead journal \
+          (on by default) makes accepted jobs and undelivered results \
+          survive crashes: a restarted daemon replays it and reconnecting \
+          clients $(b,resume) their results")
     Term.(
       const run $ socket_arg $ workers_arg $ max_queue_arg $ no_cache_arg
       $ cache_dir_arg $ gc_max_mb_arg $ gc_max_age_h_arg $ gc_interval_arg
       $ budget_wall_arg $ budget_depth_arg $ budget_conflicts_arg
-      $ budget_learnt_mb_arg $ quiet_arg)
+      $ budget_learnt_mb_arg $ quiet_arg $ journal_arg $ no_journal_arg)
 
 (* The client cannot see the server-side [Policy.error]; it ranks from the
    wire fields instead: a genuine falsification beats everything, a killed
@@ -646,8 +669,8 @@ let rank_of_result (r : Serve.Proto.result_line) =
 let client_cmd =
   let action_arg =
     let doc =
-      "$(b,ping), $(b,submit) DESIGN, $(b,poll) JOB, $(b,metrics), or \
-       $(b,shutdown)."
+      "$(b,ping), $(b,submit) DESIGN, $(b,poll) JOB, $(b,resume), \
+       $(b,ack) JOB, $(b,metrics), or $(b,shutdown)."
     in
     Arg.(
       required
@@ -658,6 +681,8 @@ let client_cmd =
                   ("ping", `Ping);
                   ("submit", `Submit);
                   ("poll", `Poll);
+                  ("resume", `Resume);
+                  ("ack", `Ack);
                   ("metrics", `Metrics);
                   ("shutdown", `Shutdown);
                 ]))
@@ -665,7 +690,7 @@ let client_cmd =
       & info [] ~docv:"ACTION" ~doc)
   in
   let arg_arg =
-    let doc = "The design to submit, or the job id to poll." in
+    let doc = "The design to submit, or the job id to poll or ack." in
     Arg.(value & pos 1 (some string) None & info [] ~docv:"ARG" ~doc)
   in
   let client_id_arg =
@@ -684,88 +709,200 @@ let client_cmd =
     let doc = "Seconds to wait for each reply line." in
     Arg.(value & opt float 600.0 & info [ "reply-timeout" ] ~docv:"SECONDS" ~doc)
   in
+  let retries_arg =
+    let doc =
+      "Retries after a $(b,busy)/draining reply or an unreachable daemon, \
+       with capped jittered exponential backoff that honors the server's \
+       retry hint. 0 disables retrying."
+    in
+    Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let no_ack_arg =
+    let doc =
+      "Do not acknowledge received results; a journalled server retains \
+       them for a later $(b,resume)."
+    in
+    Arg.(value & flag & info [ "no-ack" ] ~doc)
+  in
   let run action arg socket client property method_name max_depth timeout_s
-      no_cache request_id reply_timeout =
+      no_cache request_id reply_timeout retries no_ack =
     let socket = match socket with Some s -> s | None -> Serve.default_socket () in
+    let tenant = Option.value client ~default:"cli" in
     let fail code msg =
       Format.eprintf "%s@." msg;
       exit code
     in
-    match Serve.Client.connect ?client socket with
-    | Error msg -> fail 7 msg
-    | Ok c -> (
-      let finish code =
-        Serve.Client.close c;
-        exit code
+    let backoff = Serve.Backoff.create ~attempts:retries () in
+    (* Shared retry driver: sleep per the backoff schedule (seeded by the
+       server's hint when it gave one) and re-run [k]; exit 7 once the
+       attempts are spent. *)
+    let retry_or ~hint_s msg k =
+      match Serve.Backoff.next backoff ~hint_s with
+      | None ->
+        fail 7
+          (if retries = 0 then msg else msg ^ "; attempts exhausted")
+      | Some delay ->
+        Format.eprintf "%s; retrying in %.1fs@." msg delay;
+        Unix.sleepf delay;
+        k ()
+    in
+    let rec connect () =
+      match Serve.Client.connect ~client:tenant socket with
+      | Ok c -> c
+      | Error msg -> retry_or ~hint_s:None ("cannot reach daemon: " ^ msg) connect
+    in
+    let finish c code =
+      Serve.Client.close c;
+      exit code
+    in
+    let request c req =
+      match Serve.Client.request ~timeout_s:reply_timeout c req with
+      | Ok reply -> reply
+      | Error msg -> fail 5 msg
+    in
+    let unexpected r =
+      fail 5 ("unexpected reply: " ^ Serve.Proto.reply_to_string r)
+    in
+    let print_result (r : Serve.Proto.result_line) =
+      let open Serve.Proto in
+      let detail =
+        match (r.r_verdict, r.r_depth, r.r_reason) with
+        | "proved", Some d, _ ->
+          Printf.sprintf "proved (depth %d%s)" d
+            (if r.r_induction = Some true then ", by induction" else "")
+        | "falsified", Some d, _ ->
+          Printf.sprintf "falsified at depth %d%s" d
+            (match r.r_genuine with
+            | Some true -> " (genuine)"
+            | Some false -> " (spurious)"
+            | None -> "")
+        | _, _, Some why -> "inconclusive: " ^ why
+        | v, _, None -> v
       in
-      let request req =
-        match Serve.Client.request ~timeout_s:reply_timeout c req with
-        | Ok reply -> reply
-        | Error msg -> fail 5 msg
+      Format.printf "%s [%s%s]: %s in %.3fs@." r.r_property r.r_method
+        (match r.r_cache with
+        | "hit" -> ", cache hit"
+        | "dedup" -> ", deduplicated"
+        | _ -> "")
+        detail r.r_time_s;
+      rank_of_result r
+    in
+    (* Confirm delivery so a journalled server can forget the result; the
+       [acked] replies interleave with the result stream and are absorbed
+       by the catch-all read arm. *)
+    let maybe_ack c (r : Serve.Proto.result_line) =
+      if
+        (not no_ack)
+        && (match Serve.Client.server_version c with
+           | Some v -> v >= 2
+           | None -> false)
+      then ignore (Serve.Client.send c (Serve.Proto.Ack r.Serve.Proto.r_job))
+    in
+    match action with
+    | `Ping -> (
+      let c = connect () in
+      match request c Serve.Proto.Ping with
+      | Serve.Proto.Pong ->
+        print_endline "pong";
+        finish c 0
+      | r -> unexpected r)
+    | `Metrics -> (
+      let c = connect () in
+      match request c Serve.Proto.Metrics with
+      | Serve.Proto.Metrics_reply _ as r ->
+        (* The canonical line, as greppable JSON. *)
+        print_endline (Serve.Proto.reply_to_string r);
+        finish c 0
+      | r -> unexpected r)
+    | `Shutdown -> (
+      let c = connect () in
+      match request c Serve.Proto.Shutdown with
+      | Serve.Proto.Draining ->
+        print_endline "draining";
+        finish c 0
+      | r -> unexpected r)
+    | `Poll -> (
+      let job =
+        match arg with
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some j -> j
+          | None -> fail 2 "poll needs a numeric job id")
+        | None -> fail 2 "poll needs a job id"
       in
-      let unexpected r =
-        fail 5 ("unexpected reply: " ^ Serve.Proto.reply_to_string r)
+      let c = connect () in
+      match request c (Serve.Proto.Poll job) with
+      | Serve.Proto.Status { job; state } ->
+        Format.printf "job %d: %s@." job state;
+        finish c 0
+      | r -> unexpected r)
+    | `Ack -> (
+      let job =
+        match arg with
+        | Some s -> (
+          match int_of_string_opt s with
+          | Some j -> j
+          | None -> fail 2 "ack needs a numeric job id")
+        | None -> fail 2 "ack needs a job id"
       in
-      match action with
-      | `Ping -> (
-        match request Serve.Proto.Ping with
-        | Serve.Proto.Pong ->
-          print_endline "pong";
-          finish 0
-        | r -> unexpected r)
-      | `Metrics -> (
-        match request Serve.Proto.Metrics with
-        | Serve.Proto.Metrics_reply _ as r ->
-          (* The canonical line, as greppable JSON. *)
-          print_endline (Serve.Proto.reply_to_string r);
-          finish 0
-        | r -> unexpected r)
-      | `Shutdown -> (
-        match request Serve.Proto.Shutdown with
-        | Serve.Proto.Draining ->
-          print_endline "draining";
-          finish 0
-        | r -> unexpected r)
-      | `Poll -> (
-        let job =
-          match arg with
-          | Some s -> (
-            match int_of_string_opt s with
-            | Some j -> j
-            | None -> fail 2 "poll needs a numeric job id")
-          | None -> fail 2 "poll needs a job id"
-        in
-        match request (Serve.Proto.Poll job) with
-        | Serve.Proto.Status { job; state } ->
-          Format.printf "job %d: %s@." job state;
-          finish 0
-        | r -> unexpected r)
-      | `Submit -> (
-        let design =
-          match arg with
-          | Some d -> d
-          | None -> fail 2 "submit needs a design (name or .emn/.aag path)"
-        in
-        let s =
-          {
-            Serve.Proto.s_id = request_id;
-            s_design = design;
-            s_property = property;
-            s_method = method_name;
-            s_max_depth = max_depth;
-            s_timeout_s = timeout_s;
-            s_cache = (if no_cache then Some false else None);
-          }
-        in
-        match request (Serve.Proto.Submit s) with
-        | Serve.Proto.Busy { queue_depth; max_queue; _ } ->
-          fail 7 (Printf.sprintf "server busy: queue %d/%d full, retry later"
-                    queue_depth max_queue)
-        | Serve.Proto.Shutdown_reply _ -> fail 7 "server is draining"
+      let c = connect () in
+      match request c (Serve.Proto.Ack job) with
+      | Serve.Proto.Acked { job } ->
+        Format.printf "acked %d@." job;
+        finish c 0
+      | r -> unexpected r)
+    | `Resume -> (
+      let c = connect () in
+      match request c (Serve.Proto.Resume tenant) with
+      | Serve.Proto.Resumed { results; pending; _ } ->
+        let worst = ref 0 in
+        let got = ref 0 in
+        while !got < results do
+          match Serve.Client.read_reply ~timeout_s:reply_timeout c with
+          | Error msg -> fail 5 msg
+          | Ok (Serve.Proto.Result r) ->
+            incr got;
+            worst := max !worst (print_result r);
+            maybe_ack c r
+          | Ok _ -> ()
+        done;
+        if pending > 0 then
+          Format.printf "%d job(s) still pending; resume again later@." pending;
+        finish c (exit_of_rank !worst)
+      | r -> unexpected r)
+    | `Submit ->
+      let design =
+        match arg with
+        | Some d -> d
+        | None -> fail 2 "submit needs a design (name or .emn/.aag path)"
+      in
+      let s =
+        {
+          Serve.Proto.s_id = request_id;
+          s_design = design;
+          s_property = property;
+          s_method = method_name;
+          s_max_depth = max_depth;
+          s_timeout_s = timeout_s;
+          s_cache = (if no_cache then Some false else None);
+        }
+      in
+      let rec attempt () =
+        let c = connect () in
+        match request c (Serve.Proto.Submit s) with
+        | Serve.Proto.Busy { queue_depth; max_queue; retry_after_s; _ } ->
+          Serve.Client.close c;
+          retry_or ~hint_s:(Some retry_after_s)
+            (Printf.sprintf "server busy: queue %d/%d full" queue_depth
+               max_queue)
+            attempt
+        | Serve.Proto.Shutdown_reply { retry_after_s; _ } ->
+          Serve.Client.close c;
+          retry_or ~hint_s:retry_after_s "server is draining" attempt
         | Serve.Proto.Error { message; _ } -> fail 5 message
         | Serve.Proto.Accepted { jobs; queue_depth; _ } ->
-          Format.printf "accepted %d job(s), queue depth %d@." (List.length jobs)
-            queue_depth;
+          Format.printf "accepted %d job(s), queue depth %d@."
+            (List.length jobs) queue_depth;
           let remaining = ref (List.map fst jobs) in
           let worst = ref 0 in
           while !remaining <> [] do
@@ -773,48 +910,34 @@ let client_cmd =
             | Error msg -> fail 5 msg
             | Ok (Serve.Proto.Result r) when List.mem r.Serve.Proto.r_job !remaining ->
               remaining := List.filter (fun j -> j <> r.Serve.Proto.r_job) !remaining;
-              let open Serve.Proto in
-              let detail =
-                match (r.r_verdict, r.r_depth, r.r_reason) with
-                | "proved", Some d, _ ->
-                  Printf.sprintf "proved (depth %d%s)" d
-                    (if r.r_induction = Some true then ", by induction" else "")
-                | "falsified", Some d, _ ->
-                  Printf.sprintf "falsified at depth %d%s" d
-                    (match r.r_genuine with
-                    | Some true -> " (genuine)"
-                    | Some false -> " (spurious)"
-                    | None -> "")
-                | _, _, Some why -> "inconclusive: " ^ why
-                | v, _, None -> v
-              in
-              Format.printf "%s [%s%s]: %s in %.3fs@." r.r_property r.r_method
-                (match r.r_cache with
-                | "hit" -> ", cache hit"
-                | "dedup" -> ", deduplicated"
-                | _ -> "")
-                detail r.r_time_s;
-              worst := max !worst (rank_of_result r)
+              worst := max !worst (print_result r);
+              maybe_ack c r
             | Ok (Serve.Proto.Shutdown_reply { job = Some j; _ }) ->
               remaining := List.filter (fun j' -> j' <> j) !remaining;
               Format.eprintf "job %d dropped: server draining@." j;
               worst := max !worst 2
             | Ok _ -> ()
           done;
-          finish (exit_of_rank !worst)
-        | r -> unexpected r))
+          finish c (exit_of_rank !worst)
+        | r -> unexpected r
+      in
+      attempt ()
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Talk to a running $(b,emmver serve) daemon: submit a design and \
-          stream back per-property results, poll a job, fetch the metrics \
-          snapshot, or start a graceful drain. Exit codes follow \
-          $(b,emmver verify), plus 7 when the daemon is busy or unreachable")
+          stream back per-property results, poll a job, $(b,resume) results \
+          that were completed while disconnected, fetch the metrics \
+          snapshot, or start a graceful drain. Busy/draining replies and an \
+          unreachable daemon are retried with jittered exponential backoff. \
+          Exit codes follow $(b,emmver verify), plus 7 when the daemon \
+          stays busy or unreachable after the retries")
     Term.(
       const run $ action_arg $ arg_arg $ socket_arg $ client_id_arg
       $ property_arg $ method_arg $ client_depth_arg $ timeout_arg
-      $ no_cache_arg $ request_id_arg $ reply_timeout_arg)
+      $ no_cache_arg $ request_id_arg $ reply_timeout_arg $ retries_arg
+      $ no_ack_arg)
 
 let () =
   let doc = "verification of embedded memory systems using efficient memory modeling" in

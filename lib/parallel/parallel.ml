@@ -314,6 +314,54 @@ module Async = struct
     end
 end
 
+(* {2 Orphan reaping}
+
+   A daemon that dies (SIGKILL, power loss) abandons its forked workers:
+   they reparent to init and keep burning CPU until their own deadline or
+   completion.  The restarted daemon knows their pids from its journal,
+   but a pid alone is not an identity — it may have been recycled.  The
+   Linux-specific guard is the process start time (field 22 of
+   /proc/<pid>/stat, in clock ticks since boot): recorded at spawn, it
+   uniquely names one incarnation of a pid.  No /proc, no token, no
+   match: never kill. *)
+
+let proc_start_token pid =
+  match open_in (Printf.sprintf "/proc/%d/stat" pid) with
+  | ic -> (
+    let line =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> try Some (input_line ic) with End_of_file -> None)
+    in
+    match line with
+    | None -> None
+    | Some line -> (
+      (* The comm field is parenthesized and may contain spaces: split
+         after the last ')'. *)
+      match String.rindex_opt line ')' with
+      | None -> None
+      | Some i ->
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        let fields =
+          String.split_on_char ' ' rest |> List.filter (fun s -> s <> "")
+        in
+        (* [rest] starts at field 3 (state); starttime is field 22. *)
+        List.nth_opt fields 19))
+  | exception _ -> None
+
+let process_token pid =
+  match proc_start_token pid with Some t -> t | None -> ""
+
+let reap_orphan ~pid ~token =
+  if token = "" then false
+  else
+    match proc_start_token pid with
+    | Some t when String.equal t token -> (
+      match Unix.kill pid Sys.sigkill with
+      | () -> true
+      | exception Unix.Unix_error _ -> false)
+    | _ -> false
+
 let map ?jobs ?job_timeout_s ~f xs = run ?job_timeout_s (create ?jobs ()) ~f xs
 
 let race ?job_timeout_s t ~f ~conclusive xs =

@@ -142,6 +142,28 @@ module Async : sig
       loop invokes this on its own tick. *)
 end
 
+(** {2 Orphan reaping}
+
+    A daemon that dies hard (SIGKILL, power loss) abandons its forked
+    workers: they reparent to init and keep computing into a closed pipe.
+    A restarted daemon knows their pids from its journal, but a pid alone
+    is not an identity — the kernel may have recycled it.  The guard is a
+    {e process token}: the start time of the process (field 22 of
+    [/proc/<pid>/stat], clock ticks since boot), which uniquely names one
+    incarnation of a pid on one boot. *)
+
+val process_token : int -> string
+(** [process_token pid] is the start-time token of the live process [pid],
+    or [""] when it cannot be read (process already gone, or no [/proc]).
+    Record it at spawn; feed it back to {!reap_orphan} after a restart. *)
+
+val reap_orphan : pid:int -> token:string -> bool
+(** [reap_orphan ~pid ~token] SIGKILLs [pid] {e only} if its current
+    process token exactly equals [token], and returns whether it did.
+    A [token] of [""] never kills (an unreadable token at spawn must not
+    license killing an arbitrary pid later).  The orphan is init's child,
+    not ours, so there is nothing to [waitpid] — init reaps it. *)
+
 (** {2 Racing}
 
     The portfolio combinator: run all candidates concurrently and stop as

@@ -9,7 +9,10 @@
    schedules jobs and shuffles bytes, so a wedged client or a crashing job
    can never stall the service. *)
 
-let protocol_version = 1
+(* Version 2 adds the durability surface: [resume]/[ack] ops, retry hints
+   on [busy]/[shutdown] replies, and the [durability] metrics object.  All
+   v1 request and reply forms parse and render unchanged. *)
+let protocol_version = 2
 
 let default_socket () =
   match Sys.getenv_opt "EMMVER_SOCKET" with
@@ -26,6 +29,10 @@ let load_design name =
     | e -> Ok (e.Designs.Registry.build ())
     | exception Not_found ->
       Error (Printf.sprintf "unknown design %S; try `emmver list`" name)
+
+(* Re-export the journal so tests and tooling reach it as [Serve.Journal]
+   (the library is wrapped; [Journal] alone is internal). *)
+module Journal = Journal
 
 (* {1 Wire protocol} *)
 
@@ -45,6 +52,8 @@ module Proto = struct
     | Ping
     | Submit of submit
     | Poll of int
+    | Resume of string
+    | Ack of int
     | Metrics
     | Shutdown
 
@@ -81,6 +90,15 @@ module Proto = struct
     m_cache_bytes : int;
     m_gc_runs : int;
     m_gc_evicted : int;
+    m_journal_records : int;
+    m_journal_bytes : int;
+    m_compactions : int;
+    m_replayed : int;
+    m_recovered : int;
+    m_orphans_killed : int;
+    m_redelivered : int;
+    m_acked : int;
+    m_retained : int;
     m_methods : (string * int * float) list;
   }
 
@@ -88,11 +106,22 @@ module Proto = struct
     | Hello_ok of { server : string; version : int }
     | Pong
     | Accepted of { id : string; jobs : (int * string) list; queue_depth : int }
-    | Busy of { id : string; queue_depth : int; max_queue : int }
-    | Shutdown_reply of { id : string; job : int option }
+    | Busy of {
+        id : string;
+        queue_depth : int;
+        max_queue : int;
+        retry_after_s : float;
+      }
+    | Shutdown_reply of {
+        id : string;
+        job : int option;
+        retry_after_s : float option;
+      }
     | Error of { id : string option; message : string }
     | Result of result_line
     | Status of { job : int; state : string }
+    | Resumed of { client : string; results : int; pending : int }
+    | Acked of { job : int }
     | Metrics_reply of metrics_line
     | Draining
 
@@ -165,6 +194,14 @@ module Proto = struct
       render (fun b ->
           add_field b ~first:true "op" (jstr "poll");
           add_field b ~first:false "job" (jint job))
+    | Resume client ->
+      render (fun b ->
+          add_field b ~first:true "op" (jstr "resume");
+          add_field b ~first:false "client" (jstr client))
+    | Ack job ->
+      render (fun b ->
+          add_field b ~first:true "op" (jstr "ack");
+          add_field b ~first:false "job" (jint job))
     | Metrics -> render (fun b -> add_field b ~first:true "op" (jstr "metrics"))
     | Shutdown -> render (fun b -> add_field b ~first:true "op" (jstr "shutdown"))
 
@@ -191,18 +228,22 @@ module Proto = struct
                 jobs;
               Buffer.add_char b ']');
           add_field b ~first:false "queue_depth" (jint queue_depth))
-    | Busy { id; queue_depth; max_queue } ->
+    | Busy { id; queue_depth; max_queue; retry_after_s } ->
       render (fun b ->
           add_field b ~first:true "reply" (jstr "busy");
           add_field b ~first:false "id" (jstr id);
           add_field b ~first:false "queue_depth" (jint queue_depth);
-          add_field b ~first:false "max_queue" (jint max_queue))
-    | Shutdown_reply { id; job } ->
+          add_field b ~first:false "max_queue" (jint max_queue);
+          add_field b ~first:false "retry_after_s" (jfloat retry_after_s))
+    | Shutdown_reply { id; job; retry_after_s } ->
       render (fun b ->
           add_field b ~first:true "reply" (jstr "shutdown");
           add_field b ~first:false "id" (jstr id);
-          match job with
+          (match job with
           | Some j -> add_field b ~first:false "job" (jint j)
+          | None -> ());
+          match retry_after_s with
+          | Some s -> add_field b ~first:false "retry_after_s" (jfloat s)
           | None -> ())
     | Error { id; message } ->
       render (fun b ->
@@ -239,6 +280,16 @@ module Proto = struct
           add_field b ~first:true "reply" (jstr "status");
           add_field b ~first:false "job" (jint job);
           add_field b ~first:false "state" (jstr state))
+    | Resumed { client; results; pending } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "resumed");
+          add_field b ~first:false "client" (jstr client);
+          add_field b ~first:false "results" (jint results);
+          add_field b ~first:false "pending" (jint pending))
+    | Acked { job } ->
+      render (fun b ->
+          add_field b ~first:true "reply" (jstr "acked");
+          add_field b ~first:false "job" (jint job))
     | Metrics_reply m ->
       render (fun b ->
           add_field b ~first:true "reply" (jstr "metrics");
@@ -264,6 +315,18 @@ module Proto = struct
               add_field b ~first:false "bytes" (jint m.m_cache_bytes);
               add_field b ~first:false "gc_runs" (jint m.m_gc_runs);
               add_field b ~first:false "gc_evicted" (jint m.m_gc_evicted);
+              Buffer.add_char b '}');
+          add_field b ~first:false "durability" (fun b ->
+              Buffer.add_char b '{';
+              add_field b ~first:true "journal_records" (jint m.m_journal_records);
+              add_field b ~first:false "journal_bytes" (jint m.m_journal_bytes);
+              add_field b ~first:false "compactions" (jint m.m_compactions);
+              add_field b ~first:false "replayed" (jint m.m_replayed);
+              add_field b ~first:false "recovered_results" (jint m.m_recovered);
+              add_field b ~first:false "orphans_killed" (jint m.m_orphans_killed);
+              add_field b ~first:false "redelivered" (jint m.m_redelivered);
+              add_field b ~first:false "acked" (jint m.m_acked);
+              add_field b ~first:false "retained" (jint m.m_retained);
               Buffer.add_char b '}');
           add_field b ~first:false "methods" (fun b ->
               Buffer.add_char b '[';
@@ -326,6 +389,12 @@ module Proto = struct
       | "poll" ->
         let* job = required "job" (int_field "job" o) in
         Ok (Poll job)
+      | "resume" ->
+        let* client = required "client" (str_field "client" o) in
+        Ok (Resume client)
+      | "ack" ->
+        let* job = required "job" (int_field "job" o) in
+        Ok (Ack job)
       | "metrics" -> Ok Metrics
       | "shutdown" -> Ok Shutdown
       | op -> Stdlib.Error (Printf.sprintf "unknown op %S" op))
@@ -362,10 +431,18 @@ module Proto = struct
         let* id = required "id" (str_field "id" o) in
         let* queue_depth = required "queue_depth" (int_field "queue_depth" o) in
         let* max_queue = required "max_queue" (int_field "max_queue" o) in
-        Ok (Busy { id; queue_depth; max_queue })
+        (* Optional for v1-server compat: an old daemon sends no hint. *)
+        let retry_after_s = Option.value (num_field "retry_after_s" o) ~default:0.0 in
+        Ok (Busy { id; queue_depth; max_queue; retry_after_s })
       | "shutdown" ->
         let* id = required "id" (str_field "id" o) in
-        Ok (Shutdown_reply { id; job = int_field "job" o })
+        Ok
+          (Shutdown_reply
+             {
+               id;
+               job = int_field "job" o;
+               retry_after_s = num_field "retry_after_s" o;
+             })
       | "error" ->
         let* message = required "message" (str_field "message" o) in
         Ok (Error { id = str_field "id" o; message })
@@ -398,6 +475,14 @@ module Proto = struct
         let* job = required "job" (int_field "job" o) in
         let* state = required "state" (str_field "state" o) in
         Ok (Status { job; state })
+      | "resumed" ->
+        let* client = required "client" (str_field "client" o) in
+        let* results = required "results" (int_field "results" o) in
+        let* pending = required "pending" (int_field "pending" o) in
+        Ok (Resumed { client; results; pending })
+      | "acked" ->
+        let* job = required "job" (int_field "job" o) in
+        Ok (Acked { job })
       | "metrics" ->
         let obj name =
           match member name o with Some (Obj _ as v) -> Some v | _ -> None
@@ -422,6 +507,21 @@ module Proto = struct
         let* m_cache_bytes = need "bytes" cache in
         let* m_gc_runs = need "gc_runs" cache in
         let* m_gc_evicted = need "gc_evicted" cache in
+        (* Optional for v1-server compat: absent object reads as zeros. *)
+        let dur name =
+          match obj "durability" with
+          | None -> 0
+          | Some d -> Option.value (int_field name d) ~default:0
+        in
+        let m_journal_records = dur "journal_records" in
+        let m_journal_bytes = dur "journal_bytes" in
+        let m_compactions = dur "compactions" in
+        let m_replayed = dur "replayed" in
+        let m_recovered = dur "recovered_results" in
+        let m_orphans_killed = dur "orphans_killed" in
+        let m_redelivered = dur "redelivered" in
+        let m_acked = dur "acked" in
+        let m_retained = dur "retained" in
         let* m_methods =
           match member "methods" o with
           | Some (Arr l) ->
@@ -456,6 +556,15 @@ module Proto = struct
                m_cache_bytes;
                m_gc_runs;
                m_gc_evicted;
+               m_journal_records;
+               m_journal_bytes;
+               m_compactions;
+               m_replayed;
+               m_recovered;
+               m_orphans_killed;
+               m_redelivered;
+               m_acked;
+               m_retained;
                m_methods;
              })
       | "draining" -> Ok Draining
@@ -477,10 +586,52 @@ let write_all fd s =
 
 (* {1 The client} *)
 
+module Backoff = struct
+  (* Capped jittered exponential backoff for busy/draining/unreachable
+     daemons.  The k-th delay is [min cap (max base hint) * 2^k] scaled by
+     a uniform factor in [0.5, 1.0) — the jitter keeps a fleet of clients
+     that were all bounced by the same [busy] from stampeding back in
+     lockstep. *)
+  type t = {
+    base_s : float;
+    cap_s : float;
+    attempts : int;
+    mutable used : int;
+  }
+
+  let create ?(base_s = 0.5) ?(cap_s = 30.0) ?(attempts = 5) () =
+    {
+      base_s = Float.max 0.001 base_s;
+      cap_s = Float.max 0.001 cap_s;
+      attempts = max 0 attempts;
+      used = 0;
+    }
+
+  let attempts_used t = t.used
+
+  let next t ~hint_s =
+    if t.used >= t.attempts then None
+    else begin
+      let base =
+        match hint_s with
+        | Some h when h > 0.0 -> Float.max t.base_s h
+        | _ -> t.base_s
+      in
+      let ideal = Float.min t.cap_s (base *. (2.0 ** float_of_int t.used)) in
+      t.used <- t.used + 1;
+      Some (ideal *. (0.5 +. Random.float 0.5))
+    end
+end
+
 module Client = struct
-  type t = { fd : Unix.file_descr; mutable pending : string }
+  type t = {
+    fd : Unix.file_descr;
+    mutable pending : string;
+    mutable version : int option;
+  }
 
   let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+  let server_version t = t.version
 
   let send t req =
     try
@@ -528,21 +679,38 @@ module Client = struct
   let request ?timeout_s t req =
     match send t req with Ok () -> read_reply ?timeout_s t | Error _ as e -> e
 
-  let connect ?client path =
-    match
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX path)
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      { fd; pending = "" }
-    with
+  (* Deadline-bounded connect: a wedged (but listening) daemon, or a
+     backlogged listen queue, must not hang the client forever.  The
+     socket goes non-blocking for the connect itself, then back to
+     blocking — reads are already deadline-bounded by [read_reply]. *)
+  let connect_fd ~timeout_s path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    try
+      Unix.set_nonblock fd;
+      (try Unix.connect fd (Unix.ADDR_UNIX path) with
+      | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+        ->
+        let _, w, _ = retry_eintr (fun () -> Unix.select [] [ fd ] [] timeout_s) in
+        if w = [] then raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", path));
+        (match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some e -> raise (Unix.Unix_error (e, "connect", path))));
+      Unix.clear_nonblock fd;
+      fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+  let connect ?client ?(timeout_s = 10.0) path =
+    match { fd = connect_fd ~timeout_s path; pending = ""; version = None } with
     | t -> (
       match client with
       | None -> Ok t
       | Some c -> (
-        match request t (Proto.Hello c) with
-        | Ok (Proto.Hello_ok _) -> Ok t
+        match request ~timeout_s t (Proto.Hello c) with
+        | Ok (Proto.Hello_ok { version; _ }) ->
+          t.version <- Some version;
+          Ok t
         | Ok r ->
           close t;
           Error ("unexpected hello reply: " ^ Proto.reply_to_string r)
@@ -566,6 +734,7 @@ module Server = struct
     budgets : Policy.budgets;
     kill_grace_s : float;
     quiet : bool;
+    journal : string option;
     runner :
       (Proto.submit -> property:string -> options:Emmver.options -> Emmver.outcome)
       option;
@@ -573,7 +742,7 @@ module Server = struct
 
   let config ?workers ?(max_queue = 64) ?cache_dir ?(gc_policy = Vcache.gc_policy ())
       ?(gc_interval_s = 60.0) ?(budgets = Policy.unlimited) ?(kill_grace_s = 10.0)
-      ?(quiet = false) ?runner ~socket () =
+      ?(quiet = false) ?journal ?runner ~socket () =
     {
       socket;
       workers = (match workers with Some w -> max 1 w | None -> Parallel.default_jobs ());
@@ -585,6 +754,7 @@ module Server = struct
       budgets;
       kill_grace_s;
       quiet;
+      journal;
       runner;
     }
 
@@ -592,6 +762,7 @@ module Server = struct
     fd : Unix.file_descr;
     cid : int;
     mutable client : string;
+    mutable named : bool;  (* said hello/resume: a stable tenant identity *)
     inbuf : Buffer.t;
     mutable out : string;  (* pending unwritten reply bytes *)
     mutable out_pos : int;
@@ -604,6 +775,7 @@ module Server = struct
     j_id : int;
     j_req : string;  (* the submit's request id, echoed in replies *)
     j_conn : int;
+    j_tenant : string;  (* owning client name: results survive the conn *)
     j_property : string;
     j_method : string;
     j_kill_s : float option;
@@ -624,6 +796,11 @@ module Server = struct
     mutable cache_misses : int;
     mutable gc_runs : int;
     mutable gc_evicted : int;
+    mutable replayed : int;
+    mutable recovered : int;
+    mutable orphans_killed : int;
+    mutable redelivered : int;
+    mutable acked : int;
     method_wall : (string, int * float) Hashtbl.t;
   }
 
@@ -631,11 +808,15 @@ module Server = struct
     cfg : config;
     pool : Parallel.t;
     listen_fd : Unix.file_descr;
+    jnl : Journal.t option;
     conns : (int, conn) Hashtbl.t;
     queues : (string, job Queue.t) Hashtbl.t;
     mutable rotation : string list;  (* round-robin order of client ids *)
     mutable queued : int;
     jobs_tbl : (int, job) Hashtbl.t;
+    (* Completed results by job id, with the owning tenant: kept until the
+       tenant acks (journal on) so a reconnecting client can [resume]. *)
+    retained : (int, string * Proto.result_line) Hashtbl.t;
     mutable running : (job * Emmver.outcome Parallel.Async.handle) list;
     mutable draining : bool;
     mutable drain_since : float;
@@ -683,42 +864,106 @@ module Server = struct
 
   let pending_out conn = (not conn.closed) && String.length conn.out > conn.out_pos
 
-  (* A connection's death cancels its footprint: queued jobs are dropped,
-     running jobs are SIGKILLed — a caller that went away should not keep
-     burning worker slots.  Everything is counted as [cancelled]. *)
+  (* {2 Journal plumbing} *)
+
+  let journal_append ?sync st r =
+    match st.jnl with Some j -> Journal.append ?sync j r | None -> ()
+
+  let journal_sync st = match st.jnl with Some j -> Journal.sync j | None -> ()
+
+  let finished_of_line tenant (r : Proto.result_line) =
+    {
+      Journal.f_job = r.Proto.r_job;
+      f_tenant = tenant;
+      f_req = r.Proto.r_id;
+      f_property = r.Proto.r_property;
+      f_method = r.Proto.r_method;
+      f_verdict = r.Proto.r_verdict;
+      f_depth = r.Proto.r_depth;
+      f_induction = r.Proto.r_induction;
+      f_genuine = r.Proto.r_genuine;
+      f_reason = r.Proto.r_reason;
+      f_time_s = r.Proto.r_time_s;
+      f_cache = r.Proto.r_cache;
+      f_certificate = r.Proto.r_certificate;
+    }
+
+  let line_of_finished (f : Journal.result) =
+    {
+      Proto.r_job = f.Journal.f_job;
+      r_id = f.Journal.f_req;
+      r_property = f.Journal.f_property;
+      r_method = f.Journal.f_method;
+      r_verdict = f.Journal.f_verdict;
+      r_depth = f.Journal.f_depth;
+      r_induction = f.Journal.f_induction;
+      r_genuine = f.Journal.f_genuine;
+      r_reason = f.Journal.f_reason;
+      r_time_s = f.Journal.f_time_s;
+      r_cache = f.Journal.f_cache;
+      r_certificate = f.Journal.f_certificate;
+    }
+
+  (* Bound on unacked retained results: a v1 client (or one run with
+     [--no-ack]) never acks, so without a cap the table and the journal
+     would grow forever.  At the cap the oldest result is dropped as if
+     acked — at-least-once delivery holds for any client that resumes
+     within [retained_cap] completions. *)
+  let retained_cap = 4096
+
+  let retain st tenant (line : Proto.result_line) =
+    if st.jnl <> None then begin
+      Hashtbl.replace st.retained line.Proto.r_job (tenant, line);
+      if Hashtbl.length st.retained > retained_cap then begin
+        let oldest = Hashtbl.fold (fun k _ acc -> min k acc) st.retained max_int in
+        Hashtbl.remove st.retained oldest;
+        journal_append st (Journal.Acked { job = oldest });
+        log st "retained-results cap reached: dropped unacked job %d" oldest
+      end
+    end
+
+  (* A connection's death cancels its footprint — unless the daemon is
+     durable and the client introduced itself: a named tenant's jobs keep
+     running, their results are retained, and a later [resume] on a fresh
+     connection collects them.  Anonymous connections (and journal-off
+     daemons) keep the old contract: queued jobs are dropped, running jobs
+     are SIGKILLed — a caller that went away should not keep burning
+     worker slots. *)
   let drop_conn st conn =
     if not conn.closed then conn.closed <- true;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove st.conns conn.cid;
-    Hashtbl.iter
-      (fun _ q ->
-        let keep = Queue.create () in
-        Queue.iter
-          (fun j ->
-            if j.j_conn = conn.cid then begin
-              j.j_state <- Done;
-              j.j_run <- (fun () -> assert false);
-              st.queued <- st.queued - 1;
-              st.m.cancelled <- st.m.cancelled + 1;
-              Obs.counter_add "serve.cancelled" 1
-            end
-            else Queue.add j keep)
-          q;
-        Queue.clear q;
-        Queue.transfer keep q)
-      st.queues;
-    List.iter
-      (fun (j, h) ->
-        if j.j_conn = conn.cid && not j.j_abandoned then begin
-          j.j_abandoned <- true;
-          Parallel.Async.cancel st.pool h
-        end)
-      st.running;
-    List.iter
-      (fun j ->
-        if j.j_conn = conn.cid && j.j_state = Queued then j.j_abandoned <- true)
-      [];
-    log st "client %s (conn %d) disconnected" conn.client conn.cid
+    if st.jnl <> None && conn.named then
+      log st "client %s (conn %d) disconnected; its jobs continue" conn.client
+        conn.cid
+    else begin
+      Hashtbl.iter
+        (fun _ q ->
+          let keep = Queue.create () in
+          Queue.iter
+            (fun j ->
+              if j.j_conn = conn.cid then begin
+                j.j_state <- Done;
+                j.j_run <- (fun () -> assert false);
+                st.queued <- st.queued - 1;
+                st.m.cancelled <- st.m.cancelled + 1;
+                Obs.counter_add "serve.cancelled" 1;
+                journal_append st (Journal.Cancelled { job = j.j_id })
+              end
+              else Queue.add j keep)
+            q;
+          Queue.clear q;
+          Queue.transfer keep q)
+        st.queues;
+      List.iter
+        (fun (j, h) ->
+          if j.j_conn = conn.cid && not j.j_abandoned then begin
+            j.j_abandoned <- true;
+            Parallel.Async.cancel st.pool h
+          end)
+        st.running;
+      log st "client %s (conn %d) disconnected" conn.client conn.cid
+    end
 
   (* {2 Submission} *)
 
@@ -785,11 +1030,24 @@ module Server = struct
     in
     go (List.length st.rotation)
 
+  (* How long a bounced client should wait before retrying.  Busy: scale
+     with the backlog per worker (each queued job is roughly one worker
+     slot of delay), clamped to [0.5, 30] — deterministic, so the golden
+     tests can record it; the client adds the jitter.  Draining: the
+     successor daemon is typically up within seconds. *)
+  let busy_hint st =
+    let per_worker = float_of_int (st.queued + 1) /. float_of_int st.cfg.workers in
+    Float.min 30.0 (Float.max 0.5 (0.5 *. per_worker))
+
+  let drain_hint = 5.0
+
   let handle_submit st conn (s : Proto.submit) =
     if st.draining then begin
       st.m.rejected_shutdown <- st.m.rejected_shutdown + 1;
       Obs.counter_add "serve.rejected_shutdown" 1;
-      push_reply st conn (Proto.Shutdown_reply { id = s.s_id; job = None })
+      push_reply st conn
+        (Proto.Shutdown_reply
+           { id = s.s_id; job = None; retry_after_s = Some drain_hint })
     end
     else
       let reject message =
@@ -829,6 +1087,7 @@ module Server = struct
                      id = s.s_id;
                      queue_depth = st.queued;
                      max_queue = st.cfg.max_queue;
+                     retry_after_s = busy_hint st;
                    })
             end
             else begin
@@ -856,6 +1115,7 @@ module Server = struct
                         j_id = id;
                         j_req = s.s_id;
                         j_conn = conn.cid;
+                        j_tenant = client;
                         j_property = property;
                         j_method = s.s_method;
                         j_kill_s = kill_s;
@@ -866,9 +1126,26 @@ module Server = struct
                     in
                     Hashtbl.replace st.jobs_tbl id j;
                     enqueue st j client;
+                    journal_append st
+                      (Journal.Accepted
+                         {
+                           Journal.a_job = id;
+                           a_tenant = client;
+                           a_req = s.s_id;
+                           a_design = s.s_design;
+                           a_property = property;
+                           a_method = s.s_method;
+                           a_max_depth = s.s_max_depth;
+                           a_timeout_s = s.s_timeout_s;
+                           a_cache = s.s_cache;
+                         });
                     j)
                   props
               in
+              (* The accepted records hit the platter before the accepted
+                 reply hits the wire: once a client sees its jobs, no
+                 SIGKILL loses them. *)
+              journal_sync st;
               st.m.accepted <- st.m.accepted + n;
               Obs.counter_add "serve.accepted" n;
               log st "accepted %d job(s) for %s from %s (queue %d)" n s.s_design
@@ -913,10 +1190,38 @@ module Server = struct
       r_certificate = Cert.label o.Emmver.certificate;
     }
 
+  (* Make a completed result durable, retain it for [resume], and push it
+     to the best live connection — the submitting one if it is still
+     there, else any live connection that introduced itself as the same
+     tenant (a reconnected client needn't even ask).  The journal record
+     is fsync'd {e before} any of that: a result a client saw is a result
+     a restart can serve again. *)
+  let finish st (j : job) (line : Proto.result_line) =
+    (match st.jnl with
+    | Some jn ->
+      Journal.append jn (Journal.Finished (finished_of_line j.j_tenant line));
+      Journal.sync jn
+    | None -> ());
+    retain st j.j_tenant line;
+    let target =
+      match Hashtbl.find_opt st.conns j.j_conn with
+      | Some c when not c.closed -> Some c
+      | _ ->
+        Hashtbl.fold
+          (fun _ c acc ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+              if (not c.closed) && c.named && String.equal c.client j.j_tenant
+              then Some c
+              else None)
+          st.conns None
+    in
+    Option.iter (fun c -> push_reply st c (Proto.Result line)) target
+
   let deliver st (j : job) (r : Emmver.outcome Parallel.job_result) =
     j.j_state <- Done;
     j.j_run <- (fun () -> assert false);
-    let conn = Hashtbl.find_opt st.conns j.j_conn in
     let bump_method wall_s =
       let jobs, wall =
         match Hashtbl.find_opt st.m.method_wall j.j_method with
@@ -929,6 +1234,7 @@ module Server = struct
     | _ when j.j_abandoned ->
       st.m.cancelled <- st.m.cancelled + 1;
       Obs.counter_add "serve.cancelled" 1;
+      journal_append st (Journal.Cancelled { job = j.j_id });
       log st "job %d cancelled (client gone)" j.j_id
     | Ok o ->
       st.m.completed <- st.m.completed + 1;
@@ -945,32 +1251,28 @@ module Server = struct
       let line = result_of_outcome j o in
       log st "job %d (%s/%s) %s in %.3fs [cache %s]" j.j_id line.Proto.r_property
         j.j_method line.Proto.r_verdict line.Proto.r_time_s line.Proto.r_cache;
-      Option.iter (fun c -> push_reply st c (Proto.Result line)) conn
+      finish st j line
     | Error f ->
       st.m.failed <- st.m.failed + 1;
       Obs.counter_add "serve.failed" 1;
       bump_method f.Parallel.elapsed_s;
       let why = "worker killed: " ^ Parallel.failure_message f in
       log st "job %d failed: %s" j.j_id why;
-      Option.iter
-        (fun c ->
-          push_reply st c
-            (Proto.Result
-               {
-                 Proto.r_job = j.j_id;
-                 r_id = j.j_req;
-                 r_property = j.j_property;
-                 r_method = j.j_method;
-                 r_verdict = "inconclusive";
-                 r_depth = None;
-                 r_induction = None;
-                 r_genuine = None;
-                 r_reason = Some why;
-                 r_time_s = f.Parallel.elapsed_s;
-                 r_cache = "off";
-                 r_certificate = "unchecked";
-               }))
-        conn
+      finish st j
+        {
+          Proto.r_job = j.j_id;
+          r_id = j.j_req;
+          r_property = j.j_property;
+          r_method = j.j_method;
+          r_verdict = "inconclusive";
+          r_depth = None;
+          r_induction = None;
+          r_genuine = None;
+          r_reason = Some why;
+          r_time_s = f.Parallel.elapsed_s;
+          r_cache = "off";
+          r_certificate = "unchecked";
+        }
 
   (* {2 Metrics} *)
 
@@ -1005,6 +1307,15 @@ module Server = struct
       m_cache_bytes = bytes;
       m_gc_runs = st.m.gc_runs;
       m_gc_evicted = st.m.gc_evicted;
+      m_journal_records = (match st.jnl with Some j -> Journal.records j | None -> 0);
+      m_journal_bytes = (match st.jnl with Some j -> Journal.bytes j | None -> 0);
+      m_compactions = (match st.jnl with Some j -> Journal.compactions j | None -> 0);
+      m_replayed = st.m.replayed;
+      m_recovered = st.m.recovered;
+      m_orphans_killed = st.m.orphans_killed;
+      m_redelivered = st.m.redelivered;
+      m_acked = st.m.acked;
+      m_retained = Hashtbl.length st.retained;
       m_methods = methods;
     }
 
@@ -1017,7 +1328,10 @@ module Server = struct
       log st "draining (%s): %d running, %d queued" reason
         (List.length st.running) st.queued;
       (* Queued jobs are refused with [shutdown] replies; in-flight jobs
-         run to completion and deliver normally. *)
+         run to completion and deliver normally.  With the journal on,
+         their accepted records stay open on disk — the {e next}
+         incarnation re-enqueues and runs them, so the shutdown reply is
+         a "not now", not a cancellation. *)
       Hashtbl.iter
         (fun _ q ->
           Queue.iter
@@ -1029,7 +1343,12 @@ module Server = struct
               match Hashtbl.find_opt st.conns j.j_conn with
               | Some c ->
                 push_reply st c
-                  (Proto.Shutdown_reply { id = j.j_req; job = Some j.j_id })
+                  (Proto.Shutdown_reply
+                     {
+                       id = j.j_req;
+                       job = Some j.j_id;
+                       retry_after_s = Some drain_hint;
+                     })
               | None -> ())
             q;
           Queue.clear q)
@@ -1042,11 +1361,60 @@ module Server = struct
   let handle_request st conn = function
     | Proto.Hello client ->
       conn.client <- client;
+      conn.named <- true;
       Hashtbl.replace st.clients_seen client ();
       push_reply st conn
         (Proto.Hello_ok { server = "emmver"; version = protocol_version })
     | Proto.Ping -> push_reply st conn Proto.Pong
     | Proto.Submit s -> handle_submit st conn s
+    | Proto.Resume tenant ->
+      (* [resume] doubles as a hello: the connection takes the tenant
+         identity, receives every retained result for it (oldest first),
+         and keeps receiving live results for the tenant's jobs still in
+         flight. *)
+      conn.client <- tenant;
+      conn.named <- true;
+      Hashtbl.replace st.clients_seen tenant ();
+      let results =
+        Hashtbl.fold
+          (fun _ (t, line) acc -> if String.equal t tenant then line :: acc else acc)
+          st.retained []
+        |> List.sort (fun a b -> compare a.Proto.r_job b.Proto.r_job)
+      in
+      let pending =
+        Hashtbl.fold
+          (fun _ j acc ->
+            if String.equal j.j_tenant tenant && j.j_state <> Done then acc + 1
+            else acc)
+          st.jobs_tbl 0
+      in
+      push_reply st conn
+        (Proto.Resumed { client = tenant; results = List.length results; pending });
+      List.iter
+        (fun line ->
+          st.m.redelivered <- st.m.redelivered + 1;
+          Obs.counter_add "serve.redelivered" 1;
+          push_reply st conn (Proto.Result line))
+        results;
+      if results <> [] || pending > 0 then
+        log st "resume %s: %d result(s) redelivered, %d job(s) still pending"
+          tenant (List.length results) pending
+    | Proto.Ack job ->
+      (* Idempotent: acking an unknown or already-acked job succeeds —
+         at-least-once delivery means duplicate acks are normal. *)
+      if Hashtbl.mem st.retained job then begin
+        Hashtbl.remove st.retained job;
+        st.m.acked <- st.m.acked + 1;
+        Obs.counter_add "serve.acked" 1
+      end;
+      (match st.jnl with
+      | Some jn ->
+        Journal.append jn (Journal.Acked { job });
+        if Journal.maybe_compact jn then
+          log st "journal compacted: %d record(s), %d byte(s)"
+            (Journal.records jn) (Journal.bytes jn)
+      | None -> ());
+      push_reply st conn (Proto.Acked { job })
     | Proto.Poll job ->
       let state =
         match Hashtbl.find_opt st.jobs_tbl job with
@@ -1100,6 +1468,18 @@ module Server = struct
 
   (* {2 Scheduling} *)
 
+  (* Runs first inside a freshly forked worker: drop the daemon's socket
+     fds.  Without this an orphaned worker (daemon SIGKILLed mid-run)
+     keeps the inherited listening socket alive, so connects to the dead
+     daemon's socket still succeed into a backlog nobody drains — and a
+     restarted daemon mistakes its dead predecessor for a live one. *)
+  let close_daemon_fds st =
+    (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+    Hashtbl.iter
+      (fun _ (c : conn) ->
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      st.conns
+
   let start_jobs st =
     while List.length st.running < st.cfg.workers && st.queued > 0 do
       match pick_next st with
@@ -1108,11 +1488,20 @@ module Server = struct
         let run = j.j_run in
         let h =
           Parallel.Async.spawn st.pool ?job_timeout_s:j.j_kill_s
-            ~f:(fun () -> run ())
+            ~f:(fun () ->
+              close_daemon_fds st;
+              run ())
             ()
         in
         j.j_state <- Running;
         st.running <- (j, h) :: st.running;
+        (* Synced so a SIGKILL between here and delivery leaves a findable
+           orphan: the next incarnation reaps the pid (token-guarded)
+           before re-running the job. *)
+        let pid = Parallel.Async.pid h in
+        journal_append ~sync:true st
+          (Journal.Started
+             { job = j.j_id; pid; token = Parallel.process_token pid });
         log st "job %d (%s) started [%d/%d workers]" j.j_id j.j_property
           (List.length st.running) st.cfg.workers
     done
@@ -1144,10 +1533,125 @@ module Server = struct
       let evicted = r.Vcache.evicted_age + r.Vcache.evicted_size in
       st.m.gc_evicted <- st.m.gc_evicted + evicted;
       if evicted > 0 then
-        log st "cache gc: evicted %d (age %d, size %d), kept %d (%.2f MB)" evicted
-          r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.kept
+        log st "cache gc: evicted %d (age %d, size %d of which %d never-hit), kept %d (%.2f MB)"
+          evicted r.Vcache.evicted_age r.Vcache.evicted_size r.Vcache.evicted_cold
+          r.Vcache.kept
           (float_of_int r.Vcache.kept_bytes /. 1048576.0)
     | _ -> ()
+
+  (* {2 Recovery}
+
+     Re-create a journalled-but-unfinished job in the fresh daemon.  The
+     job id is reused verbatim (clients hold it), budgets are re-clamped
+     under the {e current} config, and the design is re-loaded — if that
+     now fails (registry changed, file gone), the job completes as an
+     inconclusive result rather than silently vanishing: the tenant still
+     gets an answer for every accepted job. *)
+  let replay_submit st (a : Journal.submit) =
+    let s =
+      {
+        Proto.s_id = a.Journal.a_req;
+        s_design = a.Journal.a_design;
+        s_property = Some a.Journal.a_property;
+        s_method = a.Journal.a_method;
+        s_max_depth = a.Journal.a_max_depth;
+        s_timeout_s = a.Journal.a_timeout_s;
+        s_cache = a.Journal.a_cache;
+      }
+    in
+    let fail why =
+      let line =
+        {
+          Proto.r_job = a.Journal.a_job;
+          r_id = a.Journal.a_req;
+          r_property = a.Journal.a_property;
+          r_method = a.Journal.a_method;
+          r_verdict = "inconclusive";
+          r_depth = None;
+          r_induction = None;
+          r_genuine = None;
+          r_reason = Some why;
+          r_time_s = 0.0;
+          r_cache = "off";
+          r_certificate = "unchecked";
+        }
+      in
+      (match st.jnl with
+      | Some jn ->
+        Journal.append ~sync:true jn
+          (Journal.Finished (finished_of_line a.Journal.a_tenant line))
+      | None -> ());
+      retain st a.Journal.a_tenant line;
+      st.m.failed <- st.m.failed + 1;
+      log st "job %d could not be replayed: %s" a.Journal.a_job why
+    in
+    let accept run =
+      let options = clamp_options st s in
+      let kill_s =
+        match options.Emmver.timeout_s with
+        | Some t -> Some (t +. st.cfg.kill_grace_s)
+        | None -> None
+      in
+      let j =
+        {
+          j_id = a.Journal.a_job;
+          j_req = a.Journal.a_req;
+          j_conn = 0;  (* no live connection: delivery goes by tenant *)
+          j_tenant = a.Journal.a_tenant;
+          j_property = a.Journal.a_property;
+          j_method = a.Journal.a_method;
+          j_kill_s = kill_s;
+          j_run = (fun () -> run options);
+          j_state = Queued;
+          j_abandoned = false;
+        }
+      in
+      Hashtbl.replace st.jobs_tbl j.j_id j;
+      Hashtbl.replace st.clients_seen a.Journal.a_tenant ();
+      enqueue st j a.Journal.a_tenant
+    in
+    match st.cfg.runner with
+    | Some r ->
+      accept (fun options -> r s ~property:a.Journal.a_property ~options)
+    | None -> (
+      match Emmver.method_of_string a.Journal.a_method with
+      | Error msg -> fail msg
+      | Ok method_ -> (
+        match load_design a.Journal.a_design with
+        | Error msg -> fail ("at recovery: " ^ msg)
+        | Ok net ->
+          accept (fun options ->
+              Emmver.verify ~options ~method_ net ~property:a.Journal.a_property)))
+
+  let recover st (r : Journal.recovery) =
+    if r.Journal.corrupt > 0 then
+      log st "journal: skipped %d corrupt record(s)" r.Journal.corrupt;
+    st.next_job <- max st.next_job r.Journal.next_job;
+    List.iter
+      (fun (job, pid, token) ->
+        if Parallel.reap_orphan ~pid ~token then begin
+          st.m.orphans_killed <- st.m.orphans_killed + 1;
+          Obs.counter_add "serve.orphans_killed" 1;
+          log st "journal: killed orphan worker %d of job %d" pid job
+        end)
+      r.Journal.orphans;
+    List.iter
+      (fun (f : Journal.result) ->
+        Hashtbl.replace st.retained f.Journal.f_job
+          (f.Journal.f_tenant, line_of_finished f);
+        st.m.recovered <- st.m.recovered + 1;
+        Obs.counter_add "serve.recovered_results" 1)
+      r.Journal.undelivered;
+    List.iter
+      (fun (a : Journal.submit) ->
+        st.m.replayed <- st.m.replayed + 1;
+        Obs.counter_add "serve.journal_replayed" 1;
+        replay_submit st a)
+      r.Journal.pending;
+    if r.Journal.pending <> [] || r.Journal.undelivered <> [] then
+      log st "journal: re-enqueued %d job(s), recovered %d undelivered result(s)"
+        (List.length r.Journal.pending)
+        (List.length r.Journal.undelivered)
 
   (* {2 The loop} *)
 
@@ -1176,16 +1680,21 @@ module Server = struct
       Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> term := true))
     in
     let listen_fd = bind_socket cfg in
+    let journal =
+      Option.map (fun path -> Journal.open_ path) cfg.journal
+    in
     let st =
       {
         cfg;
         pool = Parallel.create ~jobs:cfg.workers ();
         listen_fd;
+        jnl = Option.map fst journal;
         conns = Hashtbl.create 16;
         queues = Hashtbl.create 16;
         rotation = [];
         queued = 0;
         jobs_tbl = Hashtbl.create 64;
+        retained = Hashtbl.create 64;
         running = [];
         draining = false;
         drain_since = 0.0;
@@ -1207,13 +1716,20 @@ module Server = struct
             cache_misses = 0;
             gc_runs = 0;
             gc_evicted = 0;
+            replayed = 0;
+            recovered = 0;
+            orphans_killed = 0;
+            redelivered = 0;
+            acked = 0;
             method_wall = Hashtbl.create 8;
           };
       }
     in
-    log st "listening on %s (%d workers, queue %d, cache %s)" cfg.socket
-      cfg.workers cfg.max_queue
-      (match cfg.cache_dir with Some d -> d | None -> "off");
+    log st "listening on %s (%d workers, queue %d, cache %s, journal %s)"
+      cfg.socket cfg.workers cfg.max_queue
+      (match cfg.cache_dir with Some d -> d | None -> "off")
+      (match cfg.journal with Some p -> p | None -> "off");
+    Option.iter (fun (_, r) -> recover st r) journal;
     let finished () =
       st.draining && st.queued = 0 && st.running = []
       && not (Hashtbl.fold (fun _ c acc -> acc || pending_out c) st.conns false)
@@ -1253,6 +1769,7 @@ module Server = struct
               fd;
               cid;
               client = Printf.sprintf "conn-%d" cid;
+              named = false;
               inbuf = Buffer.create 256;
               out = "";
               out_pos = 0;
@@ -1281,6 +1798,13 @@ module Server = struct
       st.conns;
     (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
     (try Sys.remove cfg.socket with Sys_error _ -> ());
+    (match st.jnl with
+    | Some jn ->
+      (* Leave the smallest correct journal behind: drained state, no
+         dead lines — the successor's replay is exactly the open jobs. *)
+      (try Journal.compact jn with _ -> ());
+      Journal.close jn
+    | None -> ());
     Sys.set_signal Sys.sigterm old_term;
     Sys.set_signal Sys.sigint old_int;
     log st "drained: %d completed, %d failed, %d cancelled, %d cache hits"

@@ -28,15 +28,30 @@
       [shutdown] replies, then the daemon exits cleanly;
     - {b cache maintenance}: the server loop periodically runs
       {!Vcache.maintain} with configurable size/age watermarks, so the
-      store is administered without an operator.
+      store is administered without an operator;
+    - {b crash safety} (with [config.journal] set): every accepted job and
+      every completed result is written to a checksummed write-ahead
+      {!Journal} and fsync'd before the corresponding reply leaves the
+      daemon.  A restart replays the journal — undelivered results are
+      retained for [resume], unfinished jobs re-enqueue, workers orphaned
+      by a hard death are reaped ({!Parallel.reap_orphan}) — so a SIGKILL
+      at any instant loses no accepted job.  Results are retained until
+      the owning tenant [ack]s them: {e at-least-once} delivery.
 
     The wire protocol is specified in the {{!page-protocol}protocol
-    manual}; operating the daemon is covered in the
-    {{!page-operations}operations manual}. *)
+    manual}; operating the daemon (including durability and recovery) is
+    covered in the {{!page-operations}operations manual}. *)
 
 val protocol_version : int
-(** Version tag carried by [hello] replies; bumped on breaking protocol
-    changes. *)
+(** Version tag carried by [hello] replies; bumped on protocol changes.
+    Version 2 added [resume]/[ack], retry hints on [busy]/[shutdown]
+    replies and the [durability] metrics object — all v1 forms are
+    unchanged, and a v2 client parses v1 replies (missing hints read as
+    [0] / absent). *)
+
+(** Write-ahead job journal backing the daemon's crash safety; exposed for
+    tests and tooling. *)
+module Journal = Journal
 
 val default_socket : unit -> string
 (** [$EMMVER_SOCKET], else [/tmp/emmver-<uid>.sock] — shared default of
@@ -71,6 +86,11 @@ module Proto : sig
     | Ping
     | Submit of submit
     | Poll of int  (** job id *)
+    | Resume of string
+        (** take the given tenant identity and stream every retained
+            (completed, unacked) result it missed, oldest first *)
+    | Ack of int
+        (** confirm delivery of a result: the server may forget it *)
     | Metrics
     | Shutdown  (** begin a graceful drain, as SIGTERM does *)
 
@@ -107,6 +127,15 @@ module Proto : sig
     m_cache_bytes : int;
     m_gc_runs : int;
     m_gc_evicted : int;
+    m_journal_records : int;  (** journal lines in the current file *)
+    m_journal_bytes : int;
+    m_compactions : int;  (** journal compactions since startup replay *)
+    m_replayed : int;  (** jobs re-enqueued from the journal at startup *)
+    m_recovered : int;  (** undelivered results recovered at startup *)
+    m_orphans_killed : int;  (** dead incarnation's workers reaped *)
+    m_redelivered : int;  (** result lines re-sent via [resume] *)
+    m_acked : int;  (** retained results released by [ack] *)
+    m_retained : int;  (** results currently awaiting an [ack] *)
     m_methods : (string * int * float) list;
         (** per-method [(name, jobs, wall_s)] aggregates, sorted by name *)
   }
@@ -116,15 +145,31 @@ module Proto : sig
     | Pong
     | Accepted of { id : string; jobs : (int * string) list; queue_depth : int }
         (** jobs as [(job id, property)]; results stream back later *)
-    | Busy of { id : string; queue_depth : int; max_queue : int }
-        (** queue full — resubmit later; nothing was enqueued *)
-    | Shutdown_reply of { id : string; job : int option }
+    | Busy of {
+        id : string;
+        queue_depth : int;
+        max_queue : int;
+        retry_after_s : float;
+      }
+        (** queue full — nothing was enqueued; resubmit after roughly
+            [retry_after_s] seconds ([0.] when talking to a v1 server) *)
+    | Shutdown_reply of {
+        id : string;
+        job : int option;
+        retry_after_s : float option;
+      }
         (** the daemon is draining: with [job = None] the submission was
-            refused, with [Some j] a previously queued job was dropped *)
+            refused, with [Some j] a previously queued job was dropped (a
+            journalled daemon's successor will still run it); retry against
+            the successor after [retry_after_s] *)
     | Error of { id : string option; message : string }
     | Result of result_line
     | Status of { job : int; state : string }
         (** [state]: ["queued"], ["running"], ["done"] or ["unknown"] *)
+    | Resumed of { client : string; results : int; pending : int }
+        (** [resume] header: [results] retained result lines follow
+            immediately; [pending] jobs are still queued or running *)
+    | Acked of { job : int }  (** [ack] acknowledgment (idempotent) *)
     | Metrics_reply of metrics_line
     | Draining  (** acknowledgment of a [shutdown] request *)
 
@@ -155,6 +200,10 @@ module Server : sig
             fires, so the engine's own timeout gets to return a clean
             [Inconclusive] first *)
     quiet : bool;  (** suppress the per-event log lines on stdout *)
+    journal : string option;
+        (** write-ahead job journal path; [None] (the default) disables
+            durability — a restart forgets the queue and disconnects
+            cancel, exactly the v1 behavior *)
     runner : (Proto.submit -> property:string -> options:Emmver.options ->
              Emmver.outcome) option;
         (** test seam: replaces [Emmver.verify] as the forked job body;
@@ -170,6 +219,7 @@ module Server : sig
     ?budgets:Policy.budgets ->
     ?kill_grace_s:float ->
     ?quiet:bool ->
+    ?journal:string ->
     ?runner:(Proto.submit -> property:string -> options:Emmver.options ->
             Emmver.outcome) ->
     socket:string ->
@@ -177,25 +227,58 @@ module Server : sig
     config
   (** Defaults: [workers = Parallel.default_jobs ()], [max_queue = 64],
       [cache_dir = Some (Vcache.default_dir ())], no watermarks,
-      [gc_interval_s = 60.], unlimited budgets, [kill_grace_s = 10.]. *)
+      [gc_interval_s = 60.], unlimited budgets, [kill_grace_s = 10.],
+      no journal. *)
 
   val run : config -> unit
   (** Bind the socket and serve until a graceful drain completes.  Installs
       SIGTERM/SIGINT handlers (drain) and ignores SIGPIPE.  Raises
       [Failure] if the socket path is already served by a live daemon;
-      a stale socket file left by a dead one is replaced. *)
+      a stale socket file left by a dead one is replaced.
+
+      With [config.journal] set, [run] first replays the journal: orphaned
+      workers of a dead incarnation are token-checked and SIGKILLed,
+      undelivered results go back to the retained set, unfinished jobs
+      re-enqueue under their original ids, and the journal is compacted.
+      On a graceful exit the journal is compacted again — carried-over
+      jobs (e.g. queued jobs bounced by a drain) survive for the next
+      incarnation. *)
 end
 
 (** {1 The client} *)
 
+(** Capped jittered exponential backoff, for retrying [busy]/draining/
+    unreachable daemons without stampeding them. *)
+module Backoff : sig
+  type t
+
+  val create : ?base_s:float -> ?cap_s:float -> ?attempts:int -> unit -> t
+  (** Defaults: [base_s = 0.5], [cap_s = 30.], [attempts = 5].
+      [attempts = 0] means never retry ({!next} is immediately [None]). *)
+
+  val next : t -> hint_s:float option -> float option
+  (** The next delay to sleep, or [None] when the attempts are exhausted.
+      The k-th delay (0-based) is [min cap_s (max base_s hint) * 2^k]
+      scaled by a uniform jitter factor in [0.5, 1.0) — pass the server's
+      [retry_after_s] as [hint_s] so the schedule respects it. *)
+
+  val attempts_used : t -> int
+end
+
 module Client : sig
   type t
 
-  val connect : ?client:string -> string -> (t, string) result
-  (** Connect to a daemon's socket; with [client], introduce the given
-      tenant id via [hello] (and check the reply) before returning. *)
+  val connect : ?client:string -> ?timeout_s:float -> string -> (t, string) result
+  (** Connect to a daemon's socket, bounded by [timeout_s] (default 10 s —
+      a listening-but-wedged daemon cannot hang the caller); with
+      [client], introduce the given tenant id via [hello] (and check the
+      reply) before returning. *)
 
   val close : t -> unit
+
+  val server_version : t -> int option
+  (** The daemon's protocol version from the [hello] exchange; [None] when
+      {!connect} was called without [?client]. *)
 
   val send : t -> Proto.request -> (unit, string) result
 

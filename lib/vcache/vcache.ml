@@ -441,6 +441,24 @@ let magic = "EMMVER-VCACHE 1 "
 
 let entry_path cfg key = Filename.concat cfg.dir (Key.to_hex key ^ ".json")
 
+(* Hit-rate sidecar: an empty [<entry>.json.hit] file is created the first
+   time an entry is served.  Watermark eviction uses it to tell entries
+   that earned at least one hit from entries written once and never asked
+   for again — the latter are evicted first, whatever their age.  A
+   sidecar, not a field, so recording a hit never rewrites (and never
+   risks tearing) the checksummed entry itself. *)
+let hit_marker path = path ^ ".hit"
+
+let mark_hit path =
+  try
+    Unix.close
+      (Unix.openfile (hit_marker path) [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644)
+  with _ -> ()
+
+let remove_with_marker path =
+  (try Sys.remove (hit_marker path) with _ -> ());
+  Sys.remove path
+
 let ensure_dir dir =
   let rec mk d =
     if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
@@ -520,6 +538,7 @@ let load cfg key =
            entries nobody asks for age out.  Best-effort: a read-only
            store still serves hits. *)
         (try Unix.utimes (entry_path cfg key) 0.0 0.0 with _ -> ());
+        mark_hit (entry_path cfg key);
         Some entry
       | None ->
         Obs.counter_add "vcache.misses" 1;
@@ -531,7 +550,7 @@ let load cfg key =
         Obs.counter_add "vcache.corrupt" 1;
         None)
 
-let remove cfg key = try Sys.remove (entry_path cfg key) with _ -> ()
+let remove cfg key = try remove_with_marker (entry_path cfg key) with _ -> ()
 
 type store_stats = {
   entries : int;
@@ -571,17 +590,20 @@ let stats cfg =
 
 let clear cfg =
   List.fold_left
-    (fun n path -> match Sys.remove path with () -> n + 1 | exception _ -> n)
+    (fun n path ->
+      match remove_with_marker path with () -> n + 1 | exception _ -> n)
     0 (entry_files cfg)
 
 (* {2 Daemon-grade maintenance}
 
    The serve loop runs [maintain] periodically: an age watermark drops
    entries not used (loaded or written) for [max_age_s], then a size
-   watermark evicts least-recently-used entries until the store fits
-   [max_bytes].  Because [load] refreshes an entry's mtime, both
-   watermarks are hit-rate-aware: a hot entry is never older than its
-   last hit. *)
+   watermark evicts entries until the store fits [max_bytes].  Eviction is
+   hit-rate-aware on two axes: [load] refreshes an entry's mtime (a hot
+   entry is never older than its last hit), and the size watermark evicts
+   {e never-hit} entries (no [.hit] sidecar) oldest-first before touching
+   any entry that earned at least one hit — a burst of one-off writes
+   cannot flush the working set. *)
 
 type gc_policy = { max_bytes : int option; max_age_s : float option }
 
@@ -590,32 +612,45 @@ let gc_policy ?max_bytes ?max_age_s () = { max_bytes; max_age_s }
 type maintain_report = {
   evicted_age : int;
   evicted_size : int;
+  evicted_cold : int;
   kept : int;
   kept_bytes : int;
 }
 
+(* Entries as (path, mtime, size, ever_hit), oldest last-use first. *)
+let scan_entries cfg =
+  List.filter_map
+    (fun path ->
+      match Unix.stat path with
+      | st ->
+        Some
+          ( path,
+            st.Unix.st_mtime,
+            st.Unix.st_size,
+            Sys.file_exists (hit_marker path) )
+      | exception _ -> None)
+    (entry_files cfg)
+  |> List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b)
+
+(* Size-watermark order: cold (never-hit) entries oldest-first, then hot
+   entries oldest-first. *)
+let eviction_order files =
+  let cold, hot = List.partition (fun (_, _, _, hit) -> not hit) files in
+  cold @ hot
+
 let maintain cfg policy =
   Obs.span "cache.maintain" (fun () ->
       let now = Unix.gettimeofday () in
-      let files =
-        List.filter_map
-          (fun path ->
-            match Unix.stat path with
-            | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size)
-            | exception _ -> None)
-          (entry_files cfg)
-      in
-      (* Oldest last-use first — eviction order for both watermarks. *)
-      let files = List.sort (fun (_, a, _) (_, b, _) -> compare a b) files in
-      let evicted_age = ref 0 and evicted_size = ref 0 in
+      let files = scan_entries cfg in
+      let evicted_age = ref 0 and evicted_size = ref 0 and evicted_cold = ref 0 in
       let survivors =
         match policy.max_age_s with
         | None -> files
         | Some age ->
           List.filter
-            (fun (path, mtime, _) ->
+            (fun (path, mtime, _, _) ->
               if now -. mtime > age then (
-                (match Sys.remove path with
+                (match remove_with_marker path with
                 | () -> incr evicted_age
                 | exception _ -> ());
                 false)
@@ -623,16 +658,17 @@ let maintain cfg policy =
             files
       in
       let remaining =
-        ref (List.fold_left (fun acc (_, _, s) -> acc + s) 0 survivors)
+        ref (List.fold_left (fun acc (_, _, s, _) -> acc + s) 0 survivors)
       in
       let kept = ref 0 and kept_bytes = ref 0 in
       List.iter
-        (fun (path, _, size) ->
+        (fun (path, _, size, hit) ->
           match policy.max_bytes with
           | Some budget when !remaining > budget -> (
-            match Sys.remove path with
+            match remove_with_marker path with
             | () ->
               incr evicted_size;
+              if not hit then incr evicted_cold;
               remaining := !remaining - size
             | exception _ ->
               incr kept;
@@ -640,32 +676,26 @@ let maintain cfg policy =
           | _ ->
             incr kept;
             kept_bytes := !kept_bytes + size)
-        survivors;
+        (eviction_order survivors);
       Obs.counter_add "vcache.gc_evicted_age" !evicted_age;
       Obs.counter_add "vcache.gc_evicted_size" !evicted_size;
+      Obs.counter_add "vcache.gc_evicted_cold" !evicted_cold;
       {
         evicted_age = !evicted_age;
         evicted_size = !evicted_size;
+        evicted_cold = !evicted_cold;
         kept = !kept;
         kept_bytes = !kept_bytes;
       })
 
 let gc cfg ~max_bytes =
-  let files =
-    List.filter_map
-      (fun path ->
-        match Unix.stat path with
-        | st -> Some (path, st.Unix.st_mtime, st.Unix.st_size)
-        | exception _ -> None)
-      (entry_files cfg)
-  in
-  let files = List.sort (fun (_, a, _) (_, b, _) -> compare a b) files in
-  let total = List.fold_left (fun acc (_, _, s) -> acc + s) 0 files in
+  let files = eviction_order (scan_entries cfg) in
+  let total = List.fold_left (fun acc (_, _, s, _) -> acc + s) 0 files in
   let deleted = ref 0 and kept = ref 0 and remaining = ref total in
   List.iter
-    (fun (path, _, size) ->
+    (fun (path, _, size, _) ->
       if !remaining > max_bytes then begin
-        (match Sys.remove path with
+        (match remove_with_marker path with
         | () ->
           incr deleted;
           remaining := !remaining - size

@@ -90,7 +90,10 @@ val store : config -> Key.t -> entry -> unit
 
 val load : config -> Key.t -> entry option
 (** [None] on absence, checksum mismatch, version mismatch or any parse
-    error — corruption is indistinguishable from a miss by design. *)
+    error — corruption is indistinguishable from a miss by design.  A hit
+    refreshes the entry's mtime and drops an empty [<entry>.json.hit]
+    sidecar next to it: watermark eviction treats entries that never
+    earned a hit as first to go (see {!maintain}). *)
 
 val remove : config -> Key.t -> unit
 (** Drop one entry (used when a hit fails its independent re-check). *)
@@ -111,21 +114,25 @@ val clear : config -> int
 (** Delete every entry; returns the number deleted. *)
 
 val gc : config -> max_bytes:int -> int * int
-(** [gc cfg ~max_bytes] deletes least-recently-used entries (a {!load} hit
-    refreshes an entry's clock) until the store fits the byte budget;
-    returns [(deleted, kept)]. *)
+(** [gc cfg ~max_bytes] deletes entries until the store fits the byte
+    budget and returns [(deleted, kept)].  Eviction order is never-hit
+    entries oldest-first, then least-recently-used (a {!load} hit
+    refreshes an entry's clock). *)
 
 (** {1 Daemon-grade maintenance}
 
     A long-running server cannot rely on an operator running [cache gc] by
-    hand; it calls {!maintain} periodically from its event loop.  Both
-    watermarks order evictions by {e last use}, not creation: {!load}
-    refreshes a served entry's mtime, so entries that keep earning hits
-    survive while cold entries age out — hit-rate-aware eviction without
-    any bookkeeping beyond the filesystem's. *)
+    hand; it calls {!maintain} periodically from its event loop.  Eviction
+    is hit-rate-aware on two axes: watermarks order by {e last use}, not
+    creation ({!load} refreshes a served entry's mtime), and the size
+    watermark evicts entries that {e never} earned a hit before touching
+    any entry that did — a burst of one-off writes cannot flush the
+    working set.  The only bookkeeping is the filesystem's (mtimes and
+    empty [.hit] sidecars). *)
 
 type gc_policy = {
-  max_bytes : int option;  (** size watermark: evict LRU entries down to this *)
+  max_bytes : int option;
+      (** size watermark: evict cold-then-LRU entries down to this *)
   max_age_s : float option;
       (** age watermark: evict entries not used for this many seconds *)
 }
@@ -136,12 +143,16 @@ val gc_policy : ?max_bytes:int -> ?max_age_s:float -> unit -> gc_policy
 type maintain_report = {
   evicted_age : int;  (** entries dropped by the age watermark *)
   evicted_size : int;  (** entries dropped by the size watermark *)
+  evicted_cold : int;
+      (** of [evicted_size], how many had never earned a hit — the
+          hit-rate-aware half of the size watermark *)
   kept : int;
   kept_bytes : int;
 }
 
 val maintain : config -> gc_policy -> maintain_report
-(** Apply the age watermark, then the size watermark (LRU order).  Never
-    raises; unremovable files are kept and counted.  Instrumented with the
-    [cache.maintain] span and [vcache.gc_evicted_age]/[vcache.gc_evicted_size]
+(** Apply the age watermark, then the size watermark (never-hit entries
+    oldest-first, then LRU).  Never raises; unremovable files are kept and
+    counted.  Instrumented with the [cache.maintain] span and the
+    [vcache.gc_evicted_age]/[vcache.gc_evicted_size]/[vcache.gc_evicted_cold]
     counters. *)

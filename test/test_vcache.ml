@@ -389,6 +389,51 @@ let test_maintain_watermarks () =
   Alcotest.(check bool) "cold entry evicted" true (Vcache.load cfg (key 2) = None);
   Alcotest.(check int) "kept bytes accounted" bytes_of_one r.Vcache.kept_bytes
 
+(* Never-hit entries fall before ever-hit ones, even when the hot entry is
+   the oldest by mtime: an entry that earned a hit has proven its worth,
+   one that never did is the cheapest to lose. *)
+let test_hit_aware_eviction () =
+  let dir = tmp_store "hitaware" in
+  Fun.protect ~finally:(fun () -> drop_store dir) @@ fun () ->
+  let cfg = Vcache.config ~dir () in
+  let entry =
+    {
+      Vcache.e_method = "emm";
+      e_verdict = Vcache.Proved { depth = 3; induction = true };
+      e_time_s = 1.0;
+      e_solve_time_s = 0.5;
+      e_model_vars = 10;
+      e_model_clauses = 20;
+      e_model_latches = 3;
+      e_cert = "unchecked";
+      e_created = 0.0;
+      e_payload = Vcache.No_payload;
+    }
+  in
+  let key i = Vcache.Key.make ~cone:"c" ~attrs:[ ("i", string_of_int i) ] in
+  let path i = Filename.concat dir (Vcache.Key.to_hex (key i) ^ ".json") in
+  let set_age i seconds =
+    let t = Unix.gettimeofday () -. seconds in
+    Unix.utimes (path i) t t
+  in
+  List.iter (fun i -> Vcache.store cfg (key i) entry) [ 0; 1; 2 ];
+  (match Vcache.load cfg (key 0) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected key 0 to load");
+  (* Re-age the hot entry to be the oldest: pure LRU would evict it first. *)
+  set_age 0 100.0;
+  set_age 1 50.0;
+  set_age 2 20.0;
+  let bytes_of_one = (Unix.stat (path 2)).Unix.st_size in
+  let r = Vcache.maintain cfg (Vcache.gc_policy ~max_bytes:bytes_of_one ()) in
+  Alcotest.(check int) "two evicted by size" 2 r.Vcache.evicted_size;
+  Alcotest.(check int) "both evictees were never-hit" 2 r.Vcache.evicted_cold;
+  Alcotest.(check int) "one kept" 1 r.Vcache.kept;
+  Alcotest.(check bool) "the hot (oldest) entry survives" true
+    (Vcache.load cfg (key 0) <> None);
+  Alcotest.(check bool) "cold entries gone" true
+    (Vcache.load cfg (key 1) = None && Vcache.load cfg (key 2) = None)
+
 let test_default_dir_env_override () =
   let saved = Sys.getenv_opt "EMMVER_CACHE_DIR" in
   Unix.putenv "EMMVER_CACHE_DIR" "/tmp/emmver-env-test";
@@ -609,6 +654,8 @@ let () =
           Alcotest.test_case "forged trace is evicted and re-solved" `Quick
             test_forged_trace_is_stale;
           Alcotest.test_case "stats/gc/clear administration" `Quick test_stats_gc_clear;
+          Alcotest.test_case "never-hit entries are evicted first" `Quick
+            test_hit_aware_eviction;
           Alcotest.test_case "maintain: age/size watermarks, LRU hit refresh" `Quick
             test_maintain_watermarks;
           Alcotest.test_case "EMMVER_CACHE_DIR overrides the default" `Quick
