@@ -137,9 +137,23 @@ let make_unroller config solver net =
 type hooks = {
   on_unroll : Cnf.t -> int -> unit;
   mem_init_of_model : Cnf.t -> int -> (string * (int * int) list) list;
+  mem_distinct : (Cnf.t -> i:int -> j:int -> Lit.t) option;
+      (* [Some f]: [f unr ~i ~j] is a literal that may be set true only when
+         the modeled memory state at frame [i] can differ from frame [j]
+         (some enabled write in [j, i) stores a value the location did not
+         already hold).  It is OR'd into the loop-free-path distinctness
+         clause of every frame pair, making termination proofs range over
+         memory state as well as latches.  [None]: memory contents are
+         invisible to the distinctness clauses and the engine falls back to
+         the conservative latch-only guard below. *)
 }
 
-let no_hooks = { on_unroll = (fun _ _ -> ()); mem_init_of_model = (fun _ _ -> []) }
+let no_hooks =
+  {
+    on_unroll = (fun _ _ -> ());
+    mem_init_of_model = (fun _ _ -> []);
+    mem_distinct = None;
+  }
 
 (* Mutable run state threaded through one [check] call. *)
 type run = {
@@ -199,7 +213,10 @@ let timed_encode run f =
     (fun () -> Obs.span "encode" f)
 
 (* Loop-free-path constraints: for the new frame [i], require state [i] to
-   differ from every earlier state, guarded by [act_lfp]. *)
+   differ from every earlier state, guarded by [act_lfp].  State is the latch
+   vector plus — when the hooks provide a memory-distinctness predicate — the
+   contents of the modeled memories, so a frame pair only counts as a repeat
+   when latches AND memory agree. *)
 let add_lfp_pairs run i =
   let unr = run.unr in
   List.iter
@@ -215,6 +232,13 @@ let add_lfp_pairs run i =
             Cnf.add_clause unr [ Lit.negate q; Lit.negate x; Lit.negate y ];
             q)
           run.state_latches
+      in
+      let diffs =
+        match run.hks.mem_distinct with
+        | Some f ->
+          let d = f unr ~i ~j in
+          if d = Cnf.false_lit unr then diffs else d :: diffs
+        | None -> diffs
       in
       Cnf.add_clause unr (Lit.negate run.act_lfp :: diffs))
     (List.init i Fun.id)
@@ -370,15 +394,19 @@ let check ?(config = default_config) ?(hooks = no_hooks) net ~property =
     }
   in
   let act_init = Cnf.act_init unr in
-  (* With no state latches the loop-free-path constraints degenerate to the
-     empty disjunction, which would claim proof diameter 0 for every design
-     from depth 1 on.  That is sound only when latches really are the whole
-     state: a memory's contents evolve outside the latch vector, so
-     latch-free memory designs keep only the depth-0 checks (which involve
-     no distinctness constraints — induction at depth 0 is plain validity
-     of the property) and otherwise fall back to falsification. *)
+  (* When the hooks supply a memory-distinctness predicate, the loop-free-path
+     constraints range over the full modeled state (latches plus memory
+     contents) and termination checks are sound at every depth — including on
+     latch-free write-port designs, whose distinctness clause degenerates to
+     exactly the memory predicate.  Without it, latch-only distinctness is
+     sound only when latches really are the whole state: a memory's contents
+     evolve outside the latch vector, so latch-free memory designs keep only
+     the depth-0 checks (which involve no distinctness constraints —
+     induction at depth 0 is plain validity of the property) and otherwise
+     fall back to falsification. *)
   let lfp_meaningful =
-    run.state_latches <> []
+    run.hks.mem_distinct <> None
+    || run.state_latches <> []
     || List.for_all (fun m -> Netlist.num_write_ports m = 0) (Netlist.memories net)
   in
   let proof_checks_at i = config.proof_checks && (lfp_meaningful || i = 0) in
@@ -544,11 +572,14 @@ let check_all ?(config = default_config) ?(hooks = no_hooks) net ~properties =
     }
   in
   let act_init = Cnf.act_init unr in
-  (* Same latch-free-memory guard as [check]: empty loop-free-path
-     constraints must not claim a zero diameter while memory state evolves,
-     but the depth-0 checks involve no distinctness constraints and stay. *)
+  (* Same policy as [check]: with a memory-distinctness predicate the
+     loop-free-path constraints cover the full modeled state and proofs run
+     at every depth; without one, empty latch-only constraints must not
+     claim a zero diameter while memory state evolves, and only the
+     distinctness-free depth-0 checks stay. *)
   let lfp_meaningful =
-    run.state_latches <> []
+    run.hks.mem_distinct <> None
+    || run.state_latches <> []
     || List.for_all (fun m -> Netlist.num_write_ports m = 0) (Netlist.memories net)
   in
   let proof_checks_at i = config.proof_checks && (lfp_meaningful || i = 0) in

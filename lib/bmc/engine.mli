@@ -129,6 +129,20 @@ type hooks = {
   mem_init_of_model : Cnf.t -> int -> (string * (int * int) list) list;
       (** called on a satisfiable falsification at the given depth to
           recover initial memory contents for the trace *)
+  mem_distinct : (Cnf.t -> i:int -> j:int -> Satsolver.Lit.t) option;
+      (** [Some f]: [f unr ~i ~j] (with [j < i], both frames already
+          unrolled) returns a literal the solver may set true only when the
+          modeled memory contents at frame [i] can differ from frame [j] —
+          some enabled write in [j, i) stored a value the addressed location
+          did not already hold.  The engine ORs it into the loop-free-path
+          distinctness clause of every frame pair, so termination proofs
+          (forward diameter and backward induction) become sound for designs
+          whose latch state repeats while memory contents diverge, and run
+          at every depth even on latch-free write-port designs.  The EMM
+          layer provides its [mem_distinct_lit] here.  [None] (the
+          [no_hooks] default): distinctness ranges over latches only, and
+          the engine conservatively disables termination checks past depth 0
+          when the latch vector is empty but some memory has a write port. *)
 }
 
 val no_hooks : hooks

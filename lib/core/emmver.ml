@@ -323,8 +323,11 @@ and verify_pba ~options ~use_emm net ~property ~t0 =
 (* Generation tag of the whole encoding stack, part of every cache key.
    Bump on any change to the unroller, the EMM constraint generator, the
    explicit expansion, PBA discovery or the BDD engine that can change a
-   verdict for the same (cone, options) pair. *)
-let encoding_version = "1"
+   verdict for the same (cone, options) pair.
+   History: "2" — memory-state distinctness joined the loop-free-path
+   termination constraints (proved depths and verdicts can differ from
+   generation "1" on latch-poor designs with write ports). *)
+let encoding_version = "2"
 
 let cache_config (options : options) =
   if options.cache then Some (Vcache.config ?dir:options.cache_dir ()) else None

@@ -162,6 +162,12 @@ val cache_key : options -> method_:method_ -> Netlist.t -> property:string -> Vc
 (** The cache key {!verify} would use for this run; [None] when the property
     does not exist in the design. *)
 
+val encoding_version : string
+(** Generation tag of the encoding stack, mixed into every cache key as the
+    ["encoder"] attribute.  Bumped whenever an encoder change can alter a
+    verdict or proved depth for the same (cone, options) pair, so stale
+    entries from an older generation silently miss instead of replaying. *)
+
 val verify_resilient :
   ?options:options ->
   ?policy:Policy.t ->

@@ -1,0 +1,18 @@
+type config = { counter_width : int; data_width : int }
+
+let default_config = { counter_width = 1; data_width = 2 }
+
+let build cfg =
+  let ctx = Hdl.create () in
+  let cw = cfg.counter_width and dw = cfg.data_width in
+  let mem =
+    Hdl.memory ctx ~name:"m" ~addr_width:cw ~data_width:dw ~init:Netlist.Zeros
+  in
+  let cnt = Hdl.reg ctx "cnt" ~width:cw in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  Hdl.write_port ctx mem ~addr:cnt ~data:(Hdl.const ~width:dw 1)
+    ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:cnt ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "reach1" (Netlist.not_ (Hdl.eq_const ctx rd 1));
+  Hdl.assert_always ctx "never2" (Netlist.not_ (Hdl.eq_const ctx rd 2));
+  Hdl.netlist ctx

@@ -1,0 +1,22 @@
+(** The fixed latch-poor over-proof regression: a [counter_width]-bit counter
+    is the {e only} latch state, while a zero-initialised memory fills with
+    the constant 1 at the counter's address.  Latch state repeats with period
+    [2^counter_width] but memory contents keep evolving, so loop-free-path
+    termination constraints over latches alone "prove" a forward diameter of
+    [2^counter_width] — masking the reachable failure one write later.  The
+    memory-state distinctness predicates ([Emm.mem_distinct_lit]) keep the
+    paths distinct and restore the true verdicts.
+
+    Property ["reach1"]: a read never returns 1 — {b false}, first
+    falsifiable at depth [2^counter_width] (the frame the oldest write
+    becomes visible), exactly where the latch-only engine over-proves.
+
+    Property ["never2"]: a read never returns 2 — {b true} (only 0 and 1
+    ever occupy the memory), provable by induction once the distinctness
+    constraints let termination checks run. *)
+
+type config = { counter_width : int; data_width : int }
+
+val default_config : config
+
+val build : config -> Netlist.t

@@ -89,6 +89,12 @@ let all () =
       build = (fun () -> Cache.build ~buggy:true Cache.default_config);
     };
     {
+      name = "latchpoor";
+      description =
+        "1-bit counter + filling memory, the latch-only termination over-proof regression; properties reach1 (fails), never2 (holds)";
+      build = (fun () -> Latchpoor.build Latchpoor.default_config);
+    };
+    {
       name = "regfile";
       description =
         "register file with 1 write / 2 read ports; property read_consistent";

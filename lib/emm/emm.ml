@@ -10,6 +10,8 @@ type counts = {
   aux_vars : int;
   saved_vars : int;
   saved_clauses : int;
+  distinct_preds : int;
+  distinct_clauses : int;
   encode_time_s : float;
 }
 
@@ -23,6 +25,8 @@ let zero_counts =
     aux_vars = 0;
     saved_vars = 0;
     saved_clauses = 0;
+    distinct_preds = 0;
+    distinct_clauses = 0;
     encode_time_s = 0.0;
   }
 
@@ -36,15 +40,18 @@ let add_counts a b =
     aux_vars = a.aux_vars + b.aux_vars;
     saved_vars = a.saved_vars + b.saved_vars;
     saved_clauses = a.saved_clauses + b.saved_clauses;
+    distinct_preds = a.distinct_preds + b.distinct_preds;
+    distinct_clauses = a.distinct_clauses + b.distinct_clauses;
     encode_time_s = a.encode_time_s +. b.encode_time_s;
   }
 
 let pp_counts ppf c =
   Format.fprintf ppf
     "addr-clauses=%d excl-gates=%d data-clauses=%d init-clauses=%d init-pairs=%d \
-     aux-vars=%d saved-vars=%d saved-clauses=%d encode=%.3fs"
+     aux-vars=%d saved-vars=%d saved-clauses=%d distinct-preds=%d \
+     distinct-clauses=%d encode=%.3fs"
     c.addr_clauses c.excl_gates c.data_clauses c.init_clauses c.init_pairs c.aux_vars
-    c.saved_vars c.saved_clauses c.encode_time_s
+    c.saved_vars c.saved_clauses c.distinct_preds c.distinct_clauses c.encode_time_s
 
 (* One read access: frame, read port, its "never written" chain head N, the
    initial-data word V, and the read-address literals (for equation (6)
@@ -77,10 +84,21 @@ type t = {
   e_memo : (int * Lit.t * Lit.t, Lit.t) Hashtbl.t;
   eq_memo : (int * Lit.t array * Lit.t array, Lit.t) Hashtbl.t;
   s_memo : (int * Lit.t array * Lit.t array * Lit.t, Lit.t) Hashtbl.t;
+  (* Memory-state distinctness state (see [mem_distinct_lit]): phantom read
+     accesses per (memory tag, frame, address bus), the per-frame
+     "this step changes memory" predicates, and the per-(i, j) distinctness
+     literals handed to the engine's loop-free-path clauses. *)
+  distinct_tag : int;
+  phantom_memo : (int * int * Lit.t array, access) Hashtbl.t;
+  chg_memo : (int, Lit.t) Hashtbl.t;
+  distinct_memo : (int * int, Lit.t) Hashtbl.t;
   mutable next_depth : int;
   mutable emitted : int; (* clauses actually emitted by this layer *)
   per_depth : (int, counts) Hashtbl.t;
   mutable current : counts; (* accumulator for the depth being generated *)
+  mutable extra : counts;
+      (* distinctness constraints built outside [add_constraints] (the engine
+         requests them per frame pair, after the depth snapshot) *)
 }
 
 let create ?memories ?(init_consistency = true) ?simplify unr =
@@ -110,10 +128,15 @@ let create ?memories ?(init_consistency = true) ?simplify unr =
     e_memo = Hashtbl.create 256;
     eq_memo = Hashtbl.create 64;
     s_memo = Hashtbl.create 256;
+    distinct_tag = Cnf.tag_for unr (Cnf.Tag.Misc "emm-mem-distinct");
+    phantom_memo = Hashtbl.create 64;
+    chg_memo = Hashtbl.create 64;
+    distinct_memo = Hashtbl.create 64;
     next_depth = 0;
     emitted = 0;
     per_depth = Hashtbl.create 64;
     current = zero_counts;
+    extra = zero_counts;
   }
 
 let fresh t =
@@ -132,6 +155,14 @@ let bump_saved t v c =
       t.current with
       saved_vars = t.current.saved_vars + v;
       saved_clauses = t.current.saved_clauses + c;
+    }
+
+let bump_distinct t ~preds ~clauses =
+  t.current <-
+    {
+      t.current with
+      distinct_preds = t.current.distinct_preds + preds;
+      distinct_clauses = t.current.distinct_clauses + clauses;
     }
 
 (* Emission wrapper tracking the clauses this layer actually produced. *)
@@ -329,6 +360,44 @@ let chain_pair t ~tag s ps' =
   end
 
 let lits_of_bus t ~frame bus = Array.map (fun s -> Cnf.lit t.unr ~frame s) bus
+
+(* Polarity-reduced equation-(6) consistency between two accesses: the pair
+   variable u only needs (premises -> u) and (u -> V = V'), since u never
+   occurs elsewhere.  Shared by the simplifying read encoder and the phantom
+   reads of the distinctness machinery. *)
+let init_pair_reduced t ~tag ~n_bits this other =
+  if not (is_f t this.n_lit || is_f t other.n_lit) then begin
+    match classify_bus t ~tag other.ra_lits this.ra_lits with
+    | None -> bump_pairs t 1 (* addresses provably differ: no constraint *)
+    | Some bits ->
+      let e_of = function
+        | Bit_conflict -> assert false
+        | Bit_exact e | Bit_e (_, _, e) -> e
+      in
+      let premises = List.filter (fun l -> not (is_t t l)) (List.map e_of bits) in
+      let premises =
+        premises @ List.filter (fun l -> not (is_t t l)) [ this.n_lit; other.n_lit ]
+      in
+      let u =
+        match premises with
+        | [] -> ltrue t
+        | [ l ] -> l
+        | _ ->
+          let u = fresh t in
+          (* premises -> u *)
+          emitc ~tag t (u :: List.map Lit.negate premises);
+          u
+      in
+      let prefix = if is_t t u then [] else [ Lit.negate u ] in
+      for b = 0 to n_bits - 1 do
+        if this.v_lits.(b) <> other.v_lits.(b) then begin
+          emitc ~tag t (prefix @ [ Lit.negate this.v_lits.(b); other.v_lits.(b) ]);
+          emitc ~tag t (prefix @ [ this.v_lits.(b); Lit.negate other.v_lits.(b) ])
+        end
+      done;
+      bump_pairs t 1
+  end
+  else bump_pairs t 1
 
 (* Generate all constraints for read port [r] of memory [ms] at depth [k] —
    the paper-faithful plain encoding. *)
@@ -542,41 +611,7 @@ let constrain_read_simpl t ms k r =
     List.iter
       (fun other ->
         plain (m_bits + 3) ((4 * m_bits) + 7 + (2 * n_bits));
-        if not (is_f t n_never || is_f t other.n_lit) then begin
-          match classify_bus t ~tag other.ra_lits ra with
-          | None -> bump_pairs t 1 (* addresses provably differ: no constraint *)
-          | Some bits ->
-            let e_of = function
-              | Bit_conflict -> assert false
-              | Bit_exact e | Bit_e (_, _, e) -> e
-            in
-            let premises =
-              List.filter (fun l -> not (is_t t l)) (List.map e_of bits)
-            in
-            let premises =
-              premises
-              @ List.filter (fun l -> not (is_t t l)) [ n_never; other.n_lit ]
-            in
-            let u =
-              match premises with
-              | [] -> ltrue t
-              | [ l ] -> l
-              | _ ->
-                let u = fresh t in
-                (* premises -> u *)
-                emitc ~tag t (u :: List.map Lit.negate premises);
-                u
-            in
-            let prefix = if is_t t u then [] else [ Lit.negate u ] in
-            for b = 0 to n_bits - 1 do
-              if v_lits.(b) <> other.v_lits.(b) then begin
-                emitc ~tag t (prefix @ [ Lit.negate v_lits.(b); other.v_lits.(b) ]);
-                emitc ~tag t (prefix @ [ v_lits.(b); Lit.negate other.v_lits.(b) ])
-              end
-            done;
-            bump_pairs t 1
-        end
-        else bump_pairs t 1)
+        init_pair_reduced t ~tag ~n_bits this other)
       ms.accesses;
   ms.accesses <- this :: ms.accesses;
   bump_saved t
@@ -631,7 +666,246 @@ let counts_at t k =
   match Hashtbl.find_opt t.per_depth k with Some c -> c | None -> zero_counts
 
 let counts_total t =
-  Hashtbl.fold (fun _ c acc -> add_counts c acc) t.per_depth zero_counts
+  add_counts t.extra
+    (Hashtbl.fold (fun _ c acc -> add_counts c acc) t.per_depth zero_counts)
+
+(* {2 Memory-state distinctness (loop-free-path termination)}
+
+   The engine's loop-free-path constraints range over latch state, so a
+   design whose latches repeat while memory contents diverge would be
+   over-proved.  [mem_distinct_lit t ~i ~j] returns a literal D with
+
+     D -> chg(j) \/ ... \/ chg(i-1)
+
+   where chg(f) may hold only if some enabled write at frame [f] stores a
+   value its target location does not already hold — i.e. the step from
+   frame [f] to [f+1] changes some modeled memory.  If every step in [j, i)
+   leaves memory unchanged then every chg is false, D is forced false, and
+   the engine's LFP clause correctly falls back to latch distinctness;
+   conversely, whenever memory contents at frames [i] and [j] differ, some
+   step in between changed memory, so the solver can satisfy the clause
+   through D.  All implications are one-directional — D only ever occurs
+   positively in the LFP clauses, so the converse directions are never
+   needed.
+
+   "What the location already holds" is a phantom EMM read: an interface
+   word for (frame f, the write port's own address bus), constrained by the
+   same merged select networks, exclusivity chain, reset-contents and
+   equation-(6) machinery as a real read port with RE = true, and registered
+   as an access (port -1) so initial-state consistency ties its
+   never-written word to every other access of the memory.  Phantom reads
+   are memoized per (memory, frame, address bus) and chg(f) per frame, so
+   the O(depth^2) frame pairs requested by the engine share O(depth x
+   write-ports) phantom reads. *)
+
+(* Phantom read of memory [ms] at frame [f], address bus [ra] (already
+   per-frame literals).  Returns the registered access; its [v_lits] is the
+   word the memory holds at address [ra] entering frame [f]. *)
+let phantom_access t ms f ra =
+  let key = (ms.tag, f, ra) in
+  match Hashtbl.find_opt t.phantom_memo key with
+  | Some a -> a
+  | None ->
+    let unr = t.unr in
+    let tag = ms.tag in
+    let mem = ms.mem in
+    let n_bits = Netlist.memory_data_width mem in
+    let w_count = Netlist.num_write_ports mem in
+    let pv = Array.init n_bits (fun _ -> fresh t) in
+    let write_lits j w =
+      let wa, wd, we = Netlist.write_port mem w in
+      (lits_of_bus t ~frame:j wa, lits_of_bus t ~frame:j wd, Cnf.lit unr ~frame:j we)
+    in
+    (* s(j,w) over every write access before [f]; RE = true. *)
+    let s_of =
+      Array.init f (fun j ->
+          Array.init w_count (fun w ->
+              let wa, _, we = write_lits j w in
+              let before = t.emitted in
+              let s = s_net t ~tag wa ra we in
+              bump_addr t (t.emitted - before);
+              s))
+    in
+    let s_sel = Array.make_matrix (max f 1) (max w_count 1) (Lit.pos 0) in
+    let ps = ref (ltrue t) in
+    for j = f - 1 downto 0 do
+      for p = w_count - 1 downto 0 do
+        let sel, ps' = chain_pair t ~tag s_of.(j).(p) !ps in
+        s_sel.(j).(p) <- sel;
+        ps := ps'
+      done
+    done;
+    let n_never = !ps in
+    (* S(j,p) -> PV = WD(j,p): the phantom word tracks the stored value. *)
+    for j = 0 to f - 1 do
+      for p = 0 to w_count - 1 do
+        let sel = s_sel.(j).(p) in
+        if not (is_f t sel) then begin
+          let _, wd, _ = write_lits j p in
+          let prefix = if is_t t sel then [] else [ Lit.negate sel ] in
+          let emitted = ref 0 in
+          for b = 0 to n_bits - 1 do
+            if pv.(b) <> wd.(b) then begin
+              emitc ~tag t (prefix @ [ Lit.negate pv.(b); wd.(b) ]);
+              emitc ~tag t (prefix @ [ pv.(b); Lit.negate wd.(b) ]);
+              emitted := !emitted + 2
+            end
+          done;
+          bump_data t !emitted
+        end
+      done
+    done;
+    (* Validity: some selector or the never-written head holds (RE = true). *)
+    let sels =
+      List.concat_map
+        (fun j ->
+          List.filter_map
+            (fun p -> if is_f t s_sel.(j).(p) then None else Some s_sel.(j).(p))
+            (List.init w_count Fun.id))
+        (List.init f Fun.id)
+    in
+    if not (is_t t n_never || List.exists (is_t t) sels) then begin
+      let head = if is_f t n_never then [] else [ n_never ] in
+      emitc ~tag t (head @ sels);
+      bump_data t 1
+    end;
+    (* Reset contents, guarded on initial-state paths as for real reads. *)
+    (match Netlist.memory_init mem with
+    | Netlist.Zeros ->
+      if not (is_f t n_never) then begin
+        let act = Cnf.act_init unr in
+        let guard =
+          if is_t t n_never then [ Lit.negate act ]
+          else [ Lit.negate act; Lit.negate n_never ]
+        in
+        for b = 0 to n_bits - 1 do
+          emitc ~tag t (guard @ [ Lit.negate pv.(b) ])
+        done;
+        bump_init t n_bits
+      end
+    | Netlist.Arbitrary -> ()
+    | Netlist.Words _ -> assert false);
+    (* Equation (6) against every earlier access, real or phantom. *)
+    let this = { a_frame = f; a_port = -1; n_lit = n_never; v_lits = pv; ra_lits = ra } in
+    if t.init_consistency then
+      List.iter (fun other -> init_pair_reduced t ~tag ~n_bits this other) ms.accesses;
+    ms.accesses <- this :: ms.accesses;
+    Hashtbl.replace t.phantom_memo key this;
+    this
+
+(* chg(f): some enabled write at frame [f] stores a value its target
+   location does not already hold.  One-directional, memoized per frame and
+   shared by every (i, j) pair whose window contains [f]. *)
+let change_lit t f =
+  match Hashtbl.find_opt t.chg_memo f with
+  | Some l -> l
+  | None ->
+    let ds =
+      List.concat_map
+        (fun ms ->
+          let mem = ms.mem in
+          let tag = ms.tag in
+          let n_bits = Netlist.memory_data_width mem in
+          List.filter_map
+            (fun w ->
+              let wa_bus, wd_bus, we_sig = Netlist.write_port mem w in
+              let wa = lits_of_bus t ~frame:f wa_bus in
+              let wd = lits_of_bus t ~frame:f wd_bus in
+              let we = Cnf.lit t.unr ~frame:f we_sig in
+              if is_f t we then None
+              else begin
+                let pv = (phantom_access t ms f wa).v_lits in
+                (* x_b -> WD_b <> PV_b. *)
+                let xs =
+                  List.filter_map
+                    (fun b ->
+                      if wd.(b) = pv.(b) then None (* bit provably unchanged *)
+                      else if wd.(b) = Lit.negate pv.(b) then Some (ltrue t)
+                      else begin
+                        let x = fresh t in
+                        emitc ~tag t [ Lit.negate x; wd.(b); pv.(b) ];
+                        emitc ~tag t
+                          [ Lit.negate x; Lit.negate wd.(b); Lit.negate pv.(b) ];
+                        bump_distinct t ~preds:1 ~clauses:2;
+                        Some x
+                      end)
+                    (List.init n_bits Fun.id)
+                in
+                (* d -> WE /\ (\/ x): this write changes its target word. *)
+                if xs = [] then None (* rewrites the stored value bit-for-bit *)
+                else if List.exists (is_t t) xs then Some we
+                else if is_t t we && List.compare_length_with xs 1 = 0 then
+                  Some (List.hd xs)
+                else begin
+                  let d = fresh t in
+                  bump_distinct t ~preds:1 ~clauses:0;
+                  if not (is_t t we) then begin
+                    emitc ~tag t [ Lit.negate d; we ];
+                    bump_distinct t ~preds:0 ~clauses:1
+                  end;
+                  emitc ~tag t (Lit.negate d :: xs);
+                  bump_distinct t ~preds:0 ~clauses:1;
+                  Some d
+                end
+              end)
+            (List.init (Netlist.num_write_ports mem) Fun.id))
+        t.mems
+    in
+    let ds = List.filter (fun l -> not (is_f t l)) ds in
+    let chg =
+      if List.exists (is_t t) ds then ltrue t
+      else
+        match ds with
+        | [] -> lfalse t
+        | [ d ] -> d
+        | ds ->
+          let chg = fresh t in
+          emitc ~tag:t.distinct_tag t (Lit.negate chg :: ds);
+          bump_distinct t ~preds:1 ~clauses:1;
+          chg
+    in
+    Hashtbl.replace t.chg_memo f chg;
+    chg
+
+let mem_distinct_lit t ~i ~j =
+  if not (0 <= j && j < i) then
+    invalid_arg
+      (Printf.sprintf "Emm.mem_distinct_lit: need 0 <= j < i, got i=%d j=%d" i j);
+  if i >= t.next_depth + 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Emm.mem_distinct_lit: frame %d beyond encoded depth %d (call \
+          add_constraints first)"
+         i (t.next_depth - 1));
+  match Hashtbl.find_opt t.distinct_memo (i, j) with
+  | Some l -> l
+  | None ->
+    (* Distinctness is requested by the engine after [add_constraints] has
+       snapshotted the depth's counts, so accumulate into [t.extra]. *)
+    let saved = t.current in
+    t.current <- zero_counts;
+    let t0 = Obs.now () in
+    let l =
+      let chgs =
+        List.filter
+          (fun l -> not (is_f t l))
+          (List.map (fun f -> change_lit t f) (List.init (i - j) (fun o -> j + o)))
+      in
+      if List.exists (is_t t) chgs then ltrue t
+      else
+        match chgs with
+        | [] -> lfalse t
+        | [ c ] -> c
+        | cs ->
+          let d = fresh t in
+          emitc ~tag:t.distinct_tag t (Lit.negate d :: cs);
+          bump_distinct t ~preds:1 ~clauses:1;
+          d
+    in
+    t.extra <- add_counts t.extra { t.current with encode_time_s = Obs.now () -. t0 };
+    t.current <- saved;
+    Hashtbl.replace t.distinct_memo (i, j) l;
+    l
 
 let word_of_lits solver lits =
   let w = ref 0 in
@@ -770,7 +1044,7 @@ let find_data_race ?(max_depth = 50) ?deadline net =
    with Exit | Solver.Timeout -> ());
   !result
 
-let hooks ?memories ?init_consistency ?simplify net =
+let hooks ?memories ?init_consistency ?simplify ?(mem_distinct = true) net =
   ignore net;
   let state = ref None in
   let get unr =
@@ -788,17 +1062,22 @@ let hooks ?memories ?init_consistency ?simplify net =
         (fun unr _depth -> match !state with
           | Some s -> mem_init_of_model s
           | None -> ignore unr; []);
+      mem_distinct =
+        (if mem_distinct then
+           Some (fun unr ~i ~j -> mem_distinct_lit (get unr) ~i ~j)
+         else None);
     }
   in
   let get_counts () = match !state with Some s -> counts_total s | None -> zero_counts in
   (hooks, get_counts)
 
-let check ?config ?memories ?init_consistency ?simplify net ~property =
-  let hks, get_counts = hooks ?memories ?init_consistency ?simplify net in
+let check ?config ?memories ?init_consistency ?simplify ?mem_distinct net ~property =
+  let hks, get_counts = hooks ?memories ?init_consistency ?simplify ?mem_distinct net in
   let result = Bmc.Engine.check ?config ~hooks:hks net ~property in
   (result, get_counts ())
 
-let check_many ?config ?memories ?init_consistency ?simplify net ~properties =
-  let hks, get_counts = hooks ?memories ?init_consistency ?simplify net in
+let check_many ?config ?memories ?init_consistency ?simplify ?mem_distinct net
+    ~properties =
+  let hks, get_counts = hooks ?memories ?init_consistency ?simplify ?mem_distinct net in
   let results, stats = Bmc.Engine.check_all ?config ~hooks:hks net ~properties in
   (results, stats, get_counts ())

@@ -51,7 +51,20 @@
       [(premises -> u)] and [(u -> V = V')] are emitted;
     - constants (e.g. hard-wired addresses or enables after frame-0 constant
       folding) propagate through all of the above, deleting clauses and
-      entire select networks. *)
+      entire select networks.
+
+    {b Memory-state distinctness.}  The engine's loop-free-path termination
+    constraints range over latch state; {!mem_distinct_lit} extends them to
+    memory contents with the same interface vocabulary.  For a frame pair
+    [(i, j)] it returns a literal [D] with [D -> chg(j) \/ ... \/ chg(i-1)],
+    where [chg(f)] may hold only when some enabled write at frame [f] stores
+    a value its target location does not already hold at [f] — the value is
+    a {e phantom read}: an interface word constrained by the same select
+    networks, exclusivity chain and equation-(6) machinery as a real read
+    port with [RE = true].  [D] occurs only positively in the engine's LFP
+    clauses, so all implications are one-directional; phantom reads are
+    memoized per (memory, frame, address bus) and [chg] per frame, so the
+    quadratically many frame pairs share linearly many phantom reads. *)
 
 type counts = {
   addr_clauses : int;  (** address-comparison CNF clauses *)
@@ -64,6 +77,13 @@ type counts = {
       (** variables avoided by simplify mode vs. the plain encoding of the
           same ports and depths (0 in plain mode) *)
   saved_clauses : int;  (** clauses avoided, same baseline *)
+  distinct_preds : int;
+      (** predicate variables of the memory-state distinctness machinery:
+          per-bit change witnesses, per-write and per-frame change
+          predicates, and the per-frame-pair distinctness literals *)
+  distinct_clauses : int;
+      (** their defining clauses (the underlying phantom-read clauses are
+          counted under the addr/data/init/pairs categories above) *)
   encode_time_s : float;  (** wall time spent generating EMM constraints *)
 }
 
@@ -99,8 +119,23 @@ val add_constraints : t -> int -> unit
     depths starting at 0. *)
 
 val counts_total : t -> counts
+(** Cumulative counts over all depths, including the distinctness
+    constraints built by {!mem_distinct_lit} (which run outside any single
+    depth). *)
+
 val counts_at : t -> int -> counts
 (** Constraints generated by [add_constraints t k] alone. *)
+
+val mem_distinct_lit : t -> i:int -> j:int -> Satsolver.Lit.t
+(** [mem_distinct_lit t ~i ~j] (with [0 <= j < i] and frame [i] unrolled) is
+    a literal the solver may set true only when the modeled memory contents
+    at frame [i] can differ from frame [j]: it implies that some enabled
+    write in [j, i) stored a value the addressed location did not already
+    hold.  Memoized per pair; the per-frame change predicates and phantom
+    reads beneath it are shared across pairs.  Plugged into the
+    [mem_distinct] field of {!Bmc.Engine.hooks} by {!hooks} so termination proofs stay
+    sound when latch state repeats while memory contents diverge.  Raises
+    [Invalid_argument] outside the encoded depth range. *)
 
 val mem_init_of_model : t -> (string * (int * int) list) list
 (** After a satisfiable query: initial memory contents consistent with the
@@ -143,17 +178,24 @@ val hooks :
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
   ?simplify:bool ->
+  ?mem_distinct:bool ->
   Netlist.t ->
   Bmc.Engine.hooks * (unit -> counts)
-(** Engine hooks implementing BMC-2/BMC-3: constraint injection per depth and
-    counterexample memory-state extraction.  The thunk reports cumulative
-    counts once the run has started. *)
+(** Engine hooks implementing BMC-2/BMC-3: constraint injection per depth,
+    counterexample memory-state extraction, and memory-state distinctness
+    for the loop-free-path termination checks.  [mem_distinct] (default
+    [true]) wires {!mem_distinct_lit} into the engine; [false] reproduces
+    the historical latch-only distinctness (termination checks past depth 0
+    are then disabled for latch-free write-port designs) and exists for the
+    over-proof mutation tests and ablation benchmarks.  The thunk reports
+    cumulative counts once the run has started. *)
 
 val check :
   ?config:Bmc.Engine.config ->
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
   ?simplify:bool ->
+  ?mem_distinct:bool ->
   Netlist.t ->
   property:string ->
   Bmc.Engine.result * counts
@@ -165,6 +207,7 @@ val check_many :
   ?memories:Netlist.memory list ->
   ?init_consistency:bool ->
   ?simplify:bool ->
+  ?mem_distinct:bool ->
   Netlist.t ->
   properties:string list ->
   (string * Bmc.Engine.result) list * Bmc.Engine.stats * counts

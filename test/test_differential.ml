@@ -5,7 +5,19 @@
    depths up to 8) must agree.  This is the safety net for rewrites of the
    solver hot path, the unroller and the EMM constraint generator: any
    divergence in memory semantics between the models shows up as a verdict
-   or depth mismatch here. *)
+   or depth mismatch here.
+
+   Two sweeps run through the same mismatch predicate and shrinker:
+
+   - the classic falsification net (proof checks off, counterexample depths
+     compared);
+   - the latch-poor battery ([Diffgen.latch_poor_cfg], proof checks {e on}):
+     latch state cycles while memory contents diverge, so the termination
+     checks only stay sound through the memory-state distinctness
+     predicates, and proved depths / proof verdicts must agree with the
+     explicit expansion's sound latch-level loop-free-path proofs.  A
+     mutation sweep disables the predicates and asserts the battery notices
+     the resulting over-proofs. *)
 
 open Diffgen
 
@@ -20,10 +32,16 @@ open Diffgen
    and plain encoders are different CNFs of the same model, so their
    verdicts must match too; and for all-zero initial contents the default
    simulation is itself the unique run of the closed design, supplying an
-   independent third verdict. *)
-let design_mismatch ?(depth = depth_bound) cfg =
+   independent third verdict.  With [proofs] set, proof checks run and the
+   comparison additionally pins proved depths (the signature carries them);
+   the simulator then cross-checks counterexample placement only, since it
+   cannot prove. *)
+let design_mismatch ?(depth = depth_bound) ?(proofs = false) cfg =
   let net = build cfg in
-  let config = { falsify_config with Bmc.Engine.max_depth = depth } in
+  let config =
+    if proofs then { Bmc.Engine.default_config with max_depth = depth }
+    else { falsify_config with Bmc.Engine.max_depth = depth }
+  in
   let plain = { config with Bmc.Engine.simplify = false } in
   let emm_result, _ = Emm.check ~config net ~property:"p" in
   let plain_result, _ = Emm.check ~config:plain net ~property:"p" in
@@ -53,14 +71,39 @@ let design_mismatch ?(depth = depth_bound) cfg =
   <|> (fun () ->
         if cfg.arbitrary then None
         else
-          let expected =
-            match sim_first_failure ~depth net with
-            | Some d -> Printf.sprintf "cex@%d" d
-            | None -> Printf.sprintf "safe@%d" depth
-          in
-          if expected <> emm_sig then
-            Some (Printf.sprintf "simulator verdict %s <> EMM verdict %s" expected emm_sig)
-          else None)
+          let sim = sim_first_failure ~depth net in
+          if proofs then
+            (* The simulator cannot prove; it pins counterexamples only.  A
+               failing run must be reported at exactly the simulated depth,
+               and a clean run must not be reported as a counterexample —
+               an over-proof that masks a reachable failure trips the first
+               branch. *)
+            match sim with
+            | Some d ->
+              let expected = Printf.sprintf "cex@%d" d in
+              if expected <> emm_sig then
+                Some
+                  (Printf.sprintf "simulator failure %s <> EMM verdict %s" expected
+                     emm_sig)
+              else None
+            | None ->
+              if String.length emm_sig >= 4 && String.sub emm_sig 0 4 = "cex@" then
+                Some
+                  (Printf.sprintf
+                     "EMM verdict %s but the simulator never fails within %d" emm_sig
+                     depth)
+              else None
+          else
+            let expected =
+              match sim with
+              | Some d -> Printf.sprintf "cex@%d" d
+              | None -> Printf.sprintf "safe@%d" depth
+            in
+            if expected <> emm_sig then
+              Some
+                (Printf.sprintf "simulator verdict %s <> EMM verdict %s" expected
+                   emm_sig)
+            else None)
 
 (* {2 A greedy reproducer shrinker}
 
@@ -82,11 +125,23 @@ let shrink_candidates (cfg, depth) =
          [ ({ cfg with
               wports = 1;
               wconsts = Array.sub cfg.wconsts 0 1;
-              dconsts = Array.sub cfg.dconsts 0 1;
+              dconsts = Array.sub cfg.dconsts 0 (min 1 (Array.length cfg.dconsts));
             }, depth) ]
        else []);
       (if cfg.rports > 1 then
          [ ({ cfg with rports = 1; rconsts = Array.sub cfg.rconsts 0 1 }, depth) ]
+       else []);
+      (* Latch-poor designs additionally shrink the counter, one latch at a
+         time down to zero; the enable bit is dropped when its index falls
+         off the narrowed counter. *)
+      (if cfg.style = Latch_poor && cfg.cw > 0 then
+         [ ({ cfg with
+              cw = cfg.cw - 1;
+              en_bit =
+                (match cfg.en_bit with
+                | Some b when b >= cfg.cw - 1 -> None
+                | e -> e);
+            }, depth) ]
        else []);
       (if cfg.aw > 1 then [ ({ cfg with aw = cfg.aw - 1 }, depth) ] else []);
       (if cfg.dw > 1 then
@@ -110,13 +165,41 @@ let rec shrink ~mismatch state =
 let cfg_to_string c =
   let arr a = String.concat "; " (List.map string_of_int (Array.to_list a)) in
   Printf.sprintf
-    "{ aw = %d; dw = %d; wports = %d; rports = %d; arbitrary = %b; wconsts = \
-     [| %s |]; dconsts = [| %s |]; rconsts = [| %s |]; en_bit = %s; \
-     prop_on_acc = %b; target = %d }"
-    c.aw c.dw c.wports c.rports c.arbitrary (arr c.wconsts) (arr c.dconsts)
+    "{ style = %s; cw = %d; aw = %d; dw = %d; wports = %d; rports = %d; \
+     arbitrary = %b; wconsts = [| %s |]; dconsts = [| %s |]; rconsts = [| %s \
+     |]; en_bit = %s; prop_on_acc = %b; target = %d }"
+    (match c.style with Classic -> "Classic" | Latch_poor -> "Latch_poor")
+    c.cw c.aw c.dw c.wports c.rports c.arbitrary (arr c.wconsts) (arr c.dconsts)
     (arr c.rconsts)
     (match c.en_bit with None -> "None" | Some b -> Printf.sprintf "Some %d" b)
     c.prop_on_acc c.target
+
+(* On a sweep failure, shrink to a minimal reproducer, print it, and — when
+   [DIFFGEN_REPRO_FILE] is set (the CI battery job does this) — also write
+   it to that file so it survives as a build artifact. *)
+let fail_with_reproducer ~sweep ~proofs ~depth cfg reason =
+  let mismatch (c, d) = design_mismatch ~depth:d ~proofs c in
+  let mcfg, mdepth = shrink ~mismatch (cfg, depth) in
+  let mreason = Option.value ~default:reason (mismatch (mcfg, mdepth)) in
+  let text =
+    Printf.sprintf
+      "minimal reproducer (%s sweep, shrunk from design %d):\n\
+      \  cfg   = %s\n\
+      \  depth = %d\n\
+      \  proofs = %b\n\
+      \  fails: %s\n"
+      sweep cfg.id (cfg_to_string mcfg) mdepth proofs mreason
+  in
+  print_string text;
+  flush stdout;
+  (match Sys.getenv_opt "DIFFGEN_REPRO_FILE" with
+  | Some path ->
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc text;
+    close_out oc
+  | None -> ());
+  Alcotest.failf "design %d: %s — minimal reproducer %s at depth %d (%s)" cfg.id
+    reason (cfg_to_string mcfg) mdepth mreason
 
 let test_differential_sweep () =
   for id = 0 to 49 do
@@ -124,21 +207,102 @@ let test_differential_sweep () =
     match design_mismatch cfg with
     | None -> ()
     | Some reason ->
-      let mcfg, mdepth =
-        shrink ~mismatch:(fun (c, d) -> design_mismatch ~depth:d c) (cfg, depth_bound)
-      in
-      let mreason =
-        Option.value ~default:reason (design_mismatch ~depth:mdepth mcfg)
-      in
-      Printf.printf
-        "minimal reproducer (shrunk from design %d):\n\
-        \  cfg   = %s\n\
-        \  depth = %d\n\
-        \  fails: %s\n%!"
-        cfg.id (cfg_to_string mcfg) mdepth mreason;
-      Alcotest.failf "design %d: %s — minimal reproducer %s at depth %d (%s)"
-        cfg.id reason (cfg_to_string mcfg) mdepth mreason
+      fail_with_reproducer ~sweep:"classic" ~proofs:false ~depth:depth_bound cfg
+        reason
   done
+
+(* {2 The latch-poor battery}
+
+   50 seeded latch-poor designs with proof checks on: latch state has period
+   [2^cw] (possibly 1: zero latches) while memory contents diverge, so a
+   termination proof is sound only through the memory-state distinctness
+   predicates.  Verdicts, proved depths and counterexample depths must agree
+   between both EMM encoders and the explicit expansion, whose
+   latch-level loop-free-path constraints see the expanded memory bits and
+   are sound unconditionally. *)
+
+let latch_poor_depth = 12
+
+let test_latch_poor_battery () =
+  for id = 0 to 49 do
+    let cfg = latch_poor_cfg id in
+    match design_mismatch ~depth:latch_poor_depth ~proofs:true cfg with
+    | None -> ()
+    | Some reason ->
+      fail_with_reproducer ~sweep:"latch-poor" ~proofs:true ~depth:latch_poor_depth
+        cfg reason
+  done
+
+(* Mutation check: with the distinctness predicates disabled
+   ([mem_distinct:false] reproduces the pre-fix engine, which falls back to
+   latch-only distinctness, or to no termination checks past depth 0 for
+   latch-free write-port designs), the battery must notice — some seed's
+   verdict must diverge from the explicit expansion.  This is the test of
+   the tests: if it ever passes silently, the battery lost its power to
+   detect over-proving and needs stronger designs. *)
+let test_latch_poor_mutation_detected () =
+  let config = { Bmc.Engine.default_config with max_depth = latch_poor_depth } in
+  let detected = ref 0 in
+  for id = 0 to 49 do
+    let cfg = latch_poor_cfg id in
+    let net = build cfg in
+    let mut_result, _ = Emm.check ~config ~mem_distinct:false net ~property:"p" in
+    let exp_result = Bmc.Engine.check ~config (Explicitmem.expand net) ~property:"p" in
+    if
+      signature mut_result.Bmc.Engine.verdict
+      <> signature exp_result.Bmc.Engine.verdict
+    then incr detected
+  done;
+  if !detected = 0 then
+    Alcotest.fail
+      "disabling the memory-state distinctness predicates went unnoticed across \
+       all 50 latch-poor seeds: the battery cannot detect over-proving";
+  Printf.printf "mutation detected on %d/50 latch-poor seeds\n%!" !detected
+
+(* {2 The fixed over-proof regression}
+
+   The minimal latch-poor over-proof: a 1-bit counter (latch period 2) and a
+   2-word memory filling with the constant 1 — the read observes 0,0 then
+   1,1,... so "rd <> 1" first fails at frame 2, exactly when the latch state
+   repeats.  The pre-fix engine's latch-only termination check fires first
+   and reports a bogus forward-diameter proof at depth 2, masking the
+   reachable failure; the distinctness predicates keep the path alive and
+   both EMM and the explicit expansion report the counterexample. *)
+
+let overproof_regression_design () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:1 ~data_width:2 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:1 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  Hdl.write_port ctx mem ~addr:cnt ~data:(Hdl.const ~width:2 1) ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:cnt ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 1));
+  Hdl.netlist ctx
+
+let test_overproof_regression () =
+  let net = overproof_regression_design () in
+  let config = { Bmc.Engine.default_config with max_depth = 12 } in
+  Alcotest.(check (option int)) "simulator places the failure at frame 2" (Some 2)
+    (sim_first_failure ~depth:12 net);
+  let emm_result, _ = Emm.check ~config net ~property:"p" in
+  Alcotest.(check string) "EMM finds the counterexample" "cex@2"
+    (signature emm_result.Bmc.Engine.verdict);
+  let exp_result = Bmc.Engine.check ~config (Explicitmem.expand net) ~property:"p" in
+  Alcotest.(check string) "explicit expansion agrees" "cex@2"
+    (signature exp_result.Bmc.Engine.verdict);
+  (* The pre-fix engine over-proves: latch-only distinctness cannot tell
+     frames 0 and 2 apart, so the forward termination check fires at depth 2
+     — before falsification at that depth runs — and the reachable failure
+     is lost behind a bogus proof. *)
+  let mut_result, _ = Emm.check ~config ~mem_distinct:false net ~property:"p" in
+  Alcotest.(check string)
+    "latch-only LFP proves at the wrong depth (the over-proof this PR fixes)"
+    "proof@2"
+    (signature mut_result.Bmc.Engine.verdict);
+  match mut_result.Bmc.Engine.verdict with
+  | Bmc.Engine.Proof { kind = Bmc.Engine.Forward_diameter; _ } -> ()
+  | v ->
+    Alcotest.failf "expected a bogus forward-diameter proof, got %s" (signature v)
 
 (* The shrinker itself, against an artificial mismatch predicate whose
    failure region is known in closed form: "fails iff two write ports or
@@ -153,6 +317,8 @@ let test_shrinker_converges () =
   let start =
     {
       id = -1;
+      style = Classic;
+      cw = 3;
       aw = 2;
       dw = 3;
       wports = 2;
@@ -251,5 +417,17 @@ let () =
             test_forwarding_depth;
           Alcotest.test_case "broken-forwarding shape detected" `Quick
             test_forwarding_break_detected;
+        ] );
+      (* Its own group so CI can run the latch-poor battery in isolation:
+         `test_differential.exe test proofs`. *)
+      ( "proofs",
+        [
+          Alcotest.test_case
+            "latch-poor battery: proved depths EMM = explicit across 50 seeds"
+            `Quick test_latch_poor_battery;
+          Alcotest.test_case "latch-poor battery detects disabled distinctness"
+            `Quick test_latch_poor_mutation_detected;
+          Alcotest.test_case "fixed over-proof regression (latch repeats, memory \
+                              diverges)" `Quick test_overproof_regression;
         ] );
     ]

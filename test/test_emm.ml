@@ -445,6 +445,103 @@ let test_induction_with_arbitrary_memory () =
     Alcotest.failf "expected proof, got %s"
       (Format.asprintf "%a" Bmc.Engine.pp_verdict v)
 
+(* {2 Memory-state-aware termination proofs}
+
+   Proved diameters pinned on hand-built designs, against the explicit
+   expansion whose loop-free-path constraints range over the expanded memory
+   bits and are sound unconditionally.  The EMM engine reaches the same
+   verdict {e and} the same proof kind and depth through its memory-state
+   distinctness predicates ({!Emm.mem_distinct_lit}); the [mem_distinct:false]
+   knob reproduces the pre-fix behavior and shows what each design would
+   degrade to. *)
+
+let proof_config = { Bmc.Engine.default_config with max_depth = 12 }
+
+let proof_sig = function
+  | Bmc.Engine.Proof { depth; kind = Bmc.Engine.Forward_diameter } ->
+    Printf.sprintf "diameter@%d" depth
+  | Bmc.Engine.Proof { depth; kind = Bmc.Engine.Backward_induction } ->
+    Printf.sprintf "induction@%d" depth
+  | Bmc.Engine.Counterexample t -> Printf.sprintf "cex@%d" t.Bmc.Trace.depth
+  | Bmc.Engine.Bounded_safe d -> Printf.sprintf "safe@%d" d
+  | v -> Format.asprintf "%a" Bmc.Engine.pp_verdict v
+
+let check_pinned name net ~expect ~mutated =
+  let emm_result, counts = Emm.check ~config:proof_config net ~property:"p" in
+  Alcotest.(check string) (name ^ ": EMM") expect (proof_sig emm_result.Bmc.Engine.verdict);
+  let exp_result =
+    Bmc.Engine.check ~config:proof_config (Explicitmem.expand net) ~property:"p"
+  in
+  Alcotest.(check string) (name ^ ": explicit") expect
+    (proof_sig exp_result.Bmc.Engine.verdict);
+  let mut_result, mut_counts =
+    Emm.check ~config:proof_config ~mem_distinct:false net ~property:"p"
+  in
+  Alcotest.(check string) (name ^ ": mem_distinct:false degrades as expected")
+    mutated (proof_sig mut_result.Bmc.Engine.verdict);
+  Alcotest.(check int) (name ^ ": no distinctness telemetry when disabled") 0
+    mut_counts.Emm.distinct_preds;
+  ignore counts
+
+(* A write-free memory cannot evolve, so the distinctness predicates reduce
+   to constants and the forward diameter is the latch period: the 1-bit
+   counter gives diameter 2, with or without the fix. *)
+let test_pinned_write_free () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:1 ~data_width:2 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:1 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  let rd = Hdl.read_port ctx mem ~addr:cnt ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 3));
+  check_pinned "write-free" (Hdl.netlist ctx) ~expect:"diameter@2"
+    ~mutated:"diameter@2"
+
+(* A single latch plus a filling memory: the safe sibling of the over-proof
+   regression in test_differential.  Both models close it by induction at 2;
+   the pre-fix engine still "proves" at depth 2, but as a forward-diameter
+   proof fired by latch-only distinctness — right depth, wrong reason, and
+   unsound in general (see the unsafe sibling). *)
+let test_pinned_counter_mem () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:1 ~data_width:2 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:1 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  Hdl.write_port ctx mem ~addr:cnt ~data:(Hdl.const ~width:2 1) ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:cnt ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 2));
+  check_pinned "counter-mem" (Hdl.netlist ctx) ~expect:"induction@2"
+    ~mutated:"diameter@2"
+
+(* A pure-memory FSM: zero latches, every frame writes 1 to word 0.  The
+   pre-fix engine had no state vector at all here and PR 7's guard disabled
+   termination checks entirely (bounded-safe at the depth limit); the
+   distinctness predicates re-enable them and the proof lands exactly where
+   the explicit expansion puts it. *)
+let test_pinned_pure_memory () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:1 ~data_width:2 ~init:Netlist.Zeros in
+  Hdl.write_port ctx mem ~addr:(Hdl.const ~width:1 0) ~data:(Hdl.const ~width:2 1)
+    ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:(Hdl.const ~width:1 1) ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 3));
+  check_pinned "pure-memory" (Hdl.netlist ctx) ~expect:"induction@1"
+    ~mutated:"safe@12"
+
+(* The distinctness machinery reports its own telemetry: a proof-mode run on
+   a write-port design builds change predicates and their clauses, and the
+   cumulative counts include them. *)
+let test_distinct_counts_reported () =
+  let ctx = Hdl.create () in
+  let mem = Hdl.memory ctx ~name:"m" ~addr_width:1 ~data_width:2 ~init:Netlist.Zeros in
+  let cnt = Hdl.reg ctx "cnt" ~width:1 in
+  Hdl.connect ctx cnt (Hdl.incr ctx cnt);
+  Hdl.write_port ctx mem ~addr:cnt ~data:(Hdl.const ~width:2 1) ~enable:Netlist.true_;
+  let rd = Hdl.read_port ctx mem ~addr:cnt ~enable:Netlist.true_ in
+  Hdl.assert_always ctx "p" (Netlist.not_ (Hdl.eq_const ctx rd 2));
+  let _, counts = Emm.check ~config:proof_config (Hdl.netlist ctx) ~property:"p" in
+  Alcotest.(check bool) "distinct_preds > 0" true (counts.Emm.distinct_preds > 0);
+  Alcotest.(check bool) "distinct_clauses > 0" true (counts.Emm.distinct_clauses > 0)
+
 let test_words_init_rejected () =
   let ctx = Hdl.create () in
   let _mem =
@@ -481,6 +578,14 @@ let () =
           Alcotest.test_case "init consistency ablated" `Quick test_init_consistency_ablated;
           Alcotest.test_case "init consistency across frames" `Quick
             test_init_consistency_cross_frame;
+          Alcotest.test_case "pinned diameter: write-free memory" `Quick
+            test_pinned_write_free;
+          Alcotest.test_case "pinned diameter: counter + memory fill" `Quick
+            test_pinned_counter_mem;
+          Alcotest.test_case "pinned diameter: pure-memory FSM" `Quick
+            test_pinned_pure_memory;
+          Alcotest.test_case "distinctness telemetry in counts" `Quick
+            test_distinct_counts_reported;
           Alcotest.test_case "induction with arbitrary memory" `Quick
             test_induction_with_arbitrary_memory;
           Alcotest.test_case "words init rejected" `Quick test_words_init_rejected;

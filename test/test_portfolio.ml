@@ -234,6 +234,29 @@ let test_differential_portfolio () =
         unshared seq
   done
 
+(* The latch-poor regime with proof checks on: termination queries carry the
+   memory-state distinctness assumptions, so racing them through the
+   portfolio must preserve both the verdict and the proved depth. *)
+let test_latch_poor_portfolio () =
+  let check pcfg net =
+    let config =
+      { Bmc.Engine.default_config with max_depth = 12; portfolio = pcfg }
+    in
+    signature (fst (Emm.check ~config net ~property:"p")).Bmc.Engine.verdict
+  in
+  for id = 0 to 11 do
+    let net = build (latch_poor_cfg id) in
+    let seq = check None net in
+    let shared = check (Some (portfolio_config ~share:true ())) net in
+    let unshared = check (Some (portfolio_config ~share:false ())) net in
+    if shared <> seq then
+      Alcotest.failf "latch-poor %d: portfolio(share) %s <> sequential %s" id
+        shared seq;
+    if unshared <> seq then
+      Alcotest.failf "latch-poor %d: portfolio(no-share) %s <> sequential %s" id
+        unshared seq
+  done
+
 let random_3sat seed n m =
   let st = Random.State.make [| 0xbeef; seed |] in
   List.init m (fun _ ->
@@ -491,6 +514,8 @@ let () =
         [
           Alcotest.test_case "50 designs: portfolio = sequential (share on+off)"
             `Quick test_differential_portfolio;
+          Alcotest.test_case "latch-poor proofs: portfolio = sequential" `Quick
+            test_latch_poor_portfolio;
           Alcotest.test_case "50 3-SAT seeds: sharing races = sequential" `Quick
             test_raw_differential_sharing;
           Alcotest.test_case "corrupted import flips a verdict (direct)" `Quick

@@ -138,18 +138,70 @@ let test_cold_equals_warm_differential () =
   let dir = tmp_store "differential" in
   Fun.protect ~finally:(fun () -> drop_store dir) @@ fun () ->
   let opts = options ~cache_dir:dir () in
-  for id = 0 to 49 do
-    let net = Diffgen.build (Diffgen.random_cfg id) in
+  let check label net =
     let cold = Emmver.verify ~options:opts ~method_:Emmver.Emm_bmc net ~property:"p" in
     let warm = Emmver.verify ~options:opts ~method_:Emmver.Emm_bmc net ~property:"p" in
     Alcotest.(check string)
-      (Printf.sprintf "design %d: warm conclusion = cold" id)
+      (Printf.sprintf "%s: warm conclusion = cold" label)
       (conclusion_str cold) (conclusion_str warm);
     (if cold.Emmver.cache <> Emmver.Cache_miss then
-       Alcotest.failf "design %d: cold run was not a recorded miss" id);
+       Alcotest.failf "%s: cold run was not a recorded miss" label);
     if warm.Emmver.cache <> Emmver.Cache_hit then
-      Alcotest.failf "design %d: warm run missed (%s)" id (conclusion_str warm)
+      Alcotest.failf "%s: warm run missed (%s)" label (conclusion_str warm)
+  in
+  for id = 0 to 49 do
+    check (Printf.sprintf "design %d" id) (Diffgen.build (Diffgen.random_cfg id))
+  done;
+  (* The latch-poor regime: proved-depth-bearing entries must round-trip
+     just like falsifications. *)
+  for id = 0 to 11 do
+    check
+      (Printf.sprintf "latch-poor %d" id)
+      (Diffgen.build (Diffgen.latch_poor_cfg id))
   done
+
+(* The encoder-generation attribute in action: an entry recorded under the
+   previous generation ("1", latch-only loop-free-path distinctness) keys
+   differently and must silently miss after the bump — its proved depths
+   can be wrong on latch-poor designs, so replaying it would launder an
+   over-proof through the cache. *)
+let test_pre_bump_entry_misses () =
+  let dir = tmp_store "generation" in
+  Fun.protect ~finally:(fun () -> drop_store dir) @@ fun () ->
+  let net = knob_design () in
+  let opts = options ~cache_dir:dir () in
+  Alcotest.(check bool)
+    "the generation was bumped past \"1\"" false
+    (String.equal Emmver.encoding_version "1");
+  let key encoder =
+    Vcache.Key.make ~cone:(sig_of net)
+      ~attrs:[ ("engine", "emm"); ("max_depth", "8"); ("encoder", encoder) ]
+  in
+  (* The replica attrs above must track the live attribute set, or the
+     planted entry below would miss for the wrong reason. *)
+  (match Emmver.cache_key opts ~method_:Emmver.Emm_bmc net ~property:"p" with
+  | Some k ->
+    Alcotest.(check string) "replica key matches the live attrs"
+      (Vcache.Key.to_hex k)
+      (Vcache.Key.to_hex (key Emmver.encoding_version))
+  | None -> Alcotest.fail "no key");
+  let cfg = Option.get (Emmver.cache_config opts) in
+  Vcache.store cfg (key "1")
+    {
+      Vcache.e_method = "emm";
+      e_verdict = Vcache.Proved { depth = 0; induction = false };
+      e_time_s = 0.0;
+      e_solve_time_s = 0.0;
+      e_model_vars = 0;
+      e_model_clauses = 0;
+      e_model_latches = 0;
+      e_cert = "unchecked";
+      e_created = 0.0;
+      e_payload = Vcache.No_payload;
+    };
+  let o = Emmver.verify ~options:opts ~method_:Emmver.Emm_bmc net ~property:"p" in
+  if o.Emmver.cache <> Emmver.Cache_miss then
+    Alcotest.fail "pre-bump entry was served across the generation bump"
 
 let test_certified_hit_rechecks_drat () =
   let dir = tmp_store "drat" in
@@ -647,6 +699,8 @@ let () =
         [
           Alcotest.test_case "cold = warm over 50 seeded designs" `Slow
             test_cold_equals_warm_differential;
+          Alcotest.test_case "pre-bump encoder-generation entry misses" `Quick
+            test_pre_bump_entry_misses;
           Alcotest.test_case "certified hit re-checks the DRAT evidence" `Quick
             test_certified_hit_rechecks_drat;
           Alcotest.test_case "checksum tamper degrades to a miss" `Quick
